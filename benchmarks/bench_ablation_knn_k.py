@@ -1,0 +1,49 @@
+"""Ablation — the k of the k-NN classifier (Section VI-A).
+
+The paper fixes k = 250 for every experiment after observing that accuracy
+is fairly insensitive to k once it is large enough to cover a class's
+reference samples.  This ablation sweeps k on the shared model and checks
+that (a) classification works across a wide range of k and (b) the default
+is within a small tolerance of the best value in the sweep.
+"""
+
+from benchmarks.conftest import emit
+from repro.config import ClassifierConfig
+from repro.core.classifier import KNNClassifier
+from repro.metrics.reports import format_table
+
+
+K_VALUES = (1, 5, 15, 50, 150)
+
+
+def test_ablation_knn_k(benchmark, context):
+    n_classes = sorted(context.scale.exp1_class_counts)[-2]
+    reference, test = context.slice_known(n_classes)
+    model = context.fingerprinter.model
+    context.fingerprinter.initialize(reference)
+    store = context.fingerprinter.reference_store
+    test_embeddings = model.embed_dataset(test)
+    labels = [test.label_name(l) for l in test.labels]
+
+    def run():
+        results = {}
+        for k in K_VALUES:
+            classifier = KNNClassifier(store, ClassifierConfig(k=k))
+            results[k] = classifier.topn_accuracy(test_embeddings, labels, ns=(1, 3, 10))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, f"{acc[1]:.3f}", f"{acc[3]:.3f}", f"{acc[10]:.3f}"] for k, acc in results.items()]
+    emit("Ablation — k of the k-NN classifier", format_table(["k", "top-1", "top-3", "top-10"], rows))
+
+    default_k = context.scale.knn_k
+    best_top1 = max(acc[1] for acc in results.values())
+    default_top1 = results[min(K_VALUES, key=lambda k: abs(k - default_k))][1]
+    benchmark.extra_info["best_top1"] = best_top1
+    benchmark.extra_info["default_top1"] = default_top1
+
+    # Every k in the sweep attacks far above chance.
+    for accuracy in results.values():
+        assert accuracy[1] >= 5 / n_classes
+    # The configuration used throughout the experiments is near-optimal.
+    assert default_top1 >= best_top1 - 0.1

@@ -1,0 +1,72 @@
+"""Ablation — contrastive-loss margin (Table I grid search).
+
+The paper selected the margin via grid search and notes that a larger
+margin improves feature robustness while a value that is too large prevents
+learning.  This ablation retrains the small model with several margins on
+the same slice and compares the separation quality (pair accuracy) and the
+downstream top-1 accuracy.
+"""
+
+from benchmarks.conftest import emit
+from repro.config import ClassifierConfig
+from repro.core import AdaptiveFingerprinter, ContrastiveTrainer
+from repro.experiments.setup import ci_hyperparameters, ci_training_config
+from repro.metrics.reports import format_table
+from repro.traces import reference_test_split
+
+
+MARGINS = (0.5, 3.0, 30.0)
+
+
+def test_ablation_contrastive_margin(benchmark, context):
+    scale = context.scale
+    n_classes = min(scale.exp1_class_counts)
+    reference, test = context.slice_known(n_classes)
+
+    def run():
+        results = {}
+        for margin in MARGINS:
+            fingerprinter = AdaptiveFingerprinter(
+                n_sequences=3,
+                sequence_length=context.wiki_dataset.sequence_length,
+                hyperparameters=ci_hyperparameters(contrastive_margin=margin),
+                training_config=ci_training_config(scale),
+                classifier_config=ClassifierConfig(k=scale.knn_k),
+                extractor=context.extractor,
+                seed=3,
+            )
+            history = fingerprinter.provision(reference)
+            fingerprinter.initialize(reference)
+            trainer = ContrastiveTrainer(fingerprinter.model, ci_training_config(scale))
+            results[margin] = {
+                "final_loss": history.final_loss,
+                "pair_accuracy": trainer.pair_accuracy(test, n_pairs=200),
+                "top1": fingerprinter.evaluate(test, ns=(1,)).topn_accuracy[1],
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [margin, f"{r['final_loss']:.3f}", f"{r['pair_accuracy']:.3f}", f"{r['top1']:.3f}"]
+        for margin, r in results.items()
+    ]
+    emit(
+        "Ablation — contrastive-loss margin",
+        format_table(["margin", "final loss", "pair accuracy", "top-1 accuracy"], rows),
+    )
+
+    tuned = results[3.0]
+    tiny, huge = results[0.5], results[30.0]
+    benchmark.extra_info["top1_tuned_margin"] = tuned["top1"]
+
+    # The tuned margin must be competitive with both extremes (the
+    # grid-search rationale): at this reduced scale the sweep is fairly
+    # flat, so the check is a tolerance rather than strict dominance, but
+    # an over-large margin may not beat the tuned one by a wide gap and the
+    # tuned value must deliver a working attack.
+    assert tuned["top1"] >= tiny["top1"] - 0.15
+    assert tuned["top1"] >= huge["top1"] - 0.15
+    assert tuned["top1"] >= 0.5
+    # Larger margins must produce larger inter-class separation targets,
+    # visible as a larger final loss magnitude for the same data.
+    assert results[30.0]["final_loss"] >= results[0.5]["final_loss"]

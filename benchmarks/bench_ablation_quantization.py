@@ -1,0 +1,63 @@
+"""Ablation — byte-count quantization (the optional step of §IV-A.1).
+
+The paper's preprocessing optionally quantizes byte counts to remove small
+noisy differences.  This ablation re-quantizes the evaluation slice at
+several step sizes and measures the effect on accuracy with the shared
+model: mild quantization should be roughly accuracy-neutral, while a very
+coarse step destroys the identifying signal.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.metrics.reports import format_table
+from repro.traces import TraceDataset
+from repro.traces.quantize import quantize_counts
+
+
+QUANTIZATION_STEPS = (0, 512, 4096, 262144)
+
+
+def _requantize(dataset: TraceDataset, step: int) -> TraceDataset:
+    """Re-apply quantization to an already log-scaled dataset."""
+    raw = np.expm1(dataset.data)
+    quantized = quantize_counts(raw, step) if step > 1 else raw
+    return TraceDataset(
+        data=np.log1p(quantized),
+        labels=dataset.labels.copy(),
+        class_names=list(dataset.class_names),
+        website=dataset.website,
+        tls_version=dataset.tls_version,
+    )
+
+
+def test_ablation_quantization(benchmark, context):
+    n_classes = sorted(context.scale.exp1_class_counts)[1]
+    reference, test = context.slice_known(n_classes)
+
+    def run():
+        results = {}
+        for step in QUANTIZATION_STEPS:
+            results[step] = context.evaluate_slice(
+                _requantize(reference, step), _requantize(test, step), ns=(1, 3, 10)
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[step, f"{acc[1]:.3f}", f"{acc[3]:.3f}", f"{acc[10]:.3f}"] for step, acc in results.items()]
+    emit(
+        "Ablation — byte-count quantization step",
+        format_table(["step (bytes)", "top-1", "top-3", "top-10"], rows),
+    )
+
+    baseline = results[0]
+    mild = results[512]
+    coarse = results[262144]
+    benchmark.extra_info["top1_baseline"] = baseline[1]
+    benchmark.extra_info["top1_coarse"] = coarse[1]
+
+    # Mild quantization keeps accuracy close to the unquantized baseline.
+    assert mild[1] >= baseline[1] - 0.15
+    # A very coarse step erases most of the signal the attack exploits.
+    assert coarse[1] <= baseline[1]
+    assert coarse[3] <= baseline[3] + 1e-9

@@ -1,0 +1,41 @@
+"""Figure 6 — static webpage classification (Experiment 1).
+
+Regenerates the top-n accuracy series for the class-count sweep (TLS 1.2)
+plus the TLS 1.3 series, and asserts the qualitative shape of the paper's
+figure: high top-n accuracy on the smallest slice, monotone degradation as
+the class count grows, and a top-10/top-20 adversary that stays close to
+ceiling.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_experiment1
+
+
+def test_fig6_static_classification(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_experiment1(context, ns=(1, 3, 5, 10, 20)), rounds=1, iterations=1
+    )
+    emit("Figure 6 — static webpage classification (Experiment 1)", result.as_table())
+
+    counts = sorted(result.accuracy_by_classes)
+    smallest, largest = counts[0], counts[-1]
+    benchmark.extra_info["top1_smallest"] = result.accuracy_by_classes[smallest][1]
+    benchmark.extra_info["top1_largest"] = result.accuracy_by_classes[largest][1]
+
+    # Paper shape: the top-3 adversary exceeds 90 % on the smallest slice
+    # and the top-1 adversary is far above chance everywhere.
+    assert result.accuracy_by_classes[smallest][3] >= 0.9
+    for n_classes, accuracy in result.accuracy_by_classes.items():
+        chance = 1.0 / n_classes
+        assert accuracy[1] >= 5 * chance
+        assert accuracy[1] <= accuracy[3] <= accuracy[10]
+
+    # Accuracy degrades (weakly) as the class count grows.
+    assert result.accuracy_by_classes[largest][1] <= result.accuracy_by_classes[smallest][1]
+
+    # Top-10/top-20 adversaries remain near ceiling even on the largest slice
+    # (paper: >90 % for the 1000/3000-class sets, top-20 >90 % at 6000).
+    assert result.accuracy_by_classes[largest][20] >= 0.85
+
+    # The TLS 1.3 series retains substantial accuracy (Exp. 3's version check).
+    assert result.tls13_accuracy[3] >= 0.6

@@ -1,0 +1,36 @@
+"""Figure 7 — classifying classes never seen during training (Experiment 2).
+
+The model trained on Set A embeds reference and test samples from the
+disjoint Sets C/D.  The paper's headline claim is that accuracy stays close
+to the same-size known-class scenario, i.e. the embedding is class-agnostic
+and the attack adapts to new pages without retraining.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_experiment1, run_experiment2
+
+
+def test_fig7_unseen_classes(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_experiment2(context, ns=(1, 3, 5, 10, 20)), rounds=1, iterations=1
+    )
+    emit("Figure 7 — classes never seen during training (Experiment 2)", result.as_table())
+
+    counts = sorted(result.accuracy_by_classes)
+    smallest, largest = counts[0], counts[-1]
+    benchmark.extra_info["top1_smallest_unseen"] = result.accuracy_by_classes[smallest][1]
+    benchmark.extra_info["top10_largest_unseen"] = result.accuracy_by_classes[largest][10]
+
+    # Far above chance on every slice of never-seen classes.
+    for n_classes, accuracy in result.accuracy_by_classes.items():
+        assert accuracy[1] >= 5 / n_classes
+        assert accuracy[1] <= accuracy[3] <= accuracy[10]
+
+    # Paper: a top-10 adversary keeps >= ~70 % even on the largest unseen set.
+    assert result.accuracy_by_classes[largest][10] >= 0.7
+
+    # The key adaptability claim: unseen-class accuracy is comparable to the
+    # known-class accuracy at the same class count (within 15 points top-1).
+    known = run_experiment1(context, ns=(1,), include_tls13=False).accuracy_by_classes
+    for n_classes in set(known) & set(result.accuracy_by_classes):
+        assert result.accuracy_by_classes[n_classes][1] >= known[n_classes][1] - 0.15

@@ -1,0 +1,36 @@
+"""Figure 8 — cross-website, cross-version transfer (Experiment 3).
+
+A two-sequence model trained on Wikipedia-like TLS 1.2 traces classifies
+Github-like TLS 1.3 traces.  The paper's shape: performance is clearly
+better on the website/version the model was trained on, but a useful
+fraction of the accuracy survives the transfer — some leakage
+characteristics persist across IP encoding, website theme and TLS version.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_experiment3
+
+
+def test_fig8_cross_website_transfer(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_experiment3(context, ns=(1, 3, 5, 10, 20)), rounds=1, iterations=1
+    )
+    emit("Figure 8 — cross-website / cross-version transfer (Experiment 3)", result.as_table())
+
+    baseline = result.wikipedia_accuracy
+    benchmark.extra_info["wikipedia_top1"] = baseline[1]
+
+    assert baseline[1] >= 0.5  # the same-website two-sequence baseline works
+
+    for n_classes, accuracy in result.github_accuracy_by_classes.items():
+        benchmark.extra_info[f"github_{n_classes}_top10"] = accuracy[10]
+        chance_top10 = min(1.0, 10 / n_classes)
+        # Transfer retains signal: well above chance at top-10 ...
+        assert accuracy[10] >= min(0.95, 2.0 * chance_top10)
+        assert accuracy[1] <= accuracy[3] <= accuracy[10]
+
+    # ... but the model performs best on the setup it was trained on
+    # (compare the smallest Github slice against the Wikipedia baseline).
+    smallest = min(result.github_accuracy_by_classes)
+    assert result.github_accuracy_by_classes[smallest][1] <= baseline[1] + 0.1
+    assert result.transfer_retains_signal(n=10)

@@ -1,0 +1,43 @@
+"""Figures 9, 10, 11 — per-class distinguishability CDFs (Experiment 4).
+
+The bench regenerates the cumulative distribution of the mean number of
+guesses per class for four scenarios (known, unknown, and both under FL
+padding) and asserts the paper's qualitative findings: a substantial
+fraction of classes is identified within a couple of guesses whether or not
+the class was seen during training, and FL padding shifts the whole
+distribution towards many more guesses.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_experiment4
+
+
+def test_fig9_10_11_per_class_cdfs(benchmark, context):
+    result = benchmark.pedantic(lambda: run_experiment4(context), rounds=1, iterations=1)
+    emit("Figures 9-11 — per-class guess CDFs (Experiment 4)", result.as_table())
+
+    known = next(s for name, s in result.scenarios.items() if name.startswith("known ("))
+    unknown = next(s for name, s in result.scenarios.items() if name.startswith("unknown ("))
+    padded = [s for name, s in result.scenarios.items() if "padded" in name]
+
+    benchmark.extra_info["known_below_2"] = known.fraction_below(2)
+    benchmark.extra_info["unknown_below_2"] = unknown.fraction_below(2)
+
+    # Figures 9/10: a large fraction of classes needs fewer than 2-3 guesses,
+    # for known and unknown classes alike (no major difference between them).
+    assert known.fraction_below(3) >= 0.4
+    assert unknown.fraction_below(3) >= 0.4
+    assert abs(known.fraction_below(3) - unknown.fraction_below(3)) <= 0.4
+
+    # CDFs are monotone and end at 1 for a threshold beyond the class count.
+    for summary in result.scenarios.values():
+        cdf = summary.cdf((2, 5, 10, summary.n_classes + 2))
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+
+    # Figure 11: padding reduces the fraction of easily distinguished classes.
+    assert result.padding_reduces_distinguishability(threshold=2.0)
+    for padded_summary in padded:
+        assert padded_summary.fraction_below(2) <= max(
+            known.fraction_below(2), unknown.fraction_below(2)
+        )

@@ -1,0 +1,32 @@
+"""Table II — the number of guesses needed grows sub-linearly with classes.
+
+For each unseen-class slice the bench finds the smallest n whose top-n
+accuracy reaches ~90 % and reports n as a fraction of the class count.  The
+paper's observation is that this fraction *shrinks* as the class count
+grows (0.6 % at 500 classes down to 0.23 % at 13,000).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_experiment2
+
+
+def test_table2_sublinear_n(benchmark, context):
+    result = benchmark.pedantic(
+        lambda: run_experiment2(context, ns=(1, 3, 10), target_accuracy=0.9), rounds=1, iterations=1
+    )
+    emit("Table II — guesses needed for ~90 % accuracy", result.table2_as_table())
+
+    rows = result.table2_rows
+    assert len(rows) == len(context.scale.exp2_class_counts)
+    for row in rows:
+        benchmark.extra_info[f"n_at_{row.n_classes}_classes"] = row.n_for_target
+        # n reaches the target (or the cap) and never exceeds the class count.
+        assert 1 <= row.n_for_target <= row.n_classes
+        assert row.accuracy_at_n >= 0.85
+
+    # The fraction n / #classes shrinks from the smallest to the largest set.
+    assert result.sublinear()
+    # And n itself grows much more slowly than the class count does.
+    growth_in_classes = rows[-1].n_classes / rows[0].n_classes
+    growth_in_n = rows[-1].n_for_target / max(1, rows[0].n_for_target)
+    assert growth_in_n < growth_in_classes

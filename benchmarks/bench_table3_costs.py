@@ -1,0 +1,50 @@
+"""Table III — operational-cost comparison.
+
+Regenerates both views of the table: the catalogue rows of the systems the
+paper compares (with modelled yearly update costs under page churn) and the
+costs measured on this reproduction's own implementations.  The headline
+claim: the embedding-based attack needs no retraining, so its update cost
+is a small constant per changed page, while class-coupled systems pay a
+full refit.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table3
+from repro.metrics.reports import format_table
+
+
+def test_table3_operational_costs(benchmark, context):
+    result = benchmark.pedantic(lambda: run_table3(context, measure=True), rounds=1, iterations=1)
+
+    modelled = format_table(
+        ["System", "Modelled yearly update cost (work units)"],
+        [[name, f"{cost:,.0f}"] for name, cost in sorted(result.modelled_update_costs.items(), key=lambda kv: kv[1])],
+        title="Modelled update costs (1000 classes, 5 % weekly churn)",
+    )
+    emit(
+        "Table III — operational costs",
+        result.as_table() + "\n\n" + modelled + "\n\n" + result.measured_as_table(),
+    )
+
+    # The catalogue reproduces every row of the paper's Table III.
+    assert len(result.catalogue_rows) == 7
+    adaptive_row = next(row for row in result.catalogue_rows if row["Name"] == "Adaptive Fingerprinting")
+    assert adaptive_row["Retraining"] is False and adaptive_row["D. Shift"] is True
+
+    # Modelled costs: every retraining system is more expensive to keep
+    # current than the adaptive system at the same churn rate.
+    adaptive_cost = result.modelled_update_costs["Adaptive Fingerprinting"]
+    for name in ("Deep Fingerprinting", "Var-CNN", "Miller et al."):
+        assert result.modelled_update_costs[name] > adaptive_cost
+
+    # Measured on this reproduction: the adaptive update (swap references,
+    # no retraining) is cheaper than the Deep-Fingerprinting-style retrain.
+    measured = {m.system: m for m in result.measured}
+    ours = next(m for name, m in measured.items() if "Adaptive" in name)
+    df = next(m for name, m in measured.items() if "Deep Fingerprinting" in name)
+    benchmark.extra_info["adaptive_update_seconds"] = ours.update_seconds
+    benchmark.extra_info["df_update_seconds"] = df.update_seconds
+    assert not ours.requires_retraining and df.requires_retraining
+    assert ours.update_seconds < df.update_seconds
+    # And the attack quality does not pay for the cheap updates.
+    assert ours.topn1_accuracy >= 0.5

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce every table and figure of the paper's evaluation
+at the ``ci`` scale (a laptop-scale reduction of the paper's class counts
+that preserves the split geometry; see DESIGN.md §5).  The expensive part —
+crawling the synthetic datasets and provisioning the embedding model — is
+done once per session in the ``context`` fixture and shared by all benches.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints the table/series it regenerates (visible with ``-s`` or
+in captured output) and asserts the qualitative shape the paper reports.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+BENCH_SCALE = "ci"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The shared CI-scale experiment context (datasets + provisioned model)."""
+    return ExperimentContext.build(BENCH_SCALE)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench's regenerated table and persist it under benchmarks/results/.
+
+    The persisted files are the reproduction's equivalent of the paper's
+    figures: one text file per table/figure, regenerated on every bench run
+    and referenced from EXPERIMENTS.md.
+    """
+    text = f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    print(f"\n{text}")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text)

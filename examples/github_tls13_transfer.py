@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Cross-website, cross-version transfer (the paper's Experiment 3).
+
+A two-sequence embedding model is trained on Wikipedia-like TLS 1.2
+traces and then used — without retraining — to fingerprint pages of a
+Github-like TLS 1.3 site whose page loads involve a varying, load-balanced
+set of servers.  The printed table shows how much of the attack survives
+the change of website theme, IP-sequence structure and protocol version.
+
+Run with::
+
+    python examples/github_tls13_transfer.py
+"""
+
+from __future__ import annotations
+
+from repro.config import ClassifierConfig, TrainingConfig
+from repro.core import AdaptiveFingerprinter
+from repro.experiments import ci_hyperparameters
+from repro.metrics.reports import format_accuracy_table
+from repro.traces import SequenceExtractor, collect_dataset, reference_test_split
+from repro.web import GithubLikeGenerator, WikipediaLikeGenerator
+
+
+def main() -> None:
+    sequence_length = 24
+    extractor = SequenceExtractor(max_sequences=2, merge_servers=True, sequence_length=sequence_length)
+
+    print("Collecting two-sequence Wikipedia-like traces (TLS 1.2) for training...")
+    wiki = WikipediaLikeGenerator(n_pages=12, seed=31).generate()
+    wiki_dataset = collect_dataset(wiki, extractor, visits_per_page=15, seed=4)
+    wiki_reference, wiki_test = reference_test_split(wiki_dataset, 0.85, seed=0)
+
+    fingerprinter = AdaptiveFingerprinter(
+        n_sequences=2,
+        sequence_length=sequence_length,
+        hyperparameters=ci_hyperparameters(),
+        training_config=TrainingConfig(epochs=8, pairs_per_epoch=1200, seed=0),
+        classifier_config=ClassifierConfig(k=10),
+        extractor=extractor,
+        seed=0,
+    )
+    fingerprinter.provision(wiki_reference)
+
+    print("Collecting Github-like traces (TLS 1.3, load-balanced CDN pools)...")
+    github = GithubLikeGenerator(n_pages=12, seed=32).generate()
+    github_dataset = collect_dataset(github, extractor, visits_per_page=15, seed=5)
+    github_reference, github_test = reference_test_split(github_dataset, 0.85, seed=1)
+
+    results = {}
+    fingerprinter.initialize(wiki_reference)
+    results["Wikipedia-like (same site, TLS 1.2)"] = fingerprinter.evaluate(
+        wiki_test, ns=(1, 3, 10)
+    ).topn_accuracy
+    fingerprinter.initialize(github_reference)
+    results["Github-like (transfer, TLS 1.3)"] = fingerprinter.evaluate(
+        github_test, ns=(1, 3, 10)
+    ).topn_accuracy
+
+    print()
+    print(format_accuracy_table(results, ns=(1, 3, 10), title="Figure 8 — transfer across websites and TLS versions"))
+    print(
+        "\nThe model performs best on the website and protocol version it was "
+        "trained on, but a useful fraction of its accuracy survives the "
+        "transfer — the leakage the attack exploits is not version-specific."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Countermeasure evaluation: how much protection does padding buy, at what cost?
+
+The script evaluates the adaptive adversary against an undefended target
+set and against three defences — fixed-length padding (the paper's main
+countermeasure), anonymity-set padding (the per-website policy Section VII
+proposes) and random padding (known-weak) — reporting the accuracy drop and
+the bandwidth overhead of each.
+
+Run with::
+
+    python examples/padding_defence_evaluation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ClassifierConfig, TrainingConfig
+from repro.core import AdaptiveFingerprinter
+from repro.defences import (
+    AnonymitySetPadding,
+    FixedLengthPadding,
+    RandomPaddingDefence,
+    bandwidth_overhead,
+)
+from repro.experiments import ci_hyperparameters
+from repro.metrics.reports import format_table
+from repro.traces import SequenceExtractor, collect_dataset, reference_test_split
+from repro.web import WikipediaLikeGenerator
+
+
+def main() -> None:
+    extractor = SequenceExtractor(max_sequences=3, sequence_length=24)
+    website = WikipediaLikeGenerator(n_pages=15, seed=5).generate()
+    dataset = collect_dataset(website, extractor, visits_per_page=15, seed=2)
+    reference, test = reference_test_split(dataset, 0.85, seed=0)
+
+    fingerprinter = AdaptiveFingerprinter(
+        n_sequences=3,
+        sequence_length=24,
+        hyperparameters=ci_hyperparameters(),
+        training_config=TrainingConfig(epochs=8, pairs_per_epoch=1200, seed=0),
+        classifier_config=ClassifierConfig(k=10),
+        extractor=extractor,
+        seed=0,
+    )
+    print("Provisioning the adversary...")
+    fingerprinter.provision(reference)
+    fingerprinter.initialize(reference)
+    baseline = fingerprinter.evaluate(test, ns=(1, 3, 10)).topn_accuracy
+    print("Undefended accuracy:", {n: round(a, 3) for n, a in baseline.items()})
+
+    defences = [
+        FixedLengthPadding(per_sequence=True),
+        AnonymitySetPadding(set_size=5),
+        RandomPaddingDefence(max_fraction=0.3),
+    ]
+    rows = []
+    for defence in defences:
+        padded_reference = defence.apply(reference, log_scaled=True, seed=1)
+        padded_test = defence.apply(test, log_scaled=True, seed=2)
+        fingerprinter.initialize(padded_reference)
+        padded_accuracy = fingerprinter.evaluate(padded_test, ns=(1, 3, 10)).topn_accuracy
+        overhead = bandwidth_overhead(test, padded_test, log_scaled=True)
+        rows.append([
+            defence.name,
+            f"{baseline[1]:.3f} -> {padded_accuracy[1]:.3f}",
+            f"{baseline[10]:.3f} -> {padded_accuracy[10]:.3f}",
+            f"{overhead:.1%}",
+        ])
+
+    print()
+    print(format_table(["defence", "top-1 accuracy", "top-10 accuracy", "bandwidth overhead"], rows,
+                       title="Protection vs. cost"))
+    print("\nFixed-length padding gives the strongest protection but at the highest "
+          "bandwidth cost; anonymity sets trade a little protection for a much "
+          "smaller overhead; random padding is cheap and weak.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""User-journey decoding with the link-graph HMM (Miller et al. baseline).
+
+Single page loads are classified independently by the adaptive
+fingerprinter; when the victim browses several pages in a row, the
+website's hyperlink structure constrains which pages can follow which.
+This example feeds the per-load prediction scores into the hidden Markov
+model over the site's link graph (the Miller et al. technique the paper
+compares against) and shows the journey-level accuracy boost.
+
+Run with::
+
+    python examples/user_journey_hmm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import UserJourneyHMM
+from repro.config import ClassifierConfig, TrainingConfig
+from repro.core import AdaptiveFingerprinter
+from repro.experiments import ci_hyperparameters
+from repro.traces import SequenceExtractor, collect_dataset, reference_test_split
+from repro.web import Crawler, WikipediaLikeGenerator
+
+
+def emission_scores(fingerprinter, hmm, traces):
+    """Per-load scores over the HMM's states from the k-NN vote counts."""
+    scores = np.full((len(traces), len(hmm.states)), 1e-3)
+    for row, trace in enumerate(traces):
+        prediction = fingerprinter.fingerprint(trace)
+        for label, score in zip(prediction.ranked_labels, prediction.scores):
+            if label in hmm.states:
+                scores[row, hmm.states.index(label)] += score
+    return scores
+
+
+def main() -> None:
+    extractor = SequenceExtractor(max_sequences=3, sequence_length=24)
+    website = WikipediaLikeGenerator(n_pages=12, seed=77).generate()
+    dataset = collect_dataset(website, extractor, visits_per_page=15, seed=6)
+    reference, _ = reference_test_split(dataset, 0.85, seed=0)
+
+    fingerprinter = AdaptiveFingerprinter(
+        n_sequences=3,
+        sequence_length=24,
+        hyperparameters=ci_hyperparameters(),
+        training_config=TrainingConfig(epochs=8, pairs_per_epoch=1200, seed=0),
+        classifier_config=ClassifierConfig(k=10),
+        extractor=extractor,
+        seed=0,
+    )
+    print("Provisioning the per-page classifier...")
+    fingerprinter.provision(reference)
+    fingerprinter.initialize(reference)
+
+    hmm = UserJourneyHMM(website, self_transition=0.05)
+    crawler = Crawler(seed=1234)
+    rng = np.random.default_rng(3)
+
+    journeys = 6
+    journey_length = 8
+    independent_hits = hmm_hits = total = 0
+    for journey_index in range(journeys):
+        journey = hmm.sample_journey(journey_length, rng)
+        traces = []
+        for step, page_id in enumerate(journey):
+            labeled = crawler.crawl_single(website, page_id, visit=journey_index * 100 + step)
+            traces.append(extractor.extract(labeled.capture, label=page_id, website=website.name))
+        scores = emission_scores(fingerprinter, hmm, traces)
+        independent = [hmm.states[int(np.argmax(row))] for row in scores]
+        decoded = hmm.decode(scores)
+        independent_hits += sum(p == a for p, a in zip(independent, journey))
+        hmm_hits += sum(p == a for p, a in zip(decoded, journey))
+        total += journey_length
+
+    print(f"\nJourneys simulated              : {journeys} x {journey_length} page loads")
+    print(f"Per-load classification accuracy: {independent_hits / total:.2f}")
+    print(f"HMM journey-decoding accuracy   : {hmm_hits / total:.2f}")
+    print("\nThe link-graph prior lets the adversary correct isolated per-load "
+          "mistakes, as Miller et al. observed for HTTPS traffic analysis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Scalability sweep: accuracy vs. number of monitored webpages.
+
+Reproduces the shape of the paper's Experiment 1 (Figure 6) at a laptop
+scale: the same trained model classifies page loads from target sets of
+increasing size, and the printed table shows how top-n accuracy degrades
+gracefully while top-10/top-20 adversaries stay close to ceiling.
+
+Run with::
+
+    python examples/wikipedia_scale_sweep.py [--scale smoke|ci]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ExperimentContext, run_experiment1, run_experiment2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "ci"], help="experiment scale")
+    arguments = parser.parse_args()
+
+    print(f"Building the {arguments.scale}-scale experiment context (datasets + model)...")
+    context = ExperimentContext.build(arguments.scale)
+    print(context.wiki_split.summary())
+    print()
+
+    result = run_experiment1(context, ns=(1, 3, 5, 10, 20))
+    print(result.as_table())
+    print()
+
+    unseen = run_experiment2(context, ns=(1, 3, 5, 10, 20))
+    print(unseen.as_table())
+    print()
+    print(unseen.table2_as_table())
+    print()
+    print(
+        "Sub-linear growth of n with the number of classes:",
+        "confirmed" if unseen.sublinear() else "not confirmed at this scale",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — reproduction of "Adaptive Webpage Fingerprinting from TLS Traces".
+
+The package is organised as a set of substrates (``nn``, ``net``, ``tls``,
+``web``, ``traces``) underneath the paper's primary contribution in
+``core`` (the adaptive fingerprinting pipeline), plus ``defences``,
+``baselines``, ``costs``, ``metrics`` and ``experiments``.
+
+The most convenient entry point for users is
+:class:`repro.core.fingerprinter.AdaptiveFingerprinter`; see
+``examples/quickstart.py`` for a end-to-end walk-through.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

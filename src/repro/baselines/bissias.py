@@ -1,0 +1,67 @@
+"""Bissias et al. (PET 2005): similarity-profile traffic classification.
+
+The earliest of the compared systems: each class is represented by an
+averaged profile of its traces and unknown traces are matched to the class
+whose profile they correlate with best.  Low complexity, no retraining —
+but, as Table III notes, its accuracy on moderate and large class sets has
+never been demonstrated; the reproduction makes that comparison measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.traces.dataset import TraceDataset
+
+
+class CrossCorrelationAttack:
+    """Classify traces by correlation against per-class mean profiles."""
+
+    def __init__(self) -> None:
+        self._profiles: Optional[np.ndarray] = None
+        self._class_names: List[str] = []
+
+    def fit(self, dataset: TraceDataset) -> "CrossCorrelationAttack":
+        profiles = np.zeros((dataset.n_classes, dataset.n_sequences * dataset.sequence_length))
+        flattened = dataset.data.reshape(len(dataset), -1)
+        for class_id in range(dataset.n_classes):
+            mask = dataset.labels == class_id
+            if mask.any():
+                profiles[class_id] = flattened[mask].mean(axis=0)
+        self._profiles = profiles
+        self._class_names = list(dataset.class_names)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._profiles is not None
+
+    def rank_labels(self, dataset: TraceDataset) -> List[List[str]]:
+        if not self.fitted:
+            raise RuntimeError("attack has not been fitted")
+        flattened = dataset.data.reshape(len(dataset), -1)
+        rankings: List[List[str]] = []
+        for row in flattened:
+            scores = self._correlations(row)
+            order = np.argsort(-scores, kind="stable")
+            rankings.append([self._class_names[i] for i in order])
+        return rankings
+
+    def _correlations(self, row: np.ndarray) -> np.ndarray:
+        profiles = self._profiles
+        row_centered = row - row.mean()
+        profiles_centered = profiles - profiles.mean(axis=1, keepdims=True)
+        numerator = profiles_centered @ row_centered
+        denominator = np.linalg.norm(profiles_centered, axis=1) * np.linalg.norm(row_centered)
+        denominator = np.where(denominator == 0, 1.0, denominator)
+        return numerator / denominator
+
+    def topn_accuracy(self, dataset: TraceDataset, ns: Sequence[int] = (1, 3, 5, 10)) -> Dict[int, float]:
+        rankings = self.rank_labels(dataset)
+        true_names = [dataset.label_name(label) for label in dataset.labels]
+        return {
+            int(n): sum(1 for ranked, name in zip(rankings, true_names) if name in ranked[:n]) / len(true_names)
+            for n in ns
+        }

@@ -1,0 +1,75 @@
+"""Hand-crafted trace features for the classical attacks.
+
+k-fingerprinting and the other pre-deep-learning attacks operate on
+engineered summary statistics of a trace rather than on the raw sequences.
+The feature set below covers the families those papers use: volume totals,
+burst statistics, ordering features and inter-sequence ratios, computed per
+IP sequence and over the whole trace.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.traces.dataset import TraceDataset
+
+
+def feature_names(n_sequences: int) -> List[str]:
+    """Names of the features produced by :func:`handcrafted_features`."""
+    per_sequence = [
+        "total_bytes",
+        "n_bursts",
+        "mean_burst",
+        "std_burst",
+        "max_burst",
+        "first_burst",
+        "last_burst",
+        "first_active_position",
+        "last_active_position",
+    ]
+    names = []
+    for sequence_index in range(n_sequences):
+        names.extend(f"seq{sequence_index}_{name}" for name in per_sequence)
+    names.extend(["trace_total_bytes", "incoming_outgoing_ratio", "active_fraction"])
+    return names
+
+
+def handcrafted_features(dataset: TraceDataset, *, log_scaled: bool = True) -> np.ndarray:
+    """Feature matrix of shape ``(n_traces, n_features)`` for a dataset."""
+    data = np.expm1(dataset.data) if log_scaled else dataset.data
+    n_traces, n_sequences, _ = data.shape
+    features = np.zeros((n_traces, len(feature_names(n_sequences))))
+    for trace_index in range(n_traces):
+        features[trace_index] = _trace_features(data[trace_index])
+    return features
+
+
+def _trace_features(trace: np.ndarray) -> np.ndarray:
+    n_sequences, length = trace.shape
+    columns: List[float] = []
+    for sequence in trace:
+        active = np.flatnonzero(sequence > 0)
+        bursts = sequence[active]
+        if bursts.size == 0:
+            columns.extend([0.0] * 9)
+            continue
+        columns.extend([
+            float(bursts.sum()),
+            float(bursts.size),
+            float(bursts.mean()),
+            float(bursts.std()),
+            float(bursts.max()),
+            float(bursts[0]),
+            float(bursts[-1]),
+            float(active[0]),
+            float(active[-1]),
+        ])
+    total = float(trace.sum())
+    outgoing = float(trace[0].sum())
+    incoming = float(trace[1:].sum()) if n_sequences > 1 else 0.0
+    ratio = incoming / outgoing if outgoing > 0 else 0.0
+    active_fraction = float((trace > 0).mean())
+    columns.extend([total, ratio, active_fraction])
+    return np.array(columns)

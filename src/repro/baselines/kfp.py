@@ -1,0 +1,109 @@
+"""k-fingerprinting (Hayes & Danezis, USENIX Security 2016).
+
+The attack extracts hand-crafted features, trains a random forest, and then
+uses the vector of leaf indices each trace lands in as its *fingerprint*:
+unknown traces are classified by k-NN over the Hamming distance between
+leaf vectors.  It is a class-coupled design — adding or changing monitored
+pages requires refitting the forest — which is exactly the operational-cost
+contrast Table III draws against the embedding-based approach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.features import handcrafted_features
+from repro.baselines.random_forest import RandomForest
+from repro.traces.dataset import TraceDataset
+
+
+class KFingerprintingAttack:
+    """The k-fingerprinting webpage/website fingerprinting attack."""
+
+    def __init__(
+        self,
+        n_trees: int = 40,
+        max_depth: int = 12,
+        k_neighbours: int = 5,
+        seed: int = 0,
+        log_scaled: bool = True,
+    ) -> None:
+        if k_neighbours <= 0:
+            raise ValueError("k_neighbours must be positive")
+        self.forest = RandomForest(n_trees=n_trees, max_depth=max_depth, seed=seed)
+        self.k_neighbours = int(k_neighbours)
+        self.log_scaled = bool(log_scaled)
+        self._reference_leaves: Optional[np.ndarray] = None
+        self._reference_labels: Optional[np.ndarray] = None
+        self._class_names: List[str] = []
+
+    # ----------------------------------------------------------------- train
+    def fit(self, dataset: TraceDataset) -> "KFingerprintingAttack":
+        """Train the forest and build the leaf-vector reference corpus."""
+        features = handcrafted_features(dataset, log_scaled=self.log_scaled)
+        self.forest.fit(features, dataset.labels)
+        self._reference_leaves = self.forest.apply(features)
+        self._reference_labels = dataset.labels.copy()
+        self._class_names = list(dataset.class_names)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._reference_leaves is not None
+
+    def refresh_reference(self, dataset: TraceDataset) -> None:
+        """Replace the leaf-vector reference corpus without refitting the forest.
+
+        This is k-fingerprinting's cheap update path: after the initial
+        calibration the forest stays fixed and only the reference
+        fingerprints are recomputed from freshly collected traces.  Classes
+        present in ``dataset`` replace their old reference vectors.
+        """
+        if not self.fitted:
+            raise RuntimeError("attack has not been fitted")
+        features = handcrafted_features(dataset, log_scaled=self.log_scaled)
+        new_leaves = self.forest.apply(features)
+        new_labels = np.array(
+            [self._class_names.index(dataset.label_name(label)) for label in dataset.labels], dtype=np.int64
+        )
+        refreshed_classes = set(int(l) for l in new_labels)
+        keep = np.array([int(l) not in refreshed_classes for l in self._reference_labels], dtype=bool)
+        self._reference_leaves = np.concatenate([self._reference_leaves[keep], new_leaves])
+        self._reference_labels = np.concatenate([self._reference_labels[keep], new_labels])
+
+    # --------------------------------------------------------------- predict
+    def rank_labels(self, dataset: TraceDataset) -> List[List[str]]:
+        """Ranked candidate labels for every trace of ``dataset``."""
+        if not self.fitted:
+            raise RuntimeError("attack has not been fitted")
+        features = handcrafted_features(dataset, log_scaled=self.log_scaled)
+        leaves = self.forest.apply(features)
+        rankings: List[List[str]] = []
+        for row in leaves:
+            # Hamming similarity against the reference leaf vectors.
+            matches = (self._reference_leaves == row[None, :]).sum(axis=1)
+            order = np.argsort(-matches, kind="stable")[: self.k_neighbours]
+            votes: Dict[int, float] = {}
+            for neighbour in order:
+                label = int(self._reference_labels[neighbour])
+                votes[label] = votes.get(label, 0.0) + float(matches[neighbour])
+            ranked_ids = sorted(votes, key=lambda label: -votes[label])
+            # Fall back to forest probabilities for labels outside the k-NN vote.
+            rankings.append([self._class_names[label] for label in ranked_ids])
+        return rankings
+
+    def topn_accuracy(self, dataset: TraceDataset, ns: Sequence[int] = (1, 3, 5, 10)) -> Dict[int, float]:
+        """Top-n accuracy against a labelled test set.
+
+        The test dataset must use the same class-name space as the training
+        dataset (unknown names simply never match, scoring zero).
+        """
+        rankings = self.rank_labels(dataset)
+        true_names = [dataset.label_name(label) for label in dataset.labels]
+        results: Dict[int, float] = {}
+        for n in ns:
+            hits = sum(1 for ranked, name in zip(rankings, true_names) if name in ranked[:n])
+            results[int(n)] = hits / len(true_names)
+        return results

@@ -1,0 +1,215 @@
+"""A from-scratch random forest (CART trees, Gini impurity).
+
+k-fingerprinting builds on a random forest; with no scikit-learn available
+offline the forest is implemented here.  The implementation favours clarity
+over raw speed but is vectorised enough to handle the reproduction's
+dataset sizes comfortably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One node of a decision tree (leaf when ``feature`` is None)."""
+
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    class_counts: Optional[np.ndarray] = None
+    leaf_id: int = -1
+
+
+class DecisionTree:
+    """A CART classification tree with Gini-impurity splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        if min_samples_leaf <= 0:
+            raise ValueError("min_samples_leaf must be positive")
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self._n_classes = 0
+        self.n_leaves = 0
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError("features must be (n, d) aligned with labels")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_classes = int(labels.max()) + 1
+        self.n_leaves = 0
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        counts = np.bincount(labels, minlength=self._n_classes).astype(np.float64)
+        node = _Node(class_counts=counts)
+        if (
+            depth >= self.max_depth
+            or labels.shape[0] < 2 * self.min_samples_leaf
+            or np.count_nonzero(counts) <= 1
+        ):
+            node.leaf_id = self.n_leaves
+            self.n_leaves += 1
+            return node
+
+        split = self._best_split(features, labels)
+        if split is None:
+            node.leaf_id = self.n_leaves
+            self.n_leaves += 1
+            return node
+
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.class_counts = None
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray, labels: np.ndarray) -> Optional[Tuple[int, float]]:
+        n_samples, n_features = features.shape
+        k = self.max_features or n_features
+        k = min(k, n_features)
+        candidate_features = self._rng.choice(n_features, size=k, replace=False)
+        best_gini = np.inf
+        best: Optional[Tuple[int, float]] = None
+        for feature in candidate_features:
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_column = column[order]
+            sorted_labels = labels[order]
+            # candidate thresholds: midpoints between distinct consecutive values
+            distinct = np.flatnonzero(np.diff(sorted_column) > 1e-12)
+            if distinct.size == 0:
+                continue
+            one_hot = np.zeros((n_samples, self._n_classes))
+            one_hot[np.arange(n_samples), sorted_labels] = 1.0
+            left_counts = np.cumsum(one_hot, axis=0)
+            total_counts = left_counts[-1]
+            for cut in distinct:
+                n_left = cut + 1
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left = left_counts[cut]
+                right = total_counts - left
+                gini_left = 1.0 - np.sum((left / n_left) ** 2)
+                gini_right = 1.0 - np.sum((right / n_right) ** 2)
+                weighted = (n_left * gini_left + n_right * gini_right) / n_samples
+                if weighted < best_gini - 1e-12:
+                    best_gini = weighted
+                    threshold = (sorted_column[cut] + sorted_column[cut + 1]) / 2.0
+                    best = (int(feature), float(threshold))
+        return best
+
+    # --------------------------------------------------------------- predict
+    def _leaf_for(self, row: np.ndarray) -> _Node:
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        node = self._root
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        probabilities = np.zeros((features.shape[0], self._n_classes))
+        for index, row in enumerate(features):
+            counts = self._leaf_for(row).class_counts
+            probabilities[index] = counts / counts.sum()
+        return probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def apply(self, features: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each sample (used by k-fingerprinting)."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.array([self._leaf_for(row).leaf_id for row in features], dtype=np.int64)
+
+
+class RandomForest:
+    """Bagged ensemble of :class:`DecisionTree` with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_trees <= 0:
+            raise ValueError("n_trees must be positive")
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self.trees: List[DecisionTree] = []
+        self._n_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must be aligned")
+        rng = np.random.default_rng(self.seed)
+        self._n_classes = int(labels.max()) + 1
+        n_samples, n_features = features.shape
+        max_features = self.max_features or max(1, int(np.sqrt(n_features)))
+        self.trees = []
+        for _ in range(self.n_trees):
+            bootstrap = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("forest has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        probabilities = np.zeros((features.shape[0], self._n_classes))
+        for tree in self.trees:
+            tree_probabilities = tree.predict_proba(features)
+            # Trees may have seen fewer classes in their bootstrap sample.
+            probabilities[:, : tree_probabilities.shape[1]] += tree_probabilities
+        return probabilities / len(self.trees)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+    def apply(self, features: np.ndarray) -> np.ndarray:
+        """Leaf-index fingerprint of each sample: shape ``(n, n_trees)``."""
+        if not self.trees:
+            raise RuntimeError("forest has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.stack([tree.apply(features) for tree in self.trees], axis=1)

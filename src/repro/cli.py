@@ -1,0 +1,156 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro info                     # package / scale overview
+    python -m repro experiment exp1 --scale smoke
+    python -m repro experiment all  --scale ci
+    python -m repro table3 --no-measure
+
+The ``experiment`` subcommand builds the shared
+:class:`~repro.experiments.setup.ExperimentContext` once and runs the
+requested experiment(s), printing the same tables the benchmark harness
+regenerates and (optionally) writing them to an output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro import __version__
+from repro.config import SCALES, get_scale
+from repro.costs.catalogue import table_iii_rows
+from repro.metrics.reports import format_table
+
+EXPERIMENT_NAMES = ("exp1", "exp2", "exp3", "exp4", "exp5", "table3")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adaptive Webpage Fingerprinting from TLS Traces' (DSN 2023)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("info", help="show package, scale and experiment inventory")
+
+    experiment = subparsers.add_parser("experiment", help="run one or all experiments")
+    experiment.add_argument(
+        "name", choices=EXPERIMENT_NAMES + ("all",), help="experiment to run (or 'all')"
+    )
+    experiment.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="experiment scale")
+    experiment.add_argument(
+        "--output-dir", type=Path, default=None, help="write the regenerated tables to this directory"
+    )
+
+    table3 = subparsers.add_parser("table3", help="print the Table III cost catalogue")
+    table3.add_argument("--no-measure", action="store_true", help="catalogue only, skip measured timings")
+    table3.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="scale for measured timings")
+    return parser
+
+
+def _info() -> str:
+    lines = [f"repro {__version__} — adaptive webpage fingerprinting reproduction", ""]
+    scale_rows = [
+        [name, scale.train_classes, "/".join(str(c) for c in scale.exp1_class_counts),
+         "/".join(str(c) for c in scale.exp2_class_counts), scale.samples_per_class]
+        for name, scale in sorted(SCALES.items())
+    ]
+    lines.append(
+        format_table(
+            ["scale", "train classes", "exp1 sweep", "exp2 sweep", "samples/class"],
+            scale_rows,
+            title="Available experiment scales",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["id", "reproduces", "module"],
+            [
+                ["exp1", "Figure 6 (static classification)", "repro.experiments.exp1_static"],
+                ["exp2", "Figure 7 + Table II (unseen classes)", "repro.experiments.exp2_adaptability"],
+                ["exp3", "Figure 8 (cross-website transfer)", "repro.experiments.exp3_transfer"],
+                ["exp4", "Figures 9-11 (per-class CDFs)", "repro.experiments.exp4_distinguishability"],
+                ["exp5", "Figures 12-13 (FL padding)", "repro.experiments.exp5_padding"],
+                ["table3", "Table III (operational costs)", "repro.experiments.table3"],
+            ],
+            title="Experiments",
+        )
+    )
+    return "\n".join(lines)
+
+
+def _run_experiments(name: str, scale_name: str, output_dir: Optional[Path]) -> List[str]:
+    # Imported lazily so `repro info` stays instant.
+    from repro.experiments import (
+        ExperimentContext,
+        run_experiment1,
+        run_experiment2,
+        run_experiment3,
+        run_experiment4,
+        run_experiment5,
+        run_table3,
+    )
+
+    context = ExperimentContext.build(get_scale(scale_name))
+    runners: Dict[str, Callable[[], List[str]]] = {
+        "exp1": lambda: [run_experiment1(context).as_table()],
+        "exp2": lambda: (lambda r: [r.as_table(), r.table2_as_table()])(run_experiment2(context)),
+        "exp3": lambda: [run_experiment3(context).as_table()],
+        "exp4": lambda: [run_experiment4(context).as_table()],
+        "exp5": lambda: (lambda r: [r.as_table(), r.overhead_table()])(run_experiment5(context)),
+        "table3": lambda: (lambda r: [r.as_table(), r.measured_as_table()])(run_table3(context)),
+    }
+    selected = EXPERIMENT_NAMES if name == "all" else (name,)
+    outputs: List[str] = [f"scale: {scale_name}", context.wiki_split.summary()]
+    for key in selected:
+        tables = runners[key]()
+        outputs.extend(tables)
+        if output_dir is not None:
+            output_dir.mkdir(parents=True, exist_ok=True)
+            (output_dir / f"{key}.txt").write_text("\n\n".join(tables) + "\n")
+    return outputs
+
+
+def _table3(no_measure: bool, scale_name: str) -> List[str]:
+    if no_measure:
+        rows = table_iii_rows()
+        headers = list(rows[0].keys())
+        return [format_table(headers, [[row[h] for h in headers] for row in rows], title="Table III (catalogue)")]
+    from repro.experiments import ExperimentContext, run_table3
+
+    context = ExperimentContext.build(get_scale(scale_name))
+    result = run_table3(context)
+    return [result.as_table(), result.measured_as_table()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command is None:
+        parser.print_help()
+        return 1
+    if arguments.command == "info":
+        print(_info())
+        return 0
+    if arguments.command == "experiment":
+        for block in _run_experiments(arguments.name, arguments.scale, arguments.output_dir):
+            print(block)
+            print()
+        return 0
+    if arguments.command == "table3":
+        for block in _table3(arguments.no_measure, arguments.scale):
+            print(block)
+            print()
+        return 0
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

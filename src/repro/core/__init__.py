@@ -1,0 +1,45 @@
+"""The paper's primary contribution: adaptive webpage fingerprinting.
+
+The pipeline has three processes (Section IV):
+
+* **Provisioning** — train the class-agnostic embedding model once, on
+  pairs of traces labelled only "same page" / "different page"
+  (:class:`~repro.core.trainer.ContrastiveTrainer`).
+* **Fingerprinting** — embed the reference corpus and the captured trace,
+  classify by proximity (:class:`~repro.core.classifier.KNNClassifier` over
+  a :class:`~repro.core.reference_store.ReferenceStore`).
+* **Adaptation** — keep the reference corpus up to date with changed pages
+  without retraining the model (:class:`~repro.core.adaptation.AdaptationPolicy`).
+
+:class:`~repro.core.fingerprinter.AdaptiveFingerprinter` is the facade that
+ties the three together.
+"""
+
+from repro.core.embedding import EmbeddingModel
+from repro.core.pairs import PairGenerator, random_pairs, hard_negative_pairs
+from repro.core.trainer import ContrastiveTrainer, TrainingHistory
+from repro.core.reference_store import ReferenceStore
+from repro.core.classifier import KNNClassifier, Prediction
+from repro.core.fingerprinter import AdaptiveFingerprinter
+from repro.core.adaptation import AdaptationPolicy, AdaptationReport
+from repro.core.openworld import OpenWorldDetector, OpenWorldResult
+from repro.core.deployment import save_deployment, load_deployment
+
+__all__ = [
+    "OpenWorldDetector",
+    "OpenWorldResult",
+    "save_deployment",
+    "load_deployment",
+    "EmbeddingModel",
+    "PairGenerator",
+    "random_pairs",
+    "hard_negative_pairs",
+    "ContrastiveTrainer",
+    "TrainingHistory",
+    "ReferenceStore",
+    "KNNClassifier",
+    "Prediction",
+    "AdaptiveFingerprinter",
+    "AdaptationPolicy",
+    "AdaptationReport",
+]

@@ -1,0 +1,129 @@
+"""Proximity-based classification of embeddings (Section IV-B.2).
+
+The classifier attributes an unlabelled embedding to webpages by looking at
+the labelled reference points in its neighbourhood: the k nearest
+references vote, and the ranked vote counts give the top-n prediction list
+the evaluation uses.  The paper uses k = 250 with Euclidean distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.config import ClassifierConfig
+from repro.core.reference_store import ReferenceStore
+
+
+@dataclass
+class Prediction:
+    """The ranked label list produced for one classified trace."""
+
+    ranked_labels: List[str]
+    scores: List[float]
+
+    def top(self, n: int = 1) -> List[str]:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.ranked_labels[:n]
+
+    def contains(self, label: str, n: int) -> bool:
+        """Whether ``label`` appears within the top ``n`` predictions."""
+        return label in self.ranked_labels[:n]
+
+    @property
+    def best(self) -> str:
+        return self.ranked_labels[0]
+
+
+class KNNClassifier:
+    """k-nearest-neighbour classification against a reference store."""
+
+    def __init__(self, reference_store: ReferenceStore, config: Optional[ClassifierConfig] = None) -> None:
+        self.store = reference_store
+        self.config = config if config is not None else ClassifierConfig()
+        if self.config.k <= 0:
+            raise ValueError("k must be positive")
+        if self.config.distance_metric not in ("euclidean", "cosine", "cityblock"):
+            raise ValueError(f"unsupported distance metric {self.config.distance_metric!r}")
+        if self.config.weighting not in ("uniform", "distance"):
+            raise ValueError(f"unsupported weighting {self.config.weighting!r}")
+
+    # ----------------------------------------------------------------- predict
+    def predict(self, embeddings: np.ndarray) -> List[Prediction]:
+        """Rank candidate labels for each query embedding."""
+        if len(self.store) == 0:
+            raise RuntimeError("the reference store is empty; initialize it before classifying")
+        queries = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        if queries.shape[1] != self.store.embedding_dim:
+            raise ValueError(
+                f"query embeddings have dimension {queries.shape[1]}, "
+                f"store holds dimension {self.store.embedding_dim}"
+            )
+        k = min(self.config.k, len(self.store))
+        distances = cdist(queries, self.store.embeddings, metric=self.config.distance_metric)
+        labels = self.store.labels
+        predictions: List[Prediction] = []
+        for row in range(queries.shape[0]):
+            neighbour_order = np.argsort(distances[row], kind="stable")[:k]
+            votes: Dict[str, float] = {}
+            for neighbour in neighbour_order:
+                label = str(labels[neighbour])
+                if self.config.weighting == "distance":
+                    weight = 1.0 / (distances[row, neighbour] + 1e-9)
+                else:
+                    weight = 1.0
+                votes[label] = votes.get(label, 0.0) + weight
+            # Rank by votes (descending), tie-break by the distance of the
+            # closest reference of that label so rankings are deterministic.
+            closest: Dict[str, float] = {}
+            for neighbour in neighbour_order:
+                label = str(labels[neighbour])
+                closest.setdefault(label, float(distances[row, neighbour]))
+            ranked = sorted(votes, key=lambda label: (-votes[label], closest[label], label))
+            predictions.append(Prediction(ranked_labels=ranked, scores=[votes[l] for l in ranked]))
+        return predictions
+
+    def predict_one(self, embedding: np.ndarray) -> Prediction:
+        return self.predict(np.atleast_2d(embedding))[0]
+
+    # ---------------------------------------------------------------- evaluate
+    def topn_accuracy(
+        self,
+        embeddings: np.ndarray,
+        true_labels: Sequence[str],
+        ns: Sequence[int] = (1, 3, 5, 10, 20),
+    ) -> Dict[int, float]:
+        """Top-n accuracy of the classifier over a labelled query set."""
+        true_labels = [str(label) for label in true_labels]
+        predictions = self.predict(embeddings)
+        if len(predictions) != len(true_labels):
+            raise ValueError("number of embeddings and labels differ")
+        results: Dict[int, float] = {}
+        for n in ns:
+            hits = sum(
+                1 for prediction, label in zip(predictions, true_labels) if prediction.contains(label, n)
+            )
+            results[int(n)] = hits / len(true_labels)
+        return results
+
+    def guesses_needed(self, embeddings: np.ndarray, true_labels: Sequence[str]) -> np.ndarray:
+        """Rank position of the true label for each query (1 = first guess).
+
+        Labels that never appear in the ranking are assigned one more than
+        the number of ranked candidates, matching the "adversary exhausted
+        their guesses" interpretation used for the per-class CDFs
+        (Figures 9-11).
+        """
+        true_labels = [str(label) for label in true_labels]
+        predictions = self.predict(embeddings)
+        positions = np.empty(len(predictions), dtype=np.float64)
+        for index, (prediction, label) in enumerate(zip(predictions, true_labels)):
+            if label in prediction.ranked_labels:
+                positions[index] = prediction.ranked_labels.index(label) + 1
+            else:
+                positions[index] = len(prediction.ranked_labels) + 1
+        return positions

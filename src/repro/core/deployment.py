@@ -1,0 +1,97 @@
+"""Saving and restoring a complete fingerprinting deployment.
+
+The paper's adversary provisions once and then operates the deployment over
+a long period, so being able to persist the trained embedding model, the
+reference corpus and the configuration together — and restore them later on
+a different machine — is part of making the attack (and the research
+artefact) operationally real.  A deployment directory contains::
+
+    deployment/
+      config.json        architecture + classifier configuration
+      weights.npz        embedding-model parameters
+      references.npz     labelled reference embeddings
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.config import ClassifierConfig, EmbeddingHyperparameters
+from repro.core.fingerprinter import AdaptiveFingerprinter
+from repro.core.reference_store import ReferenceStore
+from repro.traces.sequences import SequenceExtractor
+
+PathLike = Union[str, os.PathLike]
+
+_CONFIG_FILE = "config.json"
+_WEIGHTS_FILE = "weights.npz"
+_REFERENCES_FILE = "references.npz"
+
+
+def save_deployment(fingerprinter: AdaptiveFingerprinter, directory: PathLike) -> Path:
+    """Persist a provisioned (and typically initialised) deployment."""
+    if not fingerprinter.provisioned:
+        raise RuntimeError("cannot save a deployment whose model was never provisioned")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    config = {
+        "hyperparameters": fingerprinter.model.hyperparameters.as_dict(),
+        "classifier": asdict(fingerprinter.classifier_config),
+        "extractor": {
+            "max_sequences": fingerprinter.extractor.max_sequences,
+            "sequence_length": fingerprinter.extractor.sequence_length,
+            "aggregate_consecutive": fingerprinter.extractor.aggregate_consecutive,
+            "quantization_step": fingerprinter.extractor.quantization_step,
+            "log_scale": fingerprinter.extractor.log_scale,
+            "merge_servers": fingerprinter.extractor.merge_servers,
+            "tail_aggregate": fingerprinter.extractor.tail_aggregate,
+        },
+        "seed": fingerprinter.model.seed,
+    }
+    (directory / _CONFIG_FILE).write_text(json.dumps(config, indent=2, sort_keys=True))
+    fingerprinter.model.save(directory / _WEIGHTS_FILE)
+    fingerprinter.reference_store.save(directory / _REFERENCES_FILE)
+    return directory
+
+
+def load_deployment(directory: PathLike) -> AdaptiveFingerprinter:
+    """Restore a deployment saved by :func:`save_deployment`.
+
+    The returned fingerprinter is marked as provisioned and, if the saved
+    reference corpus is non-empty, ready to fingerprint immediately.
+    """
+    directory = Path(directory)
+    config_path = directory / _CONFIG_FILE
+    if not config_path.exists():
+        raise FileNotFoundError(f"not a deployment directory (missing {_CONFIG_FILE}): {directory}")
+    config = json.loads(config_path.read_text())
+
+    hyperparameters = EmbeddingHyperparameters(
+        **{**config["hyperparameters"], "hidden_layer_sizes": tuple(config["hyperparameters"]["hidden_layer_sizes"])}
+    )
+    classifier_config = ClassifierConfig(**config["classifier"])
+    extractor = SequenceExtractor(**config["extractor"])
+
+    fingerprinter = AdaptiveFingerprinter(
+        n_sequences=extractor.max_sequences,
+        sequence_length=extractor.sequence_length,
+        hyperparameters=hyperparameters,
+        classifier_config=classifier_config,
+        extractor=extractor,
+        seed=int(config.get("seed", 0)),
+    )
+    fingerprinter.model.load(directory / _WEIGHTS_FILE)
+    fingerprinter.mark_provisioned()
+
+    references = ReferenceStore.load(directory / _REFERENCES_FILE)
+    if len(references):
+        fingerprinter.reference_store = references
+        from repro.core.classifier import KNNClassifier
+
+        fingerprinter._classifier = KNNClassifier(references, classifier_config)
+    return fingerprinter

@@ -1,0 +1,142 @@
+"""Pair generation for contrastive training (Section IV-A.2).
+
+Positive pairs are two traces of the same webpage, negative pairs are
+traces of different webpages.  Random sampling is the paper's baseline
+strategy; hard-negative and semi-hard-negative mining (FaceNet-style) are
+provided as the "more advanced techniques" the paper references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+
+def random_pairs(
+    labels: np.ndarray,
+    n_pairs: int,
+    positive_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample random (i, j, y) pairs from integer labels.
+
+    Returns index arrays ``left``, ``right`` and the similarity labels
+    ``y`` (1 for positive pairs, 0 for negative pairs).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if n_pairs <= 0:
+        raise ValueError("n_pairs must be positive")
+    if not 0.0 < positive_fraction < 1.0:
+        raise ValueError("positive_fraction must be in (0, 1)")
+    if labels.size < 2:
+        raise ValueError("need at least two samples to form pairs")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    by_class = {int(c): np.flatnonzero(labels == c) for c in np.unique(labels)}
+    multi_sample_classes = [c for c, idx in by_class.items() if len(idx) >= 2]
+    if not multi_sample_classes:
+        raise ValueError("no class has two or more samples; cannot form positive pairs")
+    classes = sorted(by_class)
+    if len(classes) < 2:
+        raise ValueError("need at least two classes to form negative pairs")
+
+    left = np.empty(n_pairs, dtype=np.int64)
+    right = np.empty(n_pairs, dtype=np.int64)
+    similarity = np.empty(n_pairs, dtype=np.float64)
+    n_positive = int(round(n_pairs * positive_fraction))
+
+    for k in range(n_pairs):
+        if k < n_positive:
+            cls = multi_sample_classes[int(rng.integers(0, len(multi_sample_classes)))]
+            i, j = rng.choice(by_class[cls], size=2, replace=False)
+            similarity[k] = 1.0
+        else:
+            cls_a, cls_b = rng.choice(classes, size=2, replace=False)
+            i = rng.choice(by_class[int(cls_a)])
+            j = rng.choice(by_class[int(cls_b)])
+            similarity[k] = 0.0
+        left[k], right[k] = int(i), int(j)
+
+    order = rng.permutation(n_pairs)
+    return left[order], right[order], similarity[order]
+
+
+def hard_negative_pairs(
+    labels: np.ndarray,
+    embeddings: np.ndarray,
+    n_pairs: int,
+    positive_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    semi_hard_margin: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mine negatives that are currently *close* in embedding space.
+
+    For each sampled anchor, the negative partner is the nearest sample of
+    a different class (hard negative) or — when ``semi_hard_margin > 0`` —
+    the nearest different-class sample that is still farther than the
+    anchor's nearest same-class sample plus the margin (semi-hard).
+    Positive pairs are sampled randomly, as in :func:`random_pairs`.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.shape[0] != labels.shape[0]:
+        raise ValueError("embeddings and labels must be aligned")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    left_r, right_r, sim_r = random_pairs(labels, n_pairs, positive_fraction, rng)
+    negatives = np.flatnonzero(sim_r == 0.0)
+    if negatives.size == 0:
+        return left_r, right_r, sim_r
+
+    distances = cdist(embeddings, embeddings, metric="euclidean")
+    same_class = labels[:, None] == labels[None, :]
+    for k in negatives:
+        anchor = int(left_r[k])
+        candidate_distances = distances[anchor].copy()
+        candidate_distances[same_class[anchor]] = np.inf
+        if semi_hard_margin > 0:
+            same = distances[anchor].copy()
+            same[~same_class[anchor]] = np.inf
+            same[anchor] = np.inf
+            nearest_positive = float(np.min(same)) if np.isfinite(same).any() else 0.0
+            too_close = candidate_distances < nearest_positive + semi_hard_margin
+            if not np.all(too_close | np.isinf(candidate_distances)):
+                candidate_distances[too_close] = np.inf
+        right_r[k] = int(np.argmin(candidate_distances))
+    return left_r, right_r, sim_r
+
+
+@dataclass
+class PairGenerator:
+    """Configurable pair-generation strategy."""
+
+    strategy: str = "random"
+    positive_fraction: float = 0.5
+    semi_hard_margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("random", "hard_negative", "semi_hard"):
+            raise ValueError(
+                f"unknown pair strategy {self.strategy!r}; "
+                "expected 'random', 'hard_negative' or 'semi_hard'"
+            )
+
+    def generate(
+        self,
+        labels: np.ndarray,
+        n_pairs: int,
+        rng: np.random.Generator,
+        embeddings: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generate pairs; mining strategies need current ``embeddings``."""
+        if self.strategy == "random" or embeddings is None:
+            return random_pairs(labels, n_pairs, self.positive_fraction, rng)
+        margin = self.semi_hard_margin if self.strategy == "semi_hard" else 0.0
+        if self.strategy == "semi_hard" and margin <= 0:
+            margin = 1.0
+        return hard_negative_pairs(
+            labels, embeddings, n_pairs, self.positive_fraction, rng, semi_hard_margin=margin
+        )

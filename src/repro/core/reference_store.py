@@ -1,0 +1,122 @@
+"""The corpus of labelled reference embeddings.
+
+The reference store is the component that makes the attack *adaptive*: to
+track a changed page or add a new one, the adversary only swaps or appends
+reference embeddings — the embedding model itself is never retrained
+(Section IV-C).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+class ReferenceStore:
+    """Labelled embedding vectors used as k-NN reference points."""
+
+    def __init__(self, embedding_dim: int) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        self.embedding_dim = int(embedding_dim)
+        self._embeddings: np.ndarray = np.empty((0, embedding_dim), dtype=np.float64)
+        self._labels: List[str] = []
+
+    # ------------------------------------------------------------------- state
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        return self._embeddings
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array(self._labels, dtype=object)
+
+    @property
+    def classes(self) -> List[str]:
+        """Distinct class labels in insertion order."""
+        return list(dict.fromkeys(self._labels))
+
+    @property
+    def n_classes(self) -> int:
+        return len(set(self._labels))
+
+    def class_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for label in self._labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    # --------------------------------------------------------------- mutation
+    def add(self, embeddings: np.ndarray, labels: Iterable[str]) -> None:
+        """Append reference embeddings with their class labels."""
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        labels = [str(label) for label in labels]
+        if embeddings.shape[0] != len(labels):
+            raise ValueError(
+                f"got {embeddings.shape[0]} embeddings but {len(labels)} labels"
+            )
+        if embeddings.shape[1] != self.embedding_dim:
+            raise ValueError(
+                f"embeddings have dimension {embeddings.shape[1]}, store expects {self.embedding_dim}"
+            )
+        if any(not label for label in labels):
+            raise ValueError("labels must be non-empty strings")
+        self._embeddings = np.concatenate([self._embeddings, embeddings], axis=0)
+        self._labels.extend(labels)
+
+    def remove_class(self, label: str) -> int:
+        """Drop every reference of ``label``; returns how many were removed."""
+        mask = np.array([l != label for l in self._labels], dtype=bool)
+        removed = int((~mask).sum())
+        if removed == 0:
+            raise KeyError(f"no references with label {label!r}")
+        self._embeddings = self._embeddings[mask]
+        self._labels = [l for l in self._labels if l != label]
+        return removed
+
+    def replace_class(self, label: str, embeddings: np.ndarray) -> None:
+        """Swap the references of one class (the paper's adaptation step)."""
+        if label in set(self._labels):
+            self.remove_class(label)
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        self.add(embeddings, [label] * embeddings.shape[0])
+
+    def class_embeddings(self, label: str) -> np.ndarray:
+        mask = np.array([l == label for l in self._labels], dtype=bool)
+        if not mask.any():
+            raise KeyError(f"no references with label {label!r}")
+        return self._embeddings[mask]
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            embeddings=self._embeddings,
+            labels=np.array(self._labels, dtype=object),
+            embedding_dim=np.array(self.embedding_dim),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ReferenceStore":
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"reference store archive not found: {path}")
+        with np.load(path, allow_pickle=True) as archive:
+            store = cls(int(archive["embedding_dim"]))
+            labels = [str(label) for label in archive["labels"]]
+            if len(labels):
+                store.add(archive["embeddings"], labels)
+        return store

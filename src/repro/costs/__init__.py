@@ -1,0 +1,14 @@
+"""Operational-cost modelling (the framework of Juarez et al., Table III)."""
+
+from repro.costs.model import CostModel, CostBreakdown, Complexity
+from repro.costs.catalogue import SystemProfile, TABLE_III_SYSTEMS, system_profiles, table_iii_rows
+
+__all__ = [
+    "CostModel",
+    "CostBreakdown",
+    "Complexity",
+    "SystemProfile",
+    "TABLE_III_SYSTEMS",
+    "system_profiles",
+    "table_iii_rows",
+]

@@ -1,0 +1,160 @@
+"""The systems compared in Table III and their cost-model parameters.
+
+Each entry mirrors one row of Table III of the paper: the protocol the
+system targets, the largest class count it was evaluated on, whether it was
+evaluated under distributional shift, the instances per class it needs for
+training and updates, its complexity class and whether updates require
+retraining.  The per-trace cost constants feed the quantitative
+:class:`~repro.costs.model.CostModel` used by the Table III bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.costs.model import Complexity, CostModel
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One row of Table III plus the cost model that quantifies it."""
+
+    name: str
+    protocol: str
+    max_classes: int
+    handles_distribution_shift: bool
+    training_instances: str
+    complexity: Complexity
+    requires_retraining: bool
+    update_instances: str
+    cost_model: CostModel
+
+
+def _model(
+    name: str,
+    instances: int,
+    *,
+    retrain: bool,
+    complexity: Complexity,
+    train_cost: float,
+    update_instances: int | None = None,
+) -> CostModel:
+    return CostModel(
+        name=name,
+        instances_per_class=instances,
+        collection_cost_per_trace=1.0,
+        feature_cost_per_trace=0.02 if complexity is not Complexity.HIGH else 0.05,
+        training_cost_per_trace=train_cost,
+        inference_cost_per_trace=2.0 if complexity is Complexity.HIGH else 0.5,
+        requires_retraining=retrain,
+        update_instances_per_class=update_instances or instances,
+        complexity=complexity,
+    )
+
+
+TABLE_III_SYSTEMS: List[SystemProfile] = [
+    SystemProfile(
+        name="Adaptive Fingerprinting",
+        protocol="TLS",
+        max_classes=13_000,
+        handles_distribution_shift=True,
+        training_instances="90",
+        complexity=Complexity.HIGH,
+        requires_retraining=False,
+        update_instances="90",
+        cost_model=_model("Adaptive Fingerprinting", 90, retrain=False, complexity=Complexity.HIGH, train_cost=0.20),
+    ),
+    SystemProfile(
+        name="Miller et al.",
+        protocol="TLS",
+        max_classes=500,
+        handles_distribution_shift=False,
+        training_instances="1-200",
+        complexity=Complexity.MODERATE,
+        requires_retraining=True,
+        update_instances="1-200",
+        cost_model=_model("Miller et al.", 100, retrain=True, complexity=Complexity.MODERATE, train_cost=0.05),
+    ),
+    SystemProfile(
+        name="Bissias et al.",
+        protocol="SSL",
+        max_classes=100,
+        handles_distribution_shift=False,
+        training_instances="?",
+        complexity=Complexity.LOW,
+        requires_retraining=False,
+        update_instances="?",
+        cost_model=_model("Bissias et al.", 20, retrain=False, complexity=Complexity.LOW, train_cost=0.0),
+    ),
+    SystemProfile(
+        name="Triplet Fingerprinting",
+        protocol="Tor",
+        max_classes=775,
+        handles_distribution_shift=True,
+        training_instances="25",
+        complexity=Complexity.HIGH,
+        requires_retraining=False,
+        update_instances="5-20",
+        cost_model=_model(
+            "Triplet Fingerprinting", 25, retrain=False, complexity=Complexity.HIGH, train_cost=0.20, update_instances=20
+        ),
+    ),
+    SystemProfile(
+        name="Deep Fingerprinting",
+        protocol="Tor",
+        max_classes=95,
+        handles_distribution_shift=False,
+        training_instances="1000",
+        complexity=Complexity.HIGH,
+        requires_retraining=True,
+        update_instances="1000",
+        cost_model=_model("Deep Fingerprinting", 1000, retrain=True, complexity=Complexity.HIGH, train_cost=0.20),
+    ),
+    SystemProfile(
+        name="Var-CNN",
+        protocol="Tor",
+        max_classes=900,
+        handles_distribution_shift=False,
+        training_instances="10-1000",
+        complexity=Complexity.HIGH,
+        requires_retraining=True,
+        update_instances="10-1000",
+        cost_model=_model("Var-CNN", 100, retrain=True, complexity=Complexity.HIGH, train_cost=0.20),
+    ),
+    SystemProfile(
+        name="k-fingerprinting",
+        protocol="Tor",
+        max_classes=100,
+        handles_distribution_shift=False,
+        training_instances="60",
+        complexity=Complexity.MODERATE,
+        requires_retraining=False,
+        update_instances="60",
+        cost_model=_model("k-fingerprinting", 60, retrain=False, complexity=Complexity.MODERATE, train_cost=0.02),
+    ),
+]
+
+
+def system_profiles() -> Dict[str, SystemProfile]:
+    """Table III systems keyed by name."""
+    return {profile.name: profile for profile in TABLE_III_SYSTEMS}
+
+
+def table_iii_rows() -> List[Dict[str, object]]:
+    """Table III as a list of plain dictionaries (one per system row)."""
+    rows = []
+    for profile in TABLE_III_SYSTEMS:
+        rows.append(
+            {
+                "Name": profile.name,
+                "Protocol": profile.protocol,
+                "Classes": profile.max_classes,
+                "D. Shift": profile.handles_distribution_shift,
+                "Instances": profile.training_instances,
+                "Complexity": profile.complexity.value,
+                "Retraining": profile.requires_retraining,
+                "Update Instances": profile.update_instances,
+            }
+        )
+    return rows

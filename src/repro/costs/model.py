@@ -1,0 +1,145 @@
+"""The data-collection / training / testing / updating cost framework.
+
+Section VIII of the paper adopts the cost model of Juarez et al. [18]:
+
+* collection cost of a dataset D: ``col(D) = col(1) * n * m * i`` where
+  ``n`` is the number of classes, ``m`` the number of page versions that
+  differ enough to hurt the classifier, and ``i`` the number of instances
+  the model needs per class/version;
+* training cost: ``col(D) + train(D, F, C)``;
+* testing cost: ``col(T) + test(T, F, C)`` with ``T = v * p`` victim loads;
+* updating cost: ``col(D') + update(D', F, C)`` — for retraining systems
+  this includes a full retrain, for the adaptive system only re-embedding.
+
+The model is deliberately unit-agnostic: costs are expressed in "seconds of
+work" given per-operation constants, so different systems can be compared
+on equal terms and the constants can be re-calibrated from measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Complexity(enum.Enum):
+    """Coarse model-complexity classes used in Table III."""
+
+    LOW = "Low"
+    MODERATE = "Moderate"
+    HIGH = "High"
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Costs (in abstract work units / seconds) of one deployment phase."""
+
+    collection: float
+    computation: float
+
+    @property
+    def total(self) -> float:
+        return self.collection + self.computation
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Juarez-style cost model for one fingerprinting system.
+
+    Parameters
+    ----------
+    instances_per_class:
+        ``i`` — labelled traces the system needs per class (Table III's
+        "Instances" column).
+    collection_cost_per_trace:
+        ``col(1)`` — seconds to crawl one page load.
+    feature_cost_per_trace:
+        ``F`` — seconds to extract features / embed one trace.
+    training_cost_per_trace:
+        ``C`` during training — seconds of model fitting per training trace
+        (zero for systems that do not fit a parametric model).
+    inference_cost_per_trace:
+        seconds to classify one captured trace.
+    requires_retraining:
+        whether an update to the monitored set requires refitting the model
+        (Table III's "Retraining" column).
+    update_instances_per_class:
+        traces that must be re-collected per updated class.
+    """
+
+    name: str
+    instances_per_class: int
+    collection_cost_per_trace: float = 1.0
+    feature_cost_per_trace: float = 0.01
+    training_cost_per_trace: float = 0.05
+    inference_cost_per_trace: float = 1.0
+    requires_retraining: bool = True
+    update_instances_per_class: int = 0
+    complexity: Complexity = Complexity.MODERATE
+
+    def __post_init__(self) -> None:
+        if self.instances_per_class <= 0:
+            raise ValueError("instances_per_class must be positive")
+        if min(
+            self.collection_cost_per_trace,
+            self.feature_cost_per_trace,
+            self.training_cost_per_trace,
+            self.inference_cost_per_trace,
+        ) < 0:
+            raise ValueError("costs must be non-negative")
+
+    # ------------------------------------------------------------- collection
+    def collection_cost(self, n_classes: int, versions: int = 1, instances: int | None = None) -> float:
+        """``col(D) = col(1) * n * m * i``."""
+        if n_classes <= 0 or versions <= 0:
+            raise ValueError("n_classes and versions must be positive")
+        i = instances if instances is not None else self.instances_per_class
+        return self.collection_cost_per_trace * n_classes * versions * i
+
+    # --------------------------------------------------------------- training
+    def training_cost(self, n_classes: int, versions: int = 1) -> CostBreakdown:
+        """Cost of provisioning the system from scratch."""
+        n_traces = n_classes * versions * self.instances_per_class
+        computation = n_traces * (self.feature_cost_per_trace + self.training_cost_per_trace)
+        return CostBreakdown(collection=self.collection_cost(n_classes, versions), computation=computation)
+
+    # ---------------------------------------------------------------- testing
+    def testing_cost(self, victims: int, pages_per_victim: int) -> CostBreakdown:
+        """Cost of classifying ``victims * pages_per_victim`` captured loads."""
+        if victims <= 0 or pages_per_victim <= 0:
+            raise ValueError("victims and pages_per_victim must be positive")
+        n_traces = victims * pages_per_victim
+        computation = n_traces * (self.feature_cost_per_trace + self.inference_cost_per_trace)
+        # Captured victim traffic costs the adversary nothing to collect.
+        return CostBreakdown(collection=0.0, computation=computation)
+
+    # --------------------------------------------------------------- updating
+    def update_cost(self, updated_classes: int, total_classes: int) -> CostBreakdown:
+        """Cost of keeping up with ``updated_classes`` changed pages.
+
+        Retraining systems pay the model-fitting cost over the *entire*
+        training corpus again; embedding/instance-based systems only pay for
+        collecting and embedding the refreshed classes.
+        """
+        if updated_classes < 0 or total_classes <= 0:
+            raise ValueError("updated_classes must be >= 0 and total_classes > 0")
+        if updated_classes == 0:
+            return CostBreakdown(collection=0.0, computation=0.0)
+        refresh_instances = self.update_instances_per_class or self.instances_per_class
+        collection = self.collection_cost_per_trace * updated_classes * refresh_instances
+        refreshed_traces = updated_classes * refresh_instances
+        computation = refreshed_traces * self.feature_cost_per_trace
+        if self.requires_retraining:
+            full_corpus = total_classes * self.instances_per_class
+            computation += full_corpus * self.training_cost_per_trace
+        return CostBreakdown(collection=collection, computation=computation)
+
+    def yearly_update_cost(self, total_classes: int, update_fraction_per_week: float) -> float:
+        """Total yearly update cost under a weekly page-churn rate."""
+        if not 0.0 <= update_fraction_per_week <= 1.0:
+            raise ValueError("update_fraction_per_week must be in [0, 1]")
+        per_week = self.update_cost(
+            updated_classes=int(round(update_fraction_per_week * total_classes)),
+            total_classes=total_classes,
+        ).total
+        return 52.0 * per_week

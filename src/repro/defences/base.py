@@ -1,0 +1,87 @@
+"""Common machinery for trace-level defences.
+
+Defences are dataset transforms: they take a :class:`TraceDataset` and
+return a padded copy.  Because the preprocessing pipeline usually stores
+log-scaled byte counts, every defence converts back to raw bytes before
+padding and re-applies the scaling afterwards, so that a defended dataset
+can be fed straight back into the fingerprinting pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.traces.dataset import TraceDataset
+
+
+class TraceDefence:
+    """Base class for trace-level padding defences."""
+
+    def apply(self, dataset: TraceDataset, *, log_scaled: bool = True, seed: int = 0) -> TraceDataset:
+        """Return a defended copy of ``dataset``.
+
+        ``log_scaled`` must match the preprocessing of the dataset (the
+        default :class:`~repro.traces.sequences.SequenceExtractor` applies
+        ``log1p``).  The returned dataset uses the same scaling.
+        """
+        raw = self._to_raw(dataset.data, log_scaled)
+        rng = np.random.default_rng(seed)
+        padded = self._pad(raw, dataset, rng)
+        if padded.shape != raw.shape:
+            raise RuntimeError("defence produced an array of the wrong shape")
+        if np.any(padded + 1e-9 < raw):
+            raise RuntimeError("defence removed bytes; padding may only add data")
+        return TraceDataset(
+            data=self._from_raw(padded, log_scaled),
+            labels=dataset.labels.copy(),
+            class_names=list(dataset.class_names),
+            website=dataset.website,
+            tls_version=dataset.tls_version,
+        )
+
+    # ------------------------------------------------------------ to override
+    def _pad(self, raw: np.ndarray, dataset: TraceDataset, rng: np.random.Generator) -> np.ndarray:
+        """Return the padded raw byte counts (same shape as ``raw``)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    # -------------------------------------------------------------- scaling
+    @staticmethod
+    def _to_raw(data: np.ndarray, log_scaled: bool) -> np.ndarray:
+        return np.expm1(data) if log_scaled else data.copy()
+
+    @staticmethod
+    def _from_raw(data: np.ndarray, log_scaled: bool) -> np.ndarray:
+        return np.log1p(data) if log_scaled else data
+
+    # --------------------------------------------------------------- helpers
+    @staticmethod
+    def trace_totals(raw: np.ndarray) -> np.ndarray:
+        """Total bytes per trace, shape ``(n_traces,)``."""
+        return raw.sum(axis=(1, 2))
+
+    @staticmethod
+    def sequence_totals(raw: np.ndarray) -> np.ndarray:
+        """Total bytes per trace and sequence, shape ``(n_traces, n_sequences)``."""
+        return raw.sum(axis=2)
+
+    @staticmethod
+    def add_to_last_active_position(raw: np.ndarray, deficits: np.ndarray) -> np.ndarray:
+        """Add per-(trace, sequence) deficits at the end of each sequence.
+
+        Padding a page load with dummy records appends traffic at the tail
+        of the connection, which is what appending to the last position of
+        the byte-count sequence models.
+        """
+        if deficits.shape != raw.shape[:2]:
+            raise ValueError("deficits must have shape (n_traces, n_sequences)")
+        if np.any(deficits < 0):
+            raise ValueError("deficits must be non-negative")
+        padded = raw.copy()
+        padded[:, :, -1] += deficits
+        return padded

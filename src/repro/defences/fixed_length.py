@@ -1,0 +1,64 @@
+"""Fixed-length (FL) padding — the paper's main countermeasure.
+
+"Given a set of target webpages, we padded all the traces to match the
+length of the longest one" (Section VII).  Every defended trace therefore
+carries the same total byte volume per direction, removing the strongest
+identifying signal.  The cost is the bandwidth overhead of padding every
+page up to the largest page of the site.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.defences.base import TraceDefence
+from repro.traces.dataset import TraceDataset
+
+
+class FixedLengthPadding(TraceDefence):
+    """Pad every trace so per-sequence totals match the dataset maximum.
+
+    Parameters
+    ----------
+    per_sequence:
+        If True (default) each IP sequence is padded to that sequence's
+        maximum total across the dataset (client traffic to the largest
+        client total, server traffic to the largest server total).  If
+        False only the overall trace total is equalised.
+    target_totals:
+        Optional explicit padding targets (bytes).  Useful when the defence
+        is configured from a previously observed corpus rather than the
+        dataset being padded — e.g. when padding live traffic.
+    """
+
+    def __init__(self, per_sequence: bool = True, target_totals: Optional[np.ndarray] = None) -> None:
+        self.per_sequence = bool(per_sequence)
+        self.target_totals = None if target_totals is None else np.asarray(target_totals, dtype=np.float64)
+
+    def _pad(self, raw: np.ndarray, dataset: TraceDataset, rng: np.random.Generator) -> np.ndarray:
+        if self.per_sequence:
+            totals = self.sequence_totals(raw)  # (n, s)
+            targets = self.target_totals if self.target_totals is not None else totals.max(axis=0)
+            if targets.shape != (raw.shape[1],):
+                raise ValueError(
+                    f"target_totals must have one entry per sequence ({raw.shape[1]}), got {targets.shape}"
+                )
+            deficits = np.maximum(0.0, targets[None, :] - totals)
+            return self.add_to_last_active_position(raw, deficits)
+
+        trace_totals = self.trace_totals(raw)  # (n,)
+        target = float(self.target_totals) if self.target_totals is not None else float(trace_totals.max())
+        deficits_total = np.maximum(0.0, target - trace_totals)
+        # All of the make-up traffic is attributed to the busiest sequence
+        # (the server that serves the page body), which is where a real
+        # deployment would emit dummy records.
+        deficits = np.zeros(raw.shape[:2])
+        busiest = raw.sum(axis=2).argmax(axis=1)
+        deficits[np.arange(raw.shape[0]), busiest] = deficits_total
+        return self.add_to_last_active_position(raw, deficits)
+
+    @property
+    def name(self) -> str:
+        return "FixedLengthPadding(per_sequence)" if self.per_sequence else "FixedLengthPadding(total)"

@@ -1,0 +1,64 @@
+"""Bandwidth-overhead accounting for defences.
+
+The paper stresses that TLS-wide countermeasures must keep their bandwidth
+overhead very low ("a protocol-level countermeasure with a 10 % bandwidth
+overhead would result in an approximately equal increase in web-traffic
+bandwidth worldwide"), so every defence evaluation reports the overhead
+alongside the accuracy drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.dataset import TraceDataset
+
+
+def bandwidth_overhead(original: TraceDataset, defended: TraceDataset, *, log_scaled: bool = True) -> float:
+    """Relative increase in total bytes caused by a defence.
+
+    Returns ``(defended_bytes - original_bytes) / original_bytes``.
+    """
+    if original.data.shape != defended.data.shape:
+        raise ValueError("datasets must have identical shapes to compare overhead")
+    original_raw = np.expm1(original.data) if log_scaled else original.data
+    defended_raw = np.expm1(defended.data) if log_scaled else defended.data
+    original_total = float(original_raw.sum())
+    defended_total = float(defended_raw.sum())
+    if original_total <= 0:
+        raise ValueError("original dataset carries no traffic")
+    return (defended_total - original_total) / original_total
+
+
+@dataclass
+class DefenceReport:
+    """Accuracy and overhead of one defence configuration."""
+
+    defence_name: str
+    overhead: float
+    topn_accuracy_before: dict
+    topn_accuracy_after: dict
+
+    def accuracy_drop(self, n: int) -> float:
+        """Absolute accuracy lost at top-``n`` because of the defence."""
+        return self.topn_accuracy_before[n] - self.topn_accuracy_after[n]
+
+
+def defence_report(
+    defence_name: str,
+    original: TraceDataset,
+    defended: TraceDataset,
+    accuracy_before: dict,
+    accuracy_after: dict,
+    *,
+    log_scaled: bool = True,
+) -> DefenceReport:
+    """Bundle a defence evaluation into a :class:`DefenceReport`."""
+    return DefenceReport(
+        defence_name=defence_name,
+        overhead=bandwidth_overhead(original, defended, log_scaled=log_scaled),
+        topn_accuracy_before=dict(accuracy_before),
+        topn_accuracy_after=dict(accuracy_after),
+    )

@@ -1,0 +1,32 @@
+"""Random padding: add a random volume of dummy bytes to every trace.
+
+Pironti et al. (cited by the paper) showed random-length padding to be a
+weak countermeasure; it is included so the benches can confirm that result
+against the adaptive adversary and contrast it with FL padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defences.base import TraceDefence
+from repro.traces.dataset import TraceDataset
+
+
+class RandomPaddingDefence(TraceDefence):
+    """Append ``U(0, max_fraction) * trace_volume`` dummy bytes per sequence."""
+
+    def __init__(self, max_fraction: float = 0.3) -> None:
+        if max_fraction <= 0:
+            raise ValueError("max_fraction must be positive")
+        self.max_fraction = float(max_fraction)
+
+    def _pad(self, raw: np.ndarray, dataset: TraceDataset, rng: np.random.Generator) -> np.ndarray:
+        totals = self.sequence_totals(raw)
+        fractions = rng.uniform(0.0, self.max_fraction, size=totals.shape)
+        deficits = totals * fractions
+        return self.add_to_last_active_position(raw, deficits)
+
+    @property
+    def name(self) -> str:
+        return f"RandomPadding(max_fraction={self.max_fraction})"

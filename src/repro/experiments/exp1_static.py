@@ -1,0 +1,54 @@
+"""Experiment 1 — static webpage classification (Figure 6).
+
+The embedding model is trained on Set A; Set A also provides the labelled
+reference corpus and the previously-unseen samples of Set B are classified.
+The experiment sweeps the number of classes (the paper uses 500, 1000,
+3000 and 6000 Wikipedia articles) and reports top-n accuracy per slice,
+plus the TLS 1.3 series of the same figure (the smallest slice re-crawled
+over TLS 1.3, Exp. 3's version-sensitivity check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.setup import ExperimentContext
+from repro.metrics.reports import format_accuracy_table
+from repro.traces.splits import reference_test_split
+
+
+@dataclass
+class Experiment1Result:
+    """Top-n accuracies per class-count slice (the series of Figure 6)."""
+
+    accuracy_by_classes: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    tls13_accuracy: Dict[int, float] = field(default_factory=dict)
+    tls13_classes: int = 0
+    ns: Tuple[int, ...] = (1, 3, 5, 10, 20)
+
+    def as_table(self) -> str:
+        rows = {f"{classes} classes (TLS 1.2)": acc for classes, acc in self.accuracy_by_classes.items()}
+        if self.tls13_accuracy:
+            rows[f"{self.tls13_classes} classes (TLS 1.3)"] = self.tls13_accuracy
+        return format_accuracy_table(rows, ns=self.ns, title="Figure 6 — static webpage classification")
+
+
+def run_experiment1(
+    context: ExperimentContext,
+    ns: Sequence[int] = (1, 3, 5, 10, 20),
+    include_tls13: bool = True,
+) -> Experiment1Result:
+    """Run the Figure-6 sweep at the context's scale."""
+    result = Experiment1Result(ns=tuple(int(n) for n in ns))
+    for n_classes in context.scale.exp1_class_counts:
+        reference, test = context.slice_known(n_classes)
+        result.accuracy_by_classes[n_classes] = context.evaluate_slice(reference, test, ns=result.ns)
+
+    if include_tls13 and len(context.wiki_tls13_dataset):
+        reference13, test13 = reference_test_split(
+            context.wiki_tls13_dataset, context.scale.reference_fraction, seed=0
+        )
+        result.tls13_classes = context.wiki_tls13_dataset.n_classes
+        result.tls13_accuracy = context.evaluate_slice(reference13, test13, ns=result.ns)
+    return result

@@ -1,0 +1,91 @@
+"""Experiment 4 — per-class distinguishability (Figures 9, 10, 11).
+
+Instead of per-sample accuracy, this experiment asks how many guesses the
+adversary needs *per class* on average, and plots the cumulative
+distribution of that number across classes for three scenarios: classes
+seen during training (Figure 9), classes never seen during training
+(Figure 10) and fixed-length-padded traces of both kinds (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.defences.fixed_length import FixedLengthPadding
+from repro.experiments.setup import ExperimentContext
+from repro.metrics.perclass import PerClassDistinguishability, per_class_mean_guesses
+from repro.metrics.reports import format_table
+from repro.traces.dataset import TraceDataset
+
+
+@dataclass
+class Experiment4Result:
+    """Per-class guess distributions for the known / unknown / padded scenarios."""
+
+    scenarios: Dict[str, PerClassDistinguishability] = field(default_factory=dict)
+    cdf_thresholds: Sequence[float] = (2, 3, 5, 10, 20)
+
+    def as_table(self) -> str:
+        headers = ["scenario"] + [f"<{int(t)} guesses" for t in self.cdf_thresholds]
+        rows = []
+        for name, summary in self.scenarios.items():
+            rows.append([name] + [f"{value:.2f}" for value in summary.cdf(self.cdf_thresholds)])
+        return format_table(headers, rows, title="Figures 9-11 — per-class guess CDFs")
+
+    def padding_reduces_distinguishability(self, threshold: float = 2.0) -> bool:
+        """Figure 11's claim: FL padding shrinks the mass of easy classes."""
+        unpadded = [s for name, s in self.scenarios.items() if "padded" not in name]
+        padded = [s for name, s in self.scenarios.items() if "padded" in name]
+        if not unpadded or not padded:
+            return False
+        best_unpadded = max(s.fraction_below(threshold) for s in unpadded)
+        worst_padded = max(s.fraction_below(threshold) for s in padded)
+        return worst_padded <= best_unpadded
+
+
+def _per_class(
+    context: ExperimentContext, reference: TraceDataset, test: TraceDataset, scenario: str
+) -> PerClassDistinguishability:
+    guesses = context.guesses_for_slice(reference, test)
+    labels = [test.label_name(label) for label in test.labels]
+    return PerClassDistinguishability(scenario=scenario, per_class_guesses=per_class_mean_guesses(guesses, labels))
+
+
+def run_experiment4(
+    context: ExperimentContext,
+    n_classes: int | None = None,
+    cdf_thresholds: Sequence[float] = (2, 3, 5, 10, 20),
+) -> Experiment4Result:
+    """Compute the per-class guess CDFs for known, unknown and padded traces."""
+    result = Experiment4Result(cdf_thresholds=tuple(cdf_thresholds))
+    known_classes = n_classes or min(context.scale.exp1_class_counts)
+    unknown_classes = min(known_classes, max(context.scale.exp2_class_counts))
+
+    reference_known, test_known = context.slice_known(known_classes)
+    result.scenarios[f"known ({known_classes} classes)"] = _per_class(
+        context, reference_known, test_known, "known"
+    )
+
+    reference_unknown, test_unknown = context.slice_unknown(unknown_classes)
+    result.scenarios[f"unknown ({unknown_classes} classes)"] = _per_class(
+        context, reference_unknown, test_unknown, "unknown"
+    )
+
+    # Figure 11: the same two scenarios on FL-padded traces.  The padding
+    # targets are derived from the reference corpus (what a deployed
+    # per-website policy would know) and applied to both sides.
+    import numpy as np
+
+    log_scaled = context.extractor.log_scale
+    for label, (reference, test) in (
+        (f"known padded ({known_classes} classes)", (reference_known, test_known)),
+        (f"unknown padded ({unknown_classes} classes)", (reference_unknown, test_unknown)),
+    ):
+        raw_reference = np.expm1(reference.data) if log_scaled else reference.data
+        targets = raw_reference.sum(axis=2).max(axis=0)
+        padding = FixedLengthPadding(per_sequence=True, target_totals=targets)
+        padded_reference = padding.apply(reference, log_scaled=log_scaled)
+        padded_test = padding.apply(test, log_scaled=log_scaled)
+        result.scenarios[label] = _per_class(context, padded_reference, padded_test, label)
+    return result

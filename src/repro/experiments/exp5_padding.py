@@ -1,0 +1,137 @@
+"""Countermeasure evaluation — fixed-length padding (Figures 12, 13).
+
+The paper pads every trace of the target set to the length of the longest
+one (the strongest volume-hiding policy TLS 1.3's record padding can build)
+and measures how much of the adversary's accuracy survives, on classes the
+model saw during training (Figure 12) and on classes it never saw
+(Figure 13).  The runner also reports the bandwidth overhead each padded
+configuration costs and, optionally, the cheaper alternatives discussed in
+Section VII (anonymity-set padding, random padding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.defences import (
+    AnonymitySetPadding,
+    FixedLengthPadding,
+    RandomPaddingDefence,
+    bandwidth_overhead,
+)
+from repro.defences.base import TraceDefence
+from repro.experiments.setup import ExperimentContext
+from repro.metrics.reports import format_accuracy_table, format_table
+from repro.traces.dataset import TraceDataset
+
+
+@dataclass
+class PaddingScenario:
+    """Accuracy with and without a defence for one class-count slice."""
+
+    scenario: str
+    n_classes: int
+    unpadded_accuracy: Dict[int, float]
+    padded_accuracy: Dict[int, float]
+    overhead: float
+
+    def accuracy_drop(self, n: int) -> float:
+        return self.unpadded_accuracy[n] - self.padded_accuracy[n]
+
+
+@dataclass
+class Experiment5Result:
+    """Figures 12 and 13 plus overhead accounting."""
+
+    scenarios: Dict[str, PaddingScenario] = field(default_factory=dict)
+    alternative_defences: Dict[str, PaddingScenario] = field(default_factory=dict)
+    ns: Tuple[int, ...] = (1, 3, 5, 10, 20)
+
+    def as_table(self) -> str:
+        rows: Dict[str, Dict[int, float]] = {}
+        for name, scenario in self.scenarios.items():
+            rows[f"{name} — no padding"] = scenario.unpadded_accuracy
+            rows[f"{name} — FL padding"] = scenario.padded_accuracy
+        return format_accuracy_table(rows, ns=self.ns, title="Figures 12-13 — fixed-length padding")
+
+    def overhead_table(self) -> str:
+        rows = []
+        for name, scenario in {**self.scenarios, **self.alternative_defences}.items():
+            rows.append([name, f"{scenario.overhead:.1%}", f"{scenario.accuracy_drop(1):.3f}"])
+        return format_table(
+            ["scenario", "bandwidth overhead", "top-1 accuracy drop"],
+            rows,
+            title="Padding cost vs. protection",
+        )
+
+    def padding_effective_everywhere(self, n: int = 1, min_drop: float = 0.05) -> bool:
+        """Whether FL padding reduced top-n accuracy in every scenario."""
+        return all(s.accuracy_drop(n) >= min_drop for s in self.scenarios.values())
+
+
+def _apply_defence(
+    defence: TraceDefence, reference: TraceDataset, test: TraceDataset, log_scaled: bool
+) -> Tuple[TraceDataset, TraceDataset, float]:
+    """Pad reference and test with targets learned from the reference corpus."""
+    if isinstance(defence, FixedLengthPadding) and defence.target_totals is None:
+        raw_reference = np.expm1(reference.data) if log_scaled else reference.data
+        defence = FixedLengthPadding(
+            per_sequence=defence.per_sequence, target_totals=raw_reference.sum(axis=2).max(axis=0)
+        )
+    padded_reference = defence.apply(reference, log_scaled=log_scaled)
+    padded_test = defence.apply(test, log_scaled=log_scaled)
+    combined_before = reference.merge(test)
+    combined_after = padded_reference.merge(padded_test)
+    overhead = bandwidth_overhead(combined_before, combined_after, log_scaled=log_scaled)
+    return padded_reference, padded_test, overhead
+
+
+def run_experiment5(
+    context: ExperimentContext,
+    class_counts: Sequence[int] | None = None,
+    ns: Sequence[int] = (1, 3, 5, 10, 20),
+    include_alternatives: bool = True,
+) -> Experiment5Result:
+    """Evaluate FL padding on known and unknown classes (Figures 12, 13)."""
+    result = Experiment5Result(ns=tuple(int(n) for n in ns))
+    log_scaled = context.extractor.log_scale
+    counts = list(class_counts) if class_counts is not None else list(context.scale.exp1_class_counts[:2])
+
+    for n_classes in counts:
+        for kind in ("known", "unknown"):
+            if kind == "known":
+                reference, test = context.slice_known(n_classes)
+            else:
+                reference, test = context.slice_unknown(min(n_classes, max(context.scale.exp2_class_counts)))
+            unpadded = context.evaluate_slice(reference, test, ns=result.ns)
+            padded_reference, padded_test, overhead = _apply_defence(
+                FixedLengthPadding(per_sequence=True), reference, test, log_scaled
+            )
+            padded = context.evaluate_slice(padded_reference, padded_test, ns=result.ns)
+            name = f"{kind} {n_classes} classes"
+            result.scenarios[name] = PaddingScenario(
+                scenario=name,
+                n_classes=n_classes,
+                unpadded_accuracy=unpadded,
+                padded_accuracy=padded,
+                overhead=overhead,
+            )
+
+    if include_alternatives:
+        n_classes = counts[0]
+        reference, test = context.slice_known(n_classes)
+        unpadded = context.evaluate_slice(reference, test, ns=result.ns)
+        for defence in (AnonymitySetPadding(set_size=max(2, n_classes // 5)), RandomPaddingDefence(0.3)):
+            padded_reference, padded_test, overhead = _apply_defence(defence, reference, test, log_scaled)
+            padded = context.evaluate_slice(padded_reference, padded_test, ns=result.ns)
+            result.alternative_defences[defence.name] = PaddingScenario(
+                scenario=defence.name,
+                n_classes=n_classes,
+                unpadded_accuracy=unpadded,
+                padded_accuracy=padded,
+                overhead=overhead,
+            )
+    return result

@@ -1,0 +1,160 @@
+"""Table III — operational-cost comparison across fingerprinting systems.
+
+Two complementary views are produced:
+
+* the *catalogue* view reproduces the paper's qualitative table (protocol,
+  class counts, instances per class, complexity, retraining required) and
+  quantifies it with the Juarez-style cost model of :mod:`repro.costs`;
+* the *measured* view times this reproduction's own implementations
+  (adaptive fingerprinting vs. the retraining baselines) on the same
+  dataset, confirming the qualitative claim — updates are cheap for the
+  embedding approach and expensive for class-coupled classifiers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.baselines.deep_fingerprinting import DeepFingerprintingClassifier
+from repro.baselines.kfp import KFingerprintingAttack
+from repro.costs.catalogue import TABLE_III_SYSTEMS, table_iii_rows
+from repro.experiments.setup import ExperimentContext
+from repro.metrics.reports import format_table
+from repro.traces import Trace
+
+
+@dataclass
+class MeasuredCosts:
+    """Wall-clock costs measured on this reproduction's implementations."""
+
+    system: str
+    provisioning_seconds: float
+    update_seconds: float
+    requires_retraining: bool
+    topn1_accuracy: float
+
+
+@dataclass
+class Table3Result:
+    catalogue_rows: List[Dict[str, object]] = field(default_factory=list)
+    modelled_update_costs: Dict[str, float] = field(default_factory=dict)
+    measured: List[MeasuredCosts] = field(default_factory=list)
+
+    def as_table(self) -> str:
+        headers = ["Name", "Protocol", "Classes", "D. Shift", "Instances", "Complexity", "Retraining", "Update Instances"]
+        rows = [[row[h] for h in headers] for row in self.catalogue_rows]
+        return format_table(headers, rows, title="Table III — operational costs (catalogue)")
+
+    def measured_as_table(self) -> str:
+        rows = [
+            [m.system, f"{m.provisioning_seconds:.2f}s", f"{m.update_seconds:.2f}s", m.requires_retraining, f"{m.topn1_accuracy:.2f}"]
+            for m in self.measured
+        ]
+        return format_table(
+            ["System", "Provisioning", "Update (1 class changed)", "Retraining", "Top-1 accuracy"],
+            rows,
+            title="Table III — measured on this reproduction",
+        )
+
+    def adaptive_updates_cheaper(self, factor: float = 2.0) -> bool:
+        """Whether the adaptive system's update is at least ``factor`` x cheaper
+        than every retraining baseline's update."""
+        adaptive = [m for m in self.measured if not m.requires_retraining]
+        retraining = [m for m in self.measured if m.requires_retraining]
+        if not adaptive or not retraining:
+            return False
+        cheapest_adaptive = min(m.update_seconds for m in adaptive)
+        cheapest_retraining = min(m.update_seconds for m in retraining)
+        return cheapest_retraining >= factor * cheapest_adaptive
+
+
+def run_table3(
+    context: ExperimentContext,
+    *,
+    n_classes: int | None = None,
+    churn_fraction: float = 0.05,
+    measure: bool = True,
+) -> Table3Result:
+    """Build Table III: catalogue rows, modelled update costs, measured timings."""
+    result = Table3Result(catalogue_rows=table_iii_rows())
+
+    # Modelled yearly update cost at a common scale for every catalogued system.
+    reference_classes = 1000
+    for profile in TABLE_III_SYSTEMS:
+        result.modelled_update_costs[profile.name] = profile.cost_model.yearly_update_cost(
+            reference_classes, churn_fraction
+        )
+
+    if not measure:
+        return result
+
+    classes = n_classes or min(context.scale.exp1_class_counts)
+    reference, test = context.slice_known(classes)
+
+    # --- adaptive fingerprinting: provisioning already happened in the
+    # context; measure re-provisioning cost as the recorded training time and
+    # the update as re-embedding one class's fresh samples.
+    fingerprinter = context.fingerprinter
+    fingerprinter.initialize(reference)
+    adaptive_accuracy = fingerprinter.evaluate(test, ns=(1,)).topn_accuracy[1]
+    updated_class = reference.class_names[0]
+    class_mask = reference.labels == reference.class_names.index(updated_class)
+    fresh_traces = [
+        Trace(label=updated_class, website=reference.website, sequences=reference.data[i])
+        for i in class_mask.nonzero()[0]
+    ]
+    start = time.perf_counter()
+    fingerprinter.adapt(fresh_traces, replace=True)
+    adaptive_update = time.perf_counter() - start
+    result.measured.append(
+        MeasuredCosts(
+            system="Adaptive Fingerprinting (ours)",
+            provisioning_seconds=context.training_history.wall_time_seconds,
+            update_seconds=adaptive_update,
+            requires_retraining=False,
+            topn1_accuracy=adaptive_accuracy,
+        )
+    )
+
+    # --- k-fingerprinting: the forest stays fixed after calibration; the
+    # update only refreshes the leaf-vector reference corpus for the
+    # changed class (its cheap path), like the paper's Table III notes.
+    start = time.perf_counter()
+    kfp = KFingerprintingAttack(n_trees=20, max_depth=8, k_neighbours=3, seed=0).fit(reference)
+    kfp_provision = time.perf_counter() - start
+    kfp_accuracy = kfp.topn_accuracy(test, ns=(1,))[1]
+    updated_slice = reference.filter_classes([0])
+    start = time.perf_counter()
+    kfp.refresh_reference(updated_slice)
+    kfp_update = time.perf_counter() - start
+    result.measured.append(
+        MeasuredCosts(
+            system="k-fingerprinting",
+            provisioning_seconds=kfp_provision,
+            update_seconds=kfp_update,
+            requires_retraining=False,
+            topn1_accuracy=kfp_accuracy,
+        )
+    )
+
+    # --- Deep-Fingerprinting-style softmax classifier: any change to the
+    # monitored set forces a full retrain.
+    start = time.perf_counter()
+    df = DeepFingerprintingClassifier(hidden_sizes=(64,), epochs=15, seed=0).fit(reference)
+    df_provision = time.perf_counter() - start
+    df_accuracy = df.topn_accuracy(test, ns=(1,))[1]
+    start = time.perf_counter()
+    DeepFingerprintingClassifier(hidden_sizes=(64,), epochs=15, seed=1).fit(reference)
+    df_update = time.perf_counter() - start
+    result.measured.append(
+        MeasuredCosts(
+            system="Deep Fingerprinting (softmax)",
+            provisioning_seconds=df_provision,
+            update_seconds=df_update,
+            requires_retraining=True,
+            topn1_accuracy=df_accuracy,
+        )
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers render them as aligned monospace tables so the output
+of ``pytest benchmarks/ --benchmark-only`` doubles as the experiment log
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a list of rows as an aligned monospace table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_accuracy_table(
+    results: Mapping[str, Mapping[int, float]], ns: Sequence[int], title: str = ""
+) -> str:
+    """Render {scenario -> {n -> accuracy}} as a table with one row per scenario."""
+    headers = ["scenario"] + [f"top-{n}" for n in ns]
+    rows: List[List[object]] = []
+    for scenario, accuracies in results.items():
+        row: List[object] = [scenario]
+        for n in ns:
+            value = accuracies.get(int(n))
+            row.append("-" if value is None else f"{value:.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

@@ -1,0 +1,94 @@
+"""Transmission channel between the client and one server.
+
+The channel turns TLS record wire sizes into packets on the wire: records
+are segmented into MTU-sized TCP segments, each segment gets a timestamp
+from the latency model, and a configurable fraction of segments is
+duplicated to emulate retransmissions.  Every emitted packet is offered to
+the attached sniffer, mirroring how tcpdump sees traffic in the paper's
+data-collection setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.net.address import IPAddress
+from repro.net.capture import Sniffer
+from repro.net.latency import LatencyModel
+from repro.net.packet import Packet
+
+# Typical TCP maximum segment size for an Ethernet path carrying TLS.
+DEFAULT_MSS = 1460
+
+
+@dataclass
+class TransmissionChannel:
+    """A bidirectional client<->server path carrying TLS records."""
+
+    client_ip: IPAddress
+    server_ip: IPAddress
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    mss: int = DEFAULT_MSS
+    retransmission_rate: float = 0.0
+    sniffer: Optional[Sniffer] = None
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if not 0.0 <= self.retransmission_rate < 1.0:
+            raise ValueError("retransmission_rate must be in [0, 1)")
+
+    def transmit(
+        self,
+        record_sizes: List[int],
+        *,
+        from_client: bool,
+        start_time: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Send TLS records in one direction starting at ``start_time``.
+
+        Returns the time at which the last packet arrived, so callers can
+        sequence request/response exchanges.
+        """
+        src = self.client_ip if from_client else self.server_ip
+        dst = self.server_ip if from_client else self.client_ip
+        now = float(start_time)
+        for record in record_sizes:
+            if record < 0:
+                raise ValueError("record sizes must be non-negative")
+            for segment in self._segment(record):
+                now += self.latency.one_way_delay(segment, rng)
+                self._emit(Packet(timestamp=now, src=src, dst=dst, size=segment))
+                if self.retransmission_rate > 0 and rng.random() < self.retransmission_rate:
+                    duplicate_time = now + self.latency.one_way_delay(segment, rng)
+                    self._emit(
+                        Packet(
+                            timestamp=duplicate_time,
+                            src=src,
+                            dst=dst,
+                            size=segment,
+                            retransmission=True,
+                        )
+                    )
+                    now = duplicate_time
+        return now
+
+    def _segment(self, record_size: int) -> List[int]:
+        """Split one TLS record into MTU-sized TCP segments."""
+        if record_size == 0:
+            return [0]
+        segments = []
+        remaining = record_size
+        while remaining > 0:
+            segment = min(self.mss, remaining)
+            segments.append(segment)
+            remaining -= segment
+        return segments
+
+    def _emit(self, packet: Packet) -> None:
+        if self.sniffer is not None:
+            self.sniffer.observe(packet)

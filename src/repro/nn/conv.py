@@ -1,0 +1,144 @@
+"""1-D convolution and pooling layers.
+
+These layers let the reproduction implement the Deep-Fingerprinting-style
+convolutional baseline (Sirinam et al.) natively instead of approximating
+it with a dense network.  Input shape follows the rest of the framework's
+sequence convention: ``(batch, time, channels)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, zeros_init
+from repro.nn.layers import Layer
+
+
+class Conv1D(Layer):
+    """1-D convolution with 'valid' padding and stride 1.
+
+    The kernel has shape ``(kernel_size, in_channels, out_channels)``.  The
+    implementation builds a strided view of the input windows so both the
+    forward and backward passes are single ``tensordot`` calls.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size) <= 0:
+            raise ValueError("Conv1D dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.params = {
+            "W": glorot_uniform((kernel_size * in_channels, out_channels), rng).reshape(
+                kernel_size, in_channels, out_channels
+            ),
+            "b": zeros_init((out_channels,)),
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._windows: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int]] = None
+
+    def _window_view(self, x: np.ndarray) -> np.ndarray:
+        batch, time, channels = x.shape
+        out_time = time - self.kernel_size + 1
+        shape = (batch, out_time, self.kernel_size, channels)
+        strides = (x.strides[0], x.strides[1], x.strides[1], x.strides[2])
+        return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"Conv1D expects (batch, time, channels), got {x.shape}")
+        if x.shape[2] != self.in_channels:
+            raise ValueError(f"Conv1D expected {self.in_channels} channels, got {x.shape[2]}")
+        if x.shape[1] < self.kernel_size:
+            raise ValueError(
+                f"input length {x.shape[1]} is shorter than the kernel size {self.kernel_size}"
+            )
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        windows = self._window_view(x)
+        self._windows = windows
+        self._input_shape = x.shape
+        # (batch, out_time, k, c) x (k, c, f) -> (batch, out_time, f)
+        return np.tensordot(windows, self.params["W"], axes=([2, 3], [0, 1])) + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._windows is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        windows = self._windows
+        batch, time, channels = self._input_shape
+        out_time = grad.shape[1]
+        # dW: sum over batch and output positions.
+        self.grads["W"] += np.tensordot(windows, grad, axes=([0, 1], [0, 1]))
+        self.grads["b"] += grad.sum(axis=(0, 1))
+        # dX: scatter the kernel back over the input windows.
+        grad_x = np.zeros(self._input_shape, dtype=np.float64)
+        contribution = np.tensordot(grad, self.params["W"], axes=([2], [2]))  # (b, out_t, k, c)
+        for offset in range(self.kernel_size):
+            grad_x[:, offset : offset + out_time, :] += contribution[:, :, offset, :]
+        return grad_x
+
+
+class MaxPool1D(Layer):
+    """Non-overlapping 1-D max pooling over the time dimension."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = int(pool_size)
+        self._mask: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"MaxPool1D expects (batch, time, channels), got {x.shape}")
+        batch, time, channels = x.shape
+        usable = (time // self.pool_size) * self.pool_size
+        if usable == 0:
+            raise ValueError(f"input length {time} is shorter than the pool size {self.pool_size}")
+        trimmed = x[:, :usable, :].reshape(batch, usable // self.pool_size, self.pool_size, channels)
+        out = trimmed.max(axis=2)
+        self._mask = trimmed == out[:, :, None, :]
+        self._input_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, time, channels = self._input_shape
+        usable = self._mask.shape[1] * self.pool_size
+        # Spread the gradient to every position that attained the max (ties
+        # share the gradient, matching the subgradient convention).
+        counts = self._mask.sum(axis=2, keepdims=True)
+        expanded = self._mask * (grad[:, :, None, :] / counts)
+        grad_x = np.zeros(self._input_shape, dtype=np.float64)
+        grad_x[:, :usable, :] = expanded.reshape(batch, usable, channels)
+        return grad_x
+
+
+class Flatten(Layer):
+    """Flatten ``(batch, time, channels)`` into ``(batch, time * channels)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._input_shape)

@@ -1,0 +1,44 @@
+"""Weight initializers for the NumPy neural-network framework."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    Samples from ``U(-limit, limit)`` with ``limit = sqrt(6 / (fan_in +
+    fan_out))``.  For two-dimensional weight matrices ``fan_in`` and
+    ``fan_out`` are the two dimensions; for other shapes the product of the
+    remaining dimensions is folded into the fans.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = int(np.prod(shape))
+    else:
+        receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+        fan_in = shape[0] * receptive
+        fan_out = shape[1] * receptive
+    limit = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def orthogonal(shape: Tuple[int, int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization, commonly used for recurrent kernels."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal initializer requires a 2-D shape, got {shape}")
+    rows, cols = shape
+    size = max(rows, cols)
+    a = rng.standard_normal((size, size))
+    q, r = np.linalg.qr(a)
+    # Make the decomposition unique so that the distribution is uniform over
+    # the orthogonal group.
+    q = q * np.sign(np.diag(r))
+    return (gain * q[:rows, :cols]).astype(np.float64)
+
+
+def zeros_init(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initializer (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,141 @@
+"""Feed-forward layers: Dense, activations and Dropout.
+
+Every layer exposes the same minimal interface::
+
+    y = layer.forward(x, training=True)
+    grad_x = layer.backward(grad_y)
+    layer.params       # dict of trainable arrays (may be empty)
+    layer.grads        # dict of gradient arrays matching ``params``
+
+Gradients are accumulated into ``grads`` on every ``backward`` call and the
+optimizer is responsible for applying and clearing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, zeros_init
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for key in self.grads:
+            self.grads[key].fill(0.0)
+
+    @property
+    def n_params(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": glorot_uniform((in_features, out_features), rng),
+            "b": zeros_init((out_features,)),
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects a 2-D input (batch, features), got shape {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected {self.in_features} input features, got {x.shape[1]}"
+            )
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["W"] += self._x.T @ grad
+        self.grads["b"] += grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Rectified linear unit activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky rectified linear unit with configurable negative slope."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("LeakyReLU alpha must be non-negative")
+        self.alpha = float(alpha)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return np.where(x > 0, x, self.alpha * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return grad * np.where(self._x > 0, 1.0, self.alpha)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``."""
+
+    def __init__(self, rate: float, *, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("Dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

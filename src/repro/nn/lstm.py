@@ -1,0 +1,146 @@
+"""A single-layer LSTM with full backpropagation through time.
+
+The paper's embedding network (Table I) uses an LSTM input layer of 30
+units that consumes the per-IP byte-count sequences and emits its final
+hidden state to a stack of fully-connected layers.  This module implements
+that layer in NumPy, vectorised over the batch dimension.
+
+Input shape:  ``(batch, time, features)``
+Output shape: ``(batch, units)`` (the hidden state at the last timestep).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros_init
+from repro.nn.layers import Layer
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically stable sigmoid.
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class LSTM(Layer):
+    """Long short-term memory layer returning the last hidden state.
+
+    The gate kernels are packed into a single input kernel ``W`` of shape
+    ``(features, 4 * units)`` and a recurrent kernel ``U`` of shape
+    ``(units, 4 * units)`` with gate order ``[input, forget, cell, output]``.
+    The forget-gate bias is initialised to 1, the standard trick to ease
+    gradient flow at the start of training.
+    """
+
+    def __init__(self, in_features: int, units: int, *, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or units <= 0:
+            raise ValueError("LSTM dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.units = units
+        bias = zeros_init((4 * units,))
+        bias[units : 2 * units] = 1.0
+        self.params = {
+            "W": glorot_uniform((in_features, 4 * units), rng),
+            "U": np.concatenate([orthogonal((units, units), rng) for _ in range(4)], axis=1),
+            "b": bias,
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+        self._cache: Optional[Dict[str, List[np.ndarray]]] = None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"LSTM expects input of shape (batch, time, features), got {x.shape}"
+            )
+        if x.shape[2] != self.in_features:
+            raise ValueError(
+                f"LSTM expected {self.in_features} input features, got {x.shape[2]}"
+            )
+        batch, steps, _ = x.shape
+        units = self.units
+        h = np.zeros((batch, units))
+        c = np.zeros((batch, units))
+        cache: Dict[str, List[np.ndarray]] = {
+            "i": [], "f": [], "g": [], "o": [], "c": [], "h": [], "c_prev": [], "h_prev": [],
+        }
+        W, U, b = self.params["W"], self.params["U"], self.params["b"]
+        for t in range(steps):
+            h_prev, c_prev = h, c
+            z = x[:, t, :] @ W + h_prev @ U + b
+            i = _sigmoid(z[:, :units])
+            f = _sigmoid(z[:, units : 2 * units])
+            g = np.tanh(z[:, 2 * units : 3 * units])
+            o = _sigmoid(z[:, 3 * units :])
+            c = f * c_prev + i * g
+            h = o * np.tanh(c)
+            cache["i"].append(i)
+            cache["f"].append(f)
+            cache["g"].append(g)
+            cache["o"].append(o)
+            cache["c"].append(c)
+            cache["h"].append(h)
+            cache["c_prev"].append(c_prev)
+            cache["h_prev"].append(h_prev)
+        self._cache = cache
+        self._x = x
+        return h
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None or self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        cache = self._cache
+        batch, steps, _ = x.shape
+        units = self.units
+        W, U = self.params["W"], self.params["U"]
+
+        grad_x = np.zeros_like(x)
+        dh_next = grad.copy()
+        dc_next = np.zeros((batch, units))
+        dW = np.zeros_like(W)
+        dU = np.zeros_like(U)
+        db = np.zeros_like(self.params["b"])
+
+        for t in range(steps - 1, -1, -1):
+            i = cache["i"][t]
+            f = cache["f"][t]
+            g = cache["g"][t]
+            o = cache["o"][t]
+            c = cache["c"][t]
+            c_prev = cache["c_prev"][t]
+            h_prev = cache["h_prev"][t]
+
+            tanh_c = np.tanh(c)
+            do = dh_next * tanh_c
+            dc = dh_next * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+
+            dz_i = di * i * (1.0 - i)
+            dz_f = df * f * (1.0 - f)
+            dz_g = dg * (1.0 - g**2)
+            dz_o = do * o * (1.0 - o)
+            dz = np.concatenate([dz_i, dz_f, dz_g, dz_o], axis=1)
+
+            dW += x[:, t, :].T @ dz
+            dU += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            grad_x[:, t, :] = dz @ W.T
+            dh_next = dz @ U.T
+
+        self.grads["W"] += dW
+        self.grads["U"] += dU
+        self.grads["b"] += db
+        return grad_x

@@ -1,0 +1,80 @@
+"""Sequential container composing layers into a network."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Sequential:
+    """A plain feed-forward composition of layers.
+
+    The container is deliberately simple: layers are applied in order on
+    ``forward`` and in reverse order on ``backward``.  It also provides the
+    parameter iteration the optimizers and the serialization helpers need.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(self.layers):
+            out = layer.backward(out)
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def named_parameters(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(name, array)`` pairs with stable, unique names."""
+        for index, layer in enumerate(self.layers):
+            for key, value in layer.params.items():
+                yield f"layer{index}.{type(layer).__name__}.{key}", value
+
+    def named_gradients(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(name, grad)`` pairs aligned with :meth:`named_parameters`."""
+        for index, layer in enumerate(self.layers):
+            for key, value in layer.grads.items():
+                yield f"layer{index}.{type(layer).__name__}.{key}", value
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of all trainable parameters keyed by their stable names."""
+        return {name: value.copy() for name, value in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            target = own[name]
+            if target.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {target.shape}, got {value.shape}"
+                )
+            target[...] = value
+
+    @property
+    def n_params(self) -> int:
+        """Total number of trainable scalars across all layers."""
+        return sum(layer.n_params for layer in self.layers)

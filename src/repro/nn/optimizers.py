@@ -1,0 +1,118 @@
+"""Gradient-descent optimizers.
+
+The paper trains with plain stochastic gradient descent (Table I); Adam is
+provided for the baseline classifiers and for users who want faster
+convergence at small scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+class Optimizer:
+    """Base optimizer operating on a :class:`Sequential` network."""
+
+    def __init__(self, network: Sequential, learning_rate: float, gradient_clip: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if gradient_clip < 0:
+            raise ValueError("gradient clip must be non-negative")
+        self.network = network
+        self.learning_rate = float(learning_rate)
+        self.gradient_clip = float(gradient_clip)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.network.zero_grad()
+
+    def _clipped_gradients(self) -> Dict[str, np.ndarray]:
+        """Return gradients, globally clipped by L2 norm if configured."""
+        grads = dict(self.network.named_gradients())
+        if self.gradient_clip <= 0:
+            return grads
+        total_norm = np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
+        if total_norm <= self.gradient_clip or total_norm == 0.0:
+            return grads
+        scale = self.gradient_clip / total_norm
+        return {name: g * scale for name, g in grads.items()}
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 0.001,
+        momentum: float = 0.0,
+        gradient_clip: float = 0.0,
+    ) -> None:
+        super().__init__(network, learning_rate, gradient_clip)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: Optional[Dict[str, np.ndarray]] = None
+
+    def step(self) -> None:
+        params = dict(self.network.named_parameters())
+        grads = self._clipped_gradients()
+        if self.momentum > 0.0 and self._velocity is None:
+            self._velocity = {name: np.zeros_like(value) for name, value in params.items()}
+        for name, param in params.items():
+            grad = grads[name]
+            if self.momentum > 0.0:
+                velocity = self._velocity[name]
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        gradient_clip: float = 0.0,
+    ) -> None:
+        super().__init__(network, learning_rate, gradient_clip)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Optional[Dict[str, np.ndarray]] = None
+        self._v: Optional[Dict[str, np.ndarray]] = None
+        self._t = 0
+
+    def step(self) -> None:
+        params = dict(self.network.named_parameters())
+        grads = self._clipped_gradients()
+        if self._m is None:
+            self._m = {name: np.zeros_like(value) for name, value in params.items()}
+            self._v = {name: np.zeros_like(value) for name, value in params.items()}
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, param in params.items():
+            grad = grads[name]
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,47 @@
+"""Saving and loading network weights.
+
+The paper ships trained models alongside its datasets; these helpers give
+the reproduction the same capability using ``numpy.savez`` archives keyed by
+the stable parameter names exposed by :class:`repro.nn.network.Sequential`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_weights(network: Sequential, path: PathLike) -> Path:
+    """Serialize all parameters of ``network`` to an ``.npz`` archive.
+
+    Returns the path actually written (``.npz`` suffix is enforced so that
+    callers can rely on the extension ``numpy.savez`` would append anyway).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **network.state_dict())
+    return path
+
+
+def load_weights(network: Sequential, path: PathLike) -> Sequential:
+    """Load parameters saved with :func:`save_weights` into ``network``.
+
+    The network must already have been constructed with the same
+    architecture; mismatching names or shapes raise ``ValueError``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"weight archive not found: {path}")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    network.load_state_dict(state)
+    return network

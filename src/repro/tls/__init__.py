@@ -1,0 +1,41 @@
+"""TLS 1.2 / 1.3 record-layer substrate.
+
+The paper's side-channel is the sequence of ciphertext lengths a passive
+observer sees on a TLS connection.  This package models the parts of the
+protocol that shape those lengths: the handshake flights (whose sizes
+differ between TLS 1.2 and 1.3), the record layer (fragmentation into
+records of at most 2^14 bytes, per-record AEAD/MAC expansion and headers),
+and TLS 1.3's record-padding hook (RFC 8446 §5.4) which the countermeasure
+experiments of Section VII exercise.
+"""
+
+from repro.tls.version import TLSVersion
+from repro.tls.ciphersuites import CipherSuite, AES_128_GCM_TLS12, AES_128_GCM_TLS13, CHACHA20_POLY1305_TLS13
+from repro.tls.handshake import HandshakeFlight, handshake_flights
+from repro.tls.padding import (
+    RecordPaddingPolicy,
+    NoRecordPadding,
+    PadToBlock,
+    PadToMaximum,
+    RandomRecordPadding,
+)
+from repro.tls.record import RecordLayer, MAX_PLAINTEXT_FRAGMENT
+from repro.tls.session import TLSSession
+
+__all__ = [
+    "TLSVersion",
+    "CipherSuite",
+    "AES_128_GCM_TLS12",
+    "AES_128_GCM_TLS13",
+    "CHACHA20_POLY1305_TLS13",
+    "HandshakeFlight",
+    "handshake_flights",
+    "RecordPaddingPolicy",
+    "NoRecordPadding",
+    "PadToBlock",
+    "PadToMaximum",
+    "RandomRecordPadding",
+    "RecordLayer",
+    "MAX_PLAINTEXT_FRAGMENT",
+    "TLSSession",
+]

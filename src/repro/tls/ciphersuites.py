@@ -1,0 +1,73 @@
+"""Ciphersuites and their per-record ciphertext expansion.
+
+Only the properties that influence observable record lengths are modelled:
+the explicit per-record nonce (TLS 1.2 GCM), the AEAD authentication tag,
+and the single content-type byte appended to TLS 1.3 inner plaintexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tls.version import TLSVersion
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A TLS ciphersuite reduced to its length-relevant parameters."""
+
+    name: str
+    version: TLSVersion
+    explicit_nonce_size: int
+    tag_size: int
+
+    def __post_init__(self) -> None:
+        if self.explicit_nonce_size < 0 or self.tag_size < 0:
+            raise ValueError("ciphersuite overheads must be non-negative")
+
+    def ciphertext_size(self, plaintext_size: int, padding: int = 0) -> int:
+        """Wire size of one record's ciphertext fragment (without header).
+
+        ``padding`` is the number of TLS 1.3 padding bytes added to the
+        inner plaintext; it must be zero for TLS 1.2 suites.
+        """
+        if plaintext_size < 0:
+            raise ValueError("plaintext size must be non-negative")
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        if padding and not self.version.supports_record_padding:
+            raise ValueError(f"{self.version} does not support record padding")
+        inner = plaintext_size + padding
+        if self.version is TLSVersion.TLS_1_3:
+            # TLSInnerPlaintext carries one content-type byte.
+            inner += 1
+        return self.explicit_nonce_size + inner + self.tag_size
+
+
+AES_128_GCM_TLS12 = CipherSuite(
+    name="TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    version=TLSVersion.TLS_1_2,
+    explicit_nonce_size=8,
+    tag_size=16,
+)
+
+AES_128_GCM_TLS13 = CipherSuite(
+    name="TLS_AES_128_GCM_SHA256",
+    version=TLSVersion.TLS_1_3,
+    explicit_nonce_size=0,
+    tag_size=16,
+)
+
+CHACHA20_POLY1305_TLS13 = CipherSuite(
+    name="TLS_CHACHA20_POLY1305_SHA256",
+    version=TLSVersion.TLS_1_3,
+    explicit_nonce_size=0,
+    tag_size=16,
+)
+
+
+def default_suite(version: TLSVersion) -> CipherSuite:
+    """The default ciphersuite used by the simulated servers per version."""
+    if version is TLSVersion.TLS_1_2:
+        return AES_128_GCM_TLS12
+    return AES_128_GCM_TLS13

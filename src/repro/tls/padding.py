@@ -1,0 +1,106 @@
+"""TLS 1.3 record-padding policies.
+
+RFC 8446 makes record padding available but explicitly leaves the policy to
+the implementation ("Selecting a padding policy ... is beyond the scope of
+this specification"), which is the gap the paper's countermeasure analysis
+targets.  Each policy answers a single question: given a plaintext fragment
+of N bytes, how many padding bytes should be added to this record?
+
+Trace-level defences (padding whole page loads, anonymity sets) live in
+:mod:`repro.defences`; the classes here operate record-by-record inside the
+record layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tls.record import MAX_PLAINTEXT_FRAGMENT
+
+
+class RecordPaddingPolicy:
+    """Interface for per-record padding policies."""
+
+    def padding_for(self, plaintext_size: int, rng: Optional[np.random.Generator] = None) -> int:
+        """Number of padding bytes to append to a fragment of this size."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class NoRecordPadding(RecordPaddingPolicy):
+    """The default policy: no padding at all (TLS 1.2 behaviour)."""
+
+    def padding_for(self, plaintext_size: int, rng: Optional[np.random.Generator] = None) -> int:
+        self._validate(plaintext_size)
+        return 0
+
+    @staticmethod
+    def _validate(plaintext_size: int) -> None:
+        if plaintext_size < 0:
+            raise ValueError("plaintext size must be non-negative")
+
+
+class PadToBlock(RecordPaddingPolicy):
+    """Pad every record up to the next multiple of ``block_size`` bytes."""
+
+    def __init__(self, block_size: int = 512) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = int(block_size)
+
+    def padding_for(self, plaintext_size: int, rng: Optional[np.random.Generator] = None) -> int:
+        NoRecordPadding._validate(plaintext_size)
+        remainder = plaintext_size % self.block_size
+        if remainder == 0 and plaintext_size > 0:
+            return 0
+        return self.block_size - remainder
+
+    @property
+    def name(self) -> str:
+        return f"PadToBlock({self.block_size})"
+
+
+class PadToMaximum(RecordPaddingPolicy):
+    """Pad every record to the maximum TLS plaintext fragment size.
+
+    This is the strongest per-record policy: all records look identical in
+    size, leaving only the record *count* as signal.
+    """
+
+    def padding_for(self, plaintext_size: int, rng: Optional[np.random.Generator] = None) -> int:
+        NoRecordPadding._validate(plaintext_size)
+        if plaintext_size > MAX_PLAINTEXT_FRAGMENT:
+            raise ValueError("plaintext fragment exceeds the TLS maximum")
+        return MAX_PLAINTEXT_FRAGMENT - plaintext_size
+
+    @property
+    def name(self) -> str:
+        return "PadToMaximum"
+
+
+class RandomRecordPadding(RecordPaddingPolicy):
+    """Append a uniformly random amount of padding up to ``max_padding``.
+
+    Pironti et al. showed random-length padding to be a weak defence; it is
+    included so the reproduction can confirm that finding against the
+    adaptive adversary.
+    """
+
+    def __init__(self, max_padding: int = 256) -> None:
+        if max_padding <= 0:
+            raise ValueError("max_padding must be positive")
+        self.max_padding = int(max_padding)
+
+    def padding_for(self, plaintext_size: int, rng: Optional[np.random.Generator] = None) -> int:
+        NoRecordPadding._validate(plaintext_size)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return int(rng.integers(0, self.max_padding + 1))
+
+    @property
+    def name(self) -> str:
+        return f"RandomRecordPadding({self.max_padding})"

@@ -1,0 +1,35 @@
+"""TLS protocol versions considered by the paper (1.2 and 1.3)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TLSVersion(enum.Enum):
+    """Supported TLS protocol versions.
+
+    The paper's Wiki19000 dataset uses TLS 1.2 (plus a 500-class TLS 1.3
+    slice) and the Github500 dataset uses TLS 1.3; Experiment 3 studies how
+    a model trained on one version transfers to the other.
+    """
+
+    TLS_1_2 = "TLSv1.2"
+    TLS_1_3 = "TLSv1.3"
+
+    @property
+    def record_header_size(self) -> int:
+        """TLSPlaintext/TLSCiphertext header: type + version + length."""
+        return 5
+
+    @property
+    def supports_record_padding(self) -> bool:
+        """Only TLS 1.3 has protocol-level record padding (RFC 8446 §5.4)."""
+        return self is TLSVersion.TLS_1_3
+
+    @property
+    def handshake_round_trips(self) -> int:
+        """Full handshake round trips (TLS 1.3 is a 1-RTT handshake)."""
+        return 2 if self is TLSVersion.TLS_1_2 else 1
+
+    def __str__(self) -> str:
+        return self.value

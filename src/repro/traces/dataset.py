@@ -1,0 +1,199 @@
+"""Labelled trace datasets.
+
+A :class:`TraceDataset` holds the preprocessed traces of many page loads as
+a single array plus integer labels, mirroring the role of the paper's
+Wiki19000 / Github500 collections.  It supports the slicing operations the
+experiments need (per-class splits, class subsets, merging) and round-trips
+to ``.npz`` files so generated datasets can be cached between runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class TraceDataset:
+    """A collection of preprocessed traces with integer class labels.
+
+    ``data`` has shape ``(n_traces, n_sequences, sequence_length)`` and
+    ``labels`` holds an integer per trace indexing into ``class_names``.
+    """
+
+    data: np.ndarray
+    labels: np.ndarray
+    class_names: List[str]
+    website: str = ""
+    tls_version: str = ""
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.data.ndim != 3:
+            raise ValueError(f"data must be 3-D (traces, sequences, length), got {self.data.shape}")
+        if self.labels.ndim != 1 or self.labels.shape[0] != self.data.shape[0]:
+            raise ValueError("labels must be 1-D and aligned with data")
+        if len(self.labels) and (self.labels.min() < 0 or self.labels.max() >= len(self.class_names)):
+            raise ValueError("labels reference classes outside class_names")
+
+    # ------------------------------------------------------------- constructors
+    @classmethod
+    def from_traces(cls, traces: Sequence[Trace], website: str = "", tls_version: str = "") -> "TraceDataset":
+        """Build a dataset from :class:`Trace` objects (labels are strings)."""
+        if not traces:
+            raise ValueError("cannot build a dataset from zero traces")
+        shapes = {t.sequences.shape for t in traces}
+        if len(shapes) != 1:
+            raise ValueError(f"traces have inconsistent shapes: {sorted(shapes)}")
+        class_names = sorted({t.label for t in traces})
+        index = {name: i for i, name in enumerate(class_names)}
+        data = np.stack([t.sequences for t in traces])
+        labels = np.array([index[t.label] for t in traces], dtype=np.int64)
+        website = website or (traces[0].website if traces[0].website else "")
+        tls_version = tls_version or traces[0].tls_version
+        return cls(data=data, labels=labels, class_names=class_names, website=website, tls_version=tls_version)
+
+    # ------------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def n_sequences(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def sequence_length(self) -> int:
+        return int(self.data.shape[2])
+
+    def label_name(self, label: int) -> str:
+        return self.class_names[int(label)]
+
+    def samples_per_class(self) -> Dict[int, int]:
+        unique, counts = np.unique(self.labels, return_counts=True)
+        return {int(u): int(c) for u, c in zip(unique, counts)}
+
+    def model_inputs(self) -> np.ndarray:
+        """All traces as ``(n, time, features)`` arrays for the network."""
+        return np.transpose(self.data, (0, 2, 1)).copy()
+
+    # ---------------------------------------------------------------- selection
+    def subset(self, indices: Iterable[int]) -> "TraceDataset":
+        """A new dataset containing only the given trace indices."""
+        indices = np.asarray(list(indices), dtype=np.int64)
+        return TraceDataset(
+            data=self.data[indices],
+            labels=self.labels[indices],
+            class_names=list(self.class_names),
+            website=self.website,
+            tls_version=self.tls_version,
+        )
+
+    def filter_classes(self, class_ids: Iterable[int]) -> "TraceDataset":
+        """Keep only traces of the given classes (labels are re-indexed)."""
+        keep = sorted(set(int(c) for c in class_ids))
+        if not keep:
+            raise ValueError("filter_classes requires at least one class")
+        unknown = [c for c in keep if c < 0 or c >= self.n_classes]
+        if unknown:
+            raise ValueError(f"unknown class ids: {unknown}")
+        mask = np.isin(self.labels, keep)
+        remap = {old: new for new, old in enumerate(keep)}
+        new_labels = np.array([remap[int(l)] for l in self.labels[mask]], dtype=np.int64)
+        return TraceDataset(
+            data=self.data[mask],
+            labels=new_labels,
+            class_names=[self.class_names[c] for c in keep],
+            website=self.website,
+            tls_version=self.tls_version,
+        )
+
+    def first_n_classes(self, n: int) -> "TraceDataset":
+        """The slice containing classes ``0..n-1`` (used for sweep slices)."""
+        if n <= 0 or n > self.n_classes:
+            raise ValueError(f"n must be in [1, {self.n_classes}], got {n}")
+        return self.filter_classes(range(n))
+
+    def split_per_class(self, first_fraction: float, seed: int = 0) -> Tuple["TraceDataset", "TraceDataset"]:
+        """Split every class's samples into two datasets (e.g. 90 % / 10 %).
+
+        This is the reference/test split used throughout the evaluation:
+        ~90 samples per class serve as labelled reference points and the
+        remaining ~10 are classified.
+        """
+        if not 0.0 < first_fraction < 1.0:
+            raise ValueError("first_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        first_indices: List[int] = []
+        second_indices: List[int] = []
+        for class_id in range(self.n_classes):
+            class_indices = np.flatnonzero(self.labels == class_id)
+            if len(class_indices) == 0:
+                continue
+            permuted = rng.permutation(class_indices)
+            cut = max(1, int(round(first_fraction * len(permuted))))
+            cut = min(cut, len(permuted) - 1) if len(permuted) > 1 else 1
+            first_indices.extend(permuted[:cut].tolist())
+            second_indices.extend(permuted[cut:].tolist())
+        if not second_indices:
+            raise ValueError("split produced an empty second part; add more samples per class")
+        return self.subset(first_indices), self.subset(second_indices)
+
+    def merge(self, other: "TraceDataset") -> "TraceDataset":
+        """Concatenate two datasets, unioning their class name spaces."""
+        if self.data.shape[1:] != other.data.shape[1:]:
+            raise ValueError("cannot merge datasets with different trace shapes")
+        class_names = list(dict.fromkeys(self.class_names + other.class_names))
+        index = {name: i for i, name in enumerate(class_names)}
+        labels_self = np.array([index[self.class_names[l]] for l in self.labels], dtype=np.int64)
+        labels_other = np.array([index[other.class_names[l]] for l in other.labels], dtype=np.int64)
+        return TraceDataset(
+            data=np.concatenate([self.data, other.data]),
+            labels=np.concatenate([labels_self, labels_other]),
+            class_names=class_names,
+            website=self.website or other.website,
+            tls_version=self.tls_version or other.tls_version,
+        )
+
+    # --------------------------------------------------------------- persistence
+    def save(self, path: PathLike) -> Path:
+        """Save the dataset to an ``.npz`` archive."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            data=self.data,
+            labels=self.labels,
+            class_names=np.array(self.class_names, dtype=object),
+            website=np.array(self.website),
+            tls_version=np.array(self.tls_version),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TraceDataset":
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"dataset archive not found: {path}")
+        with np.load(path, allow_pickle=True) as archive:
+            return cls(
+                data=archive["data"],
+                labels=archive["labels"],
+                class_names=[str(name) for name in archive["class_names"]],
+                website=str(archive["website"]),
+                tls_version=str(archive["tls_version"]),
+            )

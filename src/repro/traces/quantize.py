@@ -1,0 +1,29 @@
+"""Byte-count quantization (the optional noise-reduction step of §IV-A.1).
+
+Quantizing byte counts to a step size removes small differences (a few
+bytes of varying HTTP headers, TLS padding jitter) that carry little
+identifying information but add noise to the learned representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantize_counts(counts: np.ndarray, step: int) -> np.ndarray:
+    """Round byte counts to the nearest multiple of ``step``.
+
+    ``step <= 1`` disables quantization (the array is returned unchanged,
+    as a copy).  Non-zero counts never quantize to zero: a transmission of
+    1 byte is still a transmission, and erasing it would change the
+    *ordering* information the sequences encode, not just their magnitude.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if step < 0:
+        raise ValueError("quantization step must be non-negative")
+    if step <= 1:
+        return counts.copy()
+    quantized = np.round(counts / step) * step
+    nonzero_erased = (counts > 0) & (quantized == 0)
+    quantized[nonzero_erased] = step
+    return quantized

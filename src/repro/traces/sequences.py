@@ -1,0 +1,166 @@
+"""Converting packet captures into per-IP byte-count sequences.
+
+This is the preprocessing of Section IV-A.1 and Figure 4 of the paper:
+
+* every IP address that transmitted during the page load gets its own
+  sequence, with the monitored client always first;
+* each time an IP transmits, its byte count is appended to its sequence and
+  a zero is appended to every other sequence (preserving relative order);
+* consecutive packets from the same IP are aggregated into a single entry;
+* optionally the counts are quantized and/or log-scaled, and the sequences
+  are padded/truncated to a fixed length for the neural network.
+
+The two-sequence encoding used by prior (Tor-focused) work — one sequence
+for outgoing and one for incoming traffic — is available via
+``max_sequences=2, merge_servers=True`` and is what Experiment 3 uses for
+the Github dataset, whose per-load server count varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.net.address import IPAddress
+from repro.net.capture import PacketCapture
+from repro.traces.quantize import quantize_counts
+from repro.traces.trace import Trace
+
+
+def extract_ip_runs(capture: PacketCapture) -> List[Tuple[IPAddress, int]]:
+    """Collapse the capture into (sender, aggregated-bytes) runs.
+
+    Consecutive packets from the same sender are merged (summed); a run
+    ends as soon as a different IP transmits, which is exactly the
+    aggregation rule illustrated in Figure 4.
+    """
+    runs: List[Tuple[IPAddress, int]] = []
+    for timestamp, sender, size in capture.transmissions():
+        if runs and runs[-1][0] == sender:
+            runs[-1] = (sender, runs[-1][1] + size)
+        else:
+            runs.append((sender, size))
+    return runs
+
+
+@dataclass
+class SequenceExtractor:
+    """Turns :class:`PacketCapture` objects into fixed-shape traces.
+
+    Parameters
+    ----------
+    max_sequences:
+        Number of per-IP sequences to keep (client first).  The paper uses
+        3 for Wikipedia (client + text + media server) and 2 for the
+        two-sequence encoding.
+    sequence_length:
+        Fixed length the sequences are padded / truncated to.
+    aggregate_consecutive:
+        Merge consecutive transmissions of the same IP (paper default).
+    quantization_step:
+        Byte-count quantization step; 0 disables quantization.
+    log_scale:
+        Apply ``log1p`` to the counts — keeps the large dynamic range of
+        response sizes (hundreds of bytes to megabytes) in a range a neural
+        network trains on comfortably.
+    merge_servers:
+        Fold all non-client senders into a single "incoming" sequence
+        (two-sequence encoding).  Requires ``max_sequences == 2``.
+    tail_aggregate:
+        When a trace has more transmission events than ``sequence_length``,
+        fold the overflow into the final position of each sequence instead
+        of discarding it.  This keeps the per-server byte totals — the
+        strongest identifying signal — intact for long page loads while the
+        fixed-length prefix preserves the ordering information.
+    """
+
+    max_sequences: int = 3
+    sequence_length: int = 40
+    aggregate_consecutive: bool = True
+    quantization_step: int = 0
+    log_scale: bool = True
+    merge_servers: bool = False
+    tail_aggregate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_sequences < 2:
+            raise ValueError("max_sequences must be at least 2 (client + one server)")
+        if self.sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        if self.quantization_step < 0:
+            raise ValueError("quantization_step must be non-negative")
+        if self.merge_servers and self.max_sequences != 2:
+            raise ValueError("merge_servers requires max_sequences == 2")
+
+    # ------------------------------------------------------------------ public
+    def extract(self, capture: PacketCapture, label: str, website: str = "", tls_version: str = "") -> Trace:
+        """Extract a labelled :class:`Trace` from one capture."""
+        sequences = self.extract_array(capture)
+        return Trace(
+            label=label,
+            website=website,
+            sequences=sequences,
+            tls_version=tls_version,
+            metadata={"duration": capture.duration, "total_bytes": float(capture.total_bytes)},
+        )
+
+    def extract_array(self, capture: PacketCapture) -> np.ndarray:
+        """The ``(max_sequences, sequence_length)`` array for one capture."""
+        variable = self._variable_length_sequences(capture)
+        fixed = self._pad_truncate(variable)
+        if self.quantization_step > 1:
+            fixed = quantize_counts(fixed, self.quantization_step)
+        if self.log_scale:
+            fixed = np.log1p(fixed)
+        return fixed
+
+    # ---------------------------------------------------------------- internals
+    def _sender_events(self, capture: PacketCapture) -> List[Tuple[IPAddress, int]]:
+        if self.aggregate_consecutive:
+            return extract_ip_runs(capture)
+        return [(sender, size) for _, sender, size in capture.transmissions()]
+
+    def _variable_length_sequences(self, capture: PacketCapture) -> List[List[float]]:
+        events = self._sender_events(capture)
+        client = capture.client_ip
+
+        if self.merge_servers:
+            sequence_keys: List[object] = [client, "incoming"]
+
+            def key_for(sender: IPAddress) -> object:
+                return client if sender == client else "incoming"
+
+        else:
+            # Client first, then servers in order of first appearance;
+            # any servers beyond the budget are folded into the last slot.
+            remotes = capture.remote_ips()
+            kept = remotes[: self.max_sequences - 1]
+            sequence_keys = [client] + list(kept)
+            overflow_key = kept[-1] if kept else None
+
+            def key_for(sender: IPAddress) -> object:
+                if sender == client or sender in kept:
+                    return sender
+                return overflow_key
+
+        sequences: Dict[object, List[float]] = {key: [] for key in sequence_keys}
+        for sender, size in events:
+            key = key_for(sender)
+            if key is None:
+                continue
+            for other_key in sequence_keys:
+                sequences[other_key].append(float(size) if other_key == key else 0.0)
+        return [sequences[key] for key in sequence_keys]
+
+    def _pad_truncate(self, variable: List[List[float]]) -> np.ndarray:
+        fixed = np.zeros((self.max_sequences, self.sequence_length), dtype=np.float64)
+        for row, sequence in enumerate(variable[: self.max_sequences]):
+            if len(sequence) >= self.sequence_length:
+                fixed[row, :] = sequence[: self.sequence_length]
+                if self.tail_aggregate:
+                    fixed[row, -1] += float(sum(sequence[self.sequence_length :]))
+            else:
+                fixed[row, : len(sequence)] = sequence
+        return fixed

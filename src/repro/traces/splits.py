@@ -1,0 +1,82 @@
+"""The Set A / B / C / D split geometry of Figure 5.
+
+Experiments 1 and 2 rely on a specific four-way split of the Wikipedia
+dataset:
+
+* **Set A** — training classes, ~90 % of their samples (model training and,
+  in Experiment 1, the reference corpus);
+* **Set B** — the *same* classes as A, the remaining ~10 % of samples
+  (Experiment 1's test set);
+* **Set C** — a *disjoint* set of classes, ~90 % of their samples
+  (Experiment 2's reference corpus);
+* **Set D** — the same classes as C, the remaining samples (Experiment 2's
+  test set).
+
+No sample appears in more than one set and the class sets {A, B} and
+{C, D} do not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.traces.dataset import TraceDataset
+
+
+@dataclass
+class FourWaySplit:
+    """The four sets of Figure 5."""
+
+    set_a: TraceDataset
+    set_b: TraceDataset
+    set_c: TraceDataset
+    set_d: TraceDataset
+
+    def summary(self) -> str:
+        """A short human-readable description of the split sizes."""
+        parts = []
+        for name, dataset in (("A", self.set_a), ("B", self.set_b), ("C", self.set_c), ("D", self.set_d)):
+            parts.append(f"Set {name}: {dataset.n_classes} classes, {len(dataset)} traces")
+        return "; ".join(parts)
+
+
+def reference_test_split(
+    dataset: TraceDataset, reference_fraction: float = 0.9, seed: int = 0
+) -> Tuple[TraceDataset, TraceDataset]:
+    """Per-class reference/test split (the 90/10 split used everywhere)."""
+    return dataset.split_per_class(reference_fraction, seed=seed)
+
+
+def four_way_split(
+    dataset: TraceDataset,
+    train_classes: int,
+    reference_fraction: float = 0.9,
+    seed: int = 0,
+) -> FourWaySplit:
+    """Split ``dataset`` into Sets A, B, C and D.
+
+    ``train_classes`` classes (chosen deterministically from the seed) form
+    the A/B side; every remaining class forms the C/D side.  Within each
+    side the samples of every class are split ``reference_fraction`` /
+    ``1 - reference_fraction`` into the reference and test parts.
+    """
+    if train_classes <= 0:
+        raise ValueError("train_classes must be positive")
+    if train_classes >= dataset.n_classes:
+        raise ValueError(
+            f"train_classes ({train_classes}) must leave at least one class for Sets C/D "
+            f"(dataset has {dataset.n_classes} classes)"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n_classes)
+    train_ids = sorted(int(c) for c in order[:train_classes])
+    eval_ids = sorted(int(c) for c in order[train_classes:])
+
+    train_side = dataset.filter_classes(train_ids)
+    eval_side = dataset.filter_classes(eval_ids)
+    set_a, set_b = train_side.split_per_class(reference_fraction, seed=seed + 1)
+    set_c, set_d = eval_side.split_per_class(reference_fraction, seed=seed + 2)
+    return FourWaySplit(set_a=set_a, set_b=set_b, set_c=set_c, set_d=set_d)

@@ -1,0 +1,35 @@
+"""Synthetic web substrate.
+
+The paper crawls live Wikipedia and Github pages; this package builds the
+equivalent synthetic targets: websites whose pages share an HTML theme but
+carry page-specific content, served from one or more content servers, with
+link graphs and content-drift models.  A simulated browser loads pages over
+the TLS substrate and a crawler collects labelled captures, mirroring the
+Selenium + tcpdump pipeline of Section V.
+"""
+
+from repro.web.resource import Resource, ResourceKind
+from repro.web.page import WebPage
+from repro.web.website import Website, Server
+from repro.web.generators import WikipediaLikeGenerator, GithubLikeGenerator
+from repro.web.updates import ContentDrift, MinorUpdate, MajorUpdate, GradualDrift
+from repro.web.browser import Browser, PageLoadResult
+from repro.web.crawler import Crawler, LabeledCapture
+
+__all__ = [
+    "Resource",
+    "ResourceKind",
+    "WebPage",
+    "Website",
+    "Server",
+    "WikipediaLikeGenerator",
+    "GithubLikeGenerator",
+    "ContentDrift",
+    "MinorUpdate",
+    "MajorUpdate",
+    "GradualDrift",
+    "Browser",
+    "PageLoadResult",
+    "Crawler",
+    "LabeledCapture",
+]

@@ -1,0 +1,148 @@
+"""A simulated browser that loads pages over the TLS substrate.
+
+The browser reproduces the data-collection behaviour of Section V: a fresh
+"incognito" profile with no caches, one TLS session per contacted server,
+the main HTML document fetched first and the remaining resources fetched in
+a non-deterministic order with chunked responses — the source of the
+intra-class variability the embedding model has to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.address import IPAddress
+from repro.net.capture import PacketCapture, Sniffer
+from repro.net.channel import TransmissionChannel
+from repro.net.latency import LatencyModel
+from repro.tls.padding import RecordPaddingPolicy
+from repro.tls.session import TLSSession
+from repro.web.resource import Resource, ResourceKind
+from repro.web.website import Server, Website
+
+
+@dataclass
+class PageLoadResult:
+    """Everything produced by one simulated page load."""
+
+    page_id: str
+    capture: PacketCapture
+    servers_contacted: List[IPAddress]
+    duration: float
+
+
+@dataclass
+class Browser:
+    """A headless browser simulator for single page loads."""
+
+    client_ip: IPAddress = field(default_factory=lambda: IPAddress("10.0.0.200"))
+    latency: LatencyModel = field(default_factory=lambda: LatencyModel(base_rtt=0.035, jitter=0.004))
+    retransmission_rate: float = 0.003
+    incognito: bool = True
+    record_padding_policy: Optional[RecordPaddingPolicy] = None
+    max_response_chunks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_response_chunks <= 0:
+            raise ValueError("max_response_chunks must be positive")
+
+    def load(self, website: Website, page_id: str, rng: np.random.Generator) -> PageLoadResult:
+        """Load ``page_id`` from ``website`` and return the sniffed capture."""
+        page = website.get_page(page_id)
+        resources = list(page.resources)
+        if not self.incognito:
+            # A warm cache skips the shared template resources entirely;
+            # the paper's crawler always runs incognito, but the option lets
+            # users study the caching artifact it cites.
+            resources = [r for r in resources if not r.shared]
+        if not resources:
+            raise ValueError(f"page {page_id!r} has no resources to fetch")
+
+        sniffer = Sniffer(self.client_ip)
+        sniffer.start()
+        assignments = self._assign_servers(website, resources, rng)
+        sessions: Dict[IPAddress, TLSSession] = {}
+        session_clock: Dict[IPAddress, float] = {}
+
+        # The main document is fetched first; sub-resources follow in a
+        # shuffled order once the browser has "parsed" the HTML.
+        ordered = self._fetch_order(resources, rng)
+        now = 0.0
+        main_done = 0.0
+        for index, resource in enumerate(ordered):
+            server = assignments[resource.name]
+            session = sessions.get(server.ip)
+            if session is None:
+                session = self._open_session(website, server, sniffer, rng)
+                start = now if index == 0 else main_done + float(rng.uniform(0.0, 0.01))
+                session_clock[server.ip] = session.handshake(start, rng)
+                sessions[server.ip] = session
+            start_time = max(session_clock[server.ip], 0.0 if index == 0 else main_done)
+            chunks = int(rng.integers(1, self.max_response_chunks + 1))
+            end = session.exchange(
+                resource.request_size,
+                resource.size,
+                start_time,
+                rng,
+                response_chunks=chunks,
+            )
+            session_clock[server.ip] = end
+            if index == 0:
+                main_done = end
+            now = max(now, end)
+
+        capture = sniffer.stop()
+        return PageLoadResult(
+            page_id=page_id,
+            capture=capture,
+            servers_contacted=list(sessions),
+            duration=capture.duration,
+        )
+
+    # ------------------------------------------------------------------ internals
+    def _assign_servers(
+        self, website: Website, resources: List[Resource], rng: np.random.Generator
+    ) -> Dict[str, Server]:
+        """Map each resource to a concrete server, applying load balancing."""
+        pools: Dict[str, List[Server]] = {}
+        for server in website.servers:
+            if server.pool:
+                pools.setdefault(server.pool, []).append(server)
+        assignments: Dict[str, Server] = {}
+        for resource in resources:
+            server = website.server_for_role(resource.server_role)
+            if server.pool:
+                members = pools[server.pool]
+                server = members[int(rng.integers(0, len(members)))]
+            assignments[resource.name] = server
+        return assignments
+
+    def _fetch_order(self, resources: List[Resource], rng: np.random.Generator) -> List[Resource]:
+        """HTML document first, everything else in a random order."""
+        html = [r for r in resources if r.kind is ResourceKind.HTML]
+        others = [r for r in resources if r.kind is not ResourceKind.HTML]
+        if others:
+            order = rng.permutation(len(others))
+            others = [others[i] for i in order]
+        return (html or others[:1]) + (others if html else others[1:])
+
+    def _open_session(
+        self, website: Website, server: Server, sniffer: Sniffer, rng: np.random.Generator
+    ) -> TLSSession:
+        channel = TransmissionChannel(
+            client_ip=self.client_ip,
+            server_ip=server.ip,
+            latency=self.latency,
+            retransmission_rate=self.retransmission_rate,
+            sniffer=sniffer,
+        )
+        return TLSSession(
+            channel=channel,
+            version=website.tls_version,
+            padding_policy=self.record_padding_policy,
+            certificate_chain_size=server.certificate_chain_size,
+            session_resumption=bool(rng.random() < 0.1),
+        )

@@ -1,0 +1,86 @@
+"""Web pages: a shared template plus page-specific content resources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.web.resource import Resource, ResourceKind
+
+
+@dataclass
+class WebPage:
+    """A single webpage of a website.
+
+    ``template_resources`` are shared with every other page of the site
+    (stylesheets, scripts, logo images); ``content_resources`` are unique to
+    this page (the article text, the page's own images).  This split
+    directly models the "shared resources" property the paper highlights as
+    what makes *webpage* fingerprinting harder than *website*
+    fingerprinting.
+    """
+
+    page_id: str
+    url: str
+    template_resources: List[Resource] = field(default_factory=list)
+    content_resources: List[Resource] = field(default_factory=list)
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.page_id:
+            raise ValueError("page_id must be non-empty")
+        if not self.url:
+            raise ValueError("url must be non-empty")
+
+    @property
+    def resources(self) -> List[Resource]:
+        """All resources fetched when loading the page (template first)."""
+        return list(self.template_resources) + list(self.content_resources)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.resources)
+
+    @property
+    def unique_bytes(self) -> int:
+        """Bytes unique to this page (excludes the shared template)."""
+        return sum(r.size for r in self.content_resources)
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of the page volume that is shared template content."""
+        total = self.total_bytes
+        if total == 0:
+            return 0.0
+        return 1.0 - self.unique_bytes / total
+
+    def bytes_by_server(self) -> Dict[str, int]:
+        """Total response bytes grouped by server role."""
+        totals: Dict[str, int] = {}
+        for resource in self.resources:
+            totals[resource.server_role] = totals.get(resource.server_role, 0) + resource.size
+        return totals
+
+    def bytes_by_kind(self) -> Dict[ResourceKind, int]:
+        totals: Dict[ResourceKind, int] = {}
+        for resource in self.resources:
+            totals[resource.kind] = totals.get(resource.kind, 0) + resource.size
+        return totals
+
+    def with_content(self, content_resources: List[Resource]) -> "WebPage":
+        """A new version of the page with replaced content resources."""
+        return WebPage(
+            page_id=self.page_id,
+            url=self.url,
+            template_resources=list(self.template_resources),
+            content_resources=list(content_resources),
+            version=self.version + 1,
+        )
+
+    def signature(self) -> Tuple[Tuple[str, int], ...]:
+        """A deterministic (server_role, size) fingerprint of the page.
+
+        Useful in tests to check that two pages differ (or that an update
+        really changed the page).
+        """
+        return tuple(sorted((r.server_role, r.size) for r in self.resources))

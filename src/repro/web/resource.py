@@ -1,0 +1,56 @@
+"""Web resources: the units of content a browser fetches.
+
+A page load is a set of HTTP request/response exchanges; what the adversary
+can observe about each exchange is essentially the response size and which
+server produced it.  Resources therefore carry only a kind, a size in bytes
+and the name of the server role that hosts them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class ResourceKind(enum.Enum):
+    """The kinds of resources that make up a webpage."""
+
+    HTML = "html"
+    STYLESHEET = "stylesheet"
+    SCRIPT = "script"
+    IMAGE = "image"
+    MEDIA = "media"
+    FONT = "font"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A single fetchable resource.
+
+    ``server_role`` names the logical server that serves the resource
+    (e.g. ``"text"`` or ``"media"`` for the Wikipedia-like site); the
+    website maps roles to concrete IP addresses.  ``shared`` marks
+    template/theme resources reused by every page of the site — the "shared
+    resources" factor of Section III-B.3.
+    """
+
+    name: str
+    kind: ResourceKind
+    size: int
+    server_role: str
+    shared: bool = False
+    request_size: int = 450
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"resource {self.name!r} has negative size")
+        if self.request_size <= 0:
+            raise ValueError(f"resource {self.name!r} has non-positive request size")
+        if not self.name:
+            raise ValueError("resource name must be non-empty")
+        if not self.server_role:
+            raise ValueError("resource server_role must be non-empty")
+
+    def resized(self, new_size: int) -> "Resource":
+        """A copy with a different size (used by the content-drift models)."""
+        return replace(self, size=int(new_size))

@@ -1,0 +1,136 @@
+"""Content-drift models (the "distributional shift" of Section III-B.2).
+
+Websites update their pages: article text grows or shrinks, images are
+swapped, and over many small edits a page can end up sharing almost nothing
+with the version the adversary trained on.  The drift models below mutate
+:class:`~repro.web.page.WebPage` objects so the experiments can study how
+the attack (and the baselines) behave as the target distribution moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.web.page import WebPage
+from repro.web.resource import Resource, ResourceKind
+from repro.web.website import Website
+
+
+class ContentDrift:
+    """Interface for page-update models."""
+
+    def apply(self, page: WebPage, rng: np.random.Generator) -> WebPage:
+        """Return an updated version of ``page`` (the input is not mutated)."""
+        raise NotImplementedError
+
+    def apply_to_website(
+        self,
+        website: Website,
+        rng: np.random.Generator,
+        fraction: float = 1.0,
+    ) -> List[str]:
+        """Update a random ``fraction`` of the website's pages in place.
+
+        Returns the ids of the pages that were updated, which is what the
+        adversary's adaptation process would discover by monitoring the
+        site (Section IV-C).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        page_ids = website.page_ids
+        n_updates = int(round(fraction * len(page_ids)))
+        if n_updates == 0:
+            return []
+        chosen = rng.choice(page_ids, size=n_updates, replace=False)
+        updated = []
+        for page_id in chosen:
+            page_id = str(page_id)
+            new_page = self.apply(website.get_page(page_id), rng)
+            website.update_page(new_page)
+            updated.append(page_id)
+        return updated
+
+
+@dataclass
+class MinorUpdate(ContentDrift):
+    """Small edits: content resource sizes change by a few percent."""
+
+    relative_change: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.relative_change <= 0:
+            raise ValueError("relative_change must be positive")
+
+    def apply(self, page: WebPage, rng: np.random.Generator) -> WebPage:
+        new_content = []
+        for resource in page.content_resources:
+            factor = 1.0 + float(rng.normal(0.0, self.relative_change))
+            new_content.append(resource.resized(max(64, int(resource.size * factor))))
+        return page.with_content(new_content)
+
+
+@dataclass
+class MajorUpdate(ContentDrift):
+    """A rewrite: the page's content resources are replaced wholesale."""
+
+    mean_content_bytes: float = 60_000.0
+    sigma: float = 0.9
+    max_images: int = 6
+    image_mean_bytes: float = 35_000.0
+
+    def apply(self, page: WebPage, rng: np.random.Generator) -> WebPage:
+        roles = sorted({r.server_role for r in page.content_resources}) or ["text"]
+        text_role = roles[0]
+        image_role = roles[-1]
+        mu = np.log(self.mean_content_bytes) - self.sigma**2 / 2
+        new_content = [
+            Resource(
+                f"{page.page_id}-v{page.version + 1}.html",
+                ResourceKind.HTML,
+                max(64, int(rng.lognormal(mu, self.sigma))),
+                text_role,
+            )
+        ]
+        image_mu = np.log(self.image_mean_bytes) - 0.8**2 / 2
+        for index in range(int(rng.integers(0, self.max_images + 1))):
+            new_content.append(
+                Resource(
+                    f"{page.page_id}-v{page.version + 1}-img{index}.jpg",
+                    ResourceKind.IMAGE,
+                    max(64, int(rng.lognormal(image_mu, 0.8))),
+                    image_role,
+                )
+            )
+        return page.with_content(new_content)
+
+
+@dataclass
+class GradualDrift(ContentDrift):
+    """Many small edits applied in sequence.
+
+    Section III-C.2 points out that pages are often replaced through small
+    but frequent updates whose cumulative effect is a large distributional
+    shift; ``steps`` controls how many successive minor edits are applied.
+    """
+
+    steps: int = 10
+    per_step_change: float = 0.08
+    replace_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+
+    def apply(self, page: WebPage, rng: np.random.Generator) -> WebPage:
+        minor = MinorUpdate(relative_change=self.per_step_change)
+        major = MajorUpdate()
+        current = page
+        for _ in range(self.steps):
+            if rng.random() < self.replace_probability:
+                current = major.apply(current, rng)
+            else:
+                current = minor.apply(current, rng)
+        return current

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "exp99"])
+
+    def test_unknown_scale_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "exp1", "--scale", "galactic"])
+
+
+class TestInfo:
+    def test_info_lists_scales_and_experiments(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "smoke" in output and "ci" in output and "paper" in output
+        for experiment_id in ("exp1", "exp2", "exp3", "exp4", "exp5", "table3"):
+            assert experiment_id in output
+
+
+class TestTable3Command:
+    def test_catalogue_only(self, capsys):
+        assert main(["table3", "--no-measure"]) == 0
+        output = capsys.readouterr().out
+        assert "Adaptive Fingerprinting" in output
+        assert "Deep Fingerprinting" in output
+
+
+class TestExperimentCommand:
+    def test_exp1_smoke_runs_and_writes_output(self, capsys, tmp_path):
+        assert main(["experiment", "exp1", "--scale", "smoke", "--output-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 6" in output
+        assert (tmp_path / "exp1.txt").exists()
+        assert "Figure 6" in (tmp_path / "exp1.txt").read_text()

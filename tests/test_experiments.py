@@ -1,0 +1,173 @@
+"""Integration tests for the experiment runners (smoke scale).
+
+These tests check that every experiment runner produces well-formed results
+and respects its structural invariants at the tiny "smoke" scale; the
+paper-shape claims (accuracy levels, who beats whom) are exercised at the
+larger "ci" scale by the benchmark harness in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import get_scale
+from repro.experiments import (
+    ExperimentContext,
+    ci_hyperparameters,
+    ci_training_config,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_experiment4,
+    run_experiment5,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.build("smoke")
+
+
+class TestContext:
+    def test_scale_lookup_errors(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_context_structure(self, context):
+        scale = context.scale
+        split = context.wiki_split
+        assert split.set_a.n_classes == scale.train_classes
+        assert set(split.set_a.class_names) == set(split.set_b.class_names)
+        assert set(split.set_a.class_names).isdisjoint(split.set_c.class_names)
+        assert context.fingerprinter.provisioned
+        assert context.training_history.epoch_losses
+        assert context.github_dataset.n_sequences == 2
+        assert context.wiki_tls13_dataset.tls_version == "TLSv1.3"
+        assert set(context.datasets_by_name) == {"wiki", "wiki_tls13", "github"}
+
+    def test_slice_helpers(self, context):
+        n = min(context.scale.exp1_class_counts)
+        reference, test = context.slice_known(n)
+        assert reference.n_classes == n and test.n_classes == n
+        reference_u, test_u = context.slice_unknown(n)
+        assert set(reference_u.class_names).isdisjoint(reference.class_names)
+
+    def test_evaluate_slice_returns_accuracies(self, context):
+        n = min(context.scale.exp1_class_counts)
+        reference, test = context.slice_known(n)
+        accuracy = context.evaluate_slice(reference, test, ns=(1, 3))
+        assert set(accuracy) == {1, 3}
+        assert 0.0 <= accuracy[1] <= accuracy[3] <= 1.0
+
+    def test_ci_config_helpers(self):
+        hp = ci_hyperparameters(embedding_dim=16)
+        assert hp.embedding_dim == 16
+        config = ci_training_config(get_scale("smoke"), epochs=3)
+        assert config.epochs == 3
+
+
+class TestExperiment1:
+    def test_result_structure(self, context):
+        result = run_experiment1(context, ns=(1, 3, 5))
+        assert set(result.accuracy_by_classes) == set(context.scale.exp1_class_counts)
+        for accuracy in result.accuracy_by_classes.values():
+            assert set(accuracy) == {1, 3, 5}
+            # top-n accuracy is monotone in n
+            assert accuracy[1] <= accuracy[3] <= accuracy[5]
+        assert result.tls13_classes == min(context.scale.exp1_class_counts)
+        assert "Figure 6" in result.as_table()
+
+    def test_tls13_can_be_skipped(self, context):
+        result = run_experiment1(context, ns=(1,), include_tls13=False)
+        assert result.tls13_accuracy == {}
+
+
+class TestExperiment2:
+    def test_result_structure(self, context):
+        result = run_experiment2(context, ns=(1, 3), target_accuracy=0.8)
+        assert set(result.accuracy_by_classes) == set(context.scale.exp2_class_counts)
+        assert len(result.table2_rows) == len(context.scale.exp2_class_counts)
+        for row in result.table2_rows:
+            assert 1 <= row.n_for_target <= row.n_classes
+            assert 0.0 < row.n_fraction_of_classes <= 1.0
+        assert "Table II" in result.table2_as_table()
+        assert "Figure 7" in result.as_table()
+
+    def test_sublinear_requires_two_rows(self):
+        from repro.experiments.exp2_adaptability import Experiment2Result
+
+        assert not Experiment2Result().sublinear()
+
+
+class TestExperiment3:
+    def test_result_structure(self, context):
+        result = run_experiment3(context, ns=(1, 3))
+        assert result.wikipedia_classes == min(context.scale.exp1_class_counts)
+        assert set(result.github_accuracy_by_classes) == set(context.scale.github_class_counts)
+        for accuracy in result.github_accuracy_by_classes.values():
+            assert accuracy[1] <= accuracy[3]
+        assert "Figure 8" in result.as_table()
+
+
+class TestExperiment4:
+    def test_result_structure(self, context):
+        result = run_experiment4(context)
+        assert len(result.scenarios) == 4
+        known = [name for name in result.scenarios if name.startswith("known (")]
+        padded = [name for name in result.scenarios if "padded" in name]
+        assert len(known) == 1 and len(padded) == 2
+        for summary in result.scenarios.values():
+            assert summary.n_classes > 0
+            cdf = summary.cdf(result.cdf_thresholds)
+            assert cdf == sorted(cdf)
+            assert all(0.0 <= value <= 1.0 for value in cdf)
+        assert "Figures 9-11" in result.as_table()
+
+
+class TestExperiment5:
+    def test_result_structure(self, context):
+        result = run_experiment5(context, class_counts=[min(context.scale.exp1_class_counts)], ns=(1, 3))
+        assert len(result.scenarios) == 2  # known + unknown for one class count
+        for scenario in result.scenarios.values():
+            assert scenario.overhead > 0.0
+            assert set(scenario.unpadded_accuracy) == {1, 3}
+        assert result.alternative_defences
+        for scenario in result.alternative_defences.values():
+            assert scenario.overhead > 0.0
+        assert "Figures 12-13" in result.as_table()
+        assert "overhead" in result.overhead_table()
+
+    def test_alternatives_can_be_skipped(self, context):
+        result = run_experiment5(
+            context,
+            class_counts=[min(context.scale.exp1_class_counts)],
+            ns=(1,),
+            include_alternatives=False,
+        )
+        assert result.alternative_defences == {}
+
+
+class TestTable3:
+    def test_catalogue_only(self, context):
+        result = run_table3(context, measure=False)
+        assert len(result.catalogue_rows) == 7
+        assert result.measured == []
+        assert len(result.modelled_update_costs) == 7
+        # retraining systems model a higher yearly update cost than ours
+        assert (
+            result.modelled_update_costs["Deep Fingerprinting"]
+            > result.modelled_update_costs["Adaptive Fingerprinting"]
+        )
+        assert "Table III" in result.as_table()
+
+    def test_measured_costs(self, context):
+        result = run_table3(context, measure=True)
+        systems = {m.system for m in result.measured}
+        assert any("Adaptive" in s for s in systems)
+        assert any("k-fingerprinting" in s for s in systems)
+        assert any("Deep Fingerprinting" in s for s in systems)
+        for measured in result.measured:
+            assert measured.provisioning_seconds >= 0.0
+            assert measured.update_seconds >= 0.0
+            assert 0.0 <= measured.topn1_accuracy <= 1.0
+        assert "measured" in result.measured_as_table()

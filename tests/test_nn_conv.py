@@ -1,0 +1,166 @@
+"""Gradient-check and behaviour tests for Conv1D, MaxPool1D and Flatten."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1D, Dense, Flatten, MaxPool1D, ReLU, Sequential, SoftmaxCrossEntropy, Adam
+
+
+def numerical_gradient(func, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConv1D:
+    def test_output_shape(self):
+        layer = Conv1D(3, 8, kernel_size=4, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((5, 20, 3))
+        out = layer.forward(x)
+        assert out.shape == (5, 20 - 4 + 1, 8)
+
+    def test_known_convolution_value(self):
+        layer = Conv1D(1, 1, kernel_size=2)
+        layer.params["W"] = np.ones((2, 1, 1))
+        layer.params["b"] = np.zeros(1)
+        x = np.arange(5, dtype=float).reshape(1, 5, 1)
+        out = layer.forward(x)
+        # sliding sum of adjacent pairs: 0+1, 1+2, 2+3, 3+4
+        assert np.allclose(out[0, :, 0], [1, 3, 5, 7])
+
+    def test_input_validation(self):
+        layer = Conv1D(3, 4, kernel_size=3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 10)))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 10, 4)))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 2, 3)))
+        with pytest.raises(ValueError):
+            Conv1D(0, 4, 3)
+        with pytest.raises(RuntimeError):
+            Conv1D(3, 4, 3).backward(np.zeros((1, 1, 4)))
+
+    @pytest.mark.parametrize("param_name", ["W", "b"])
+    def test_gradient_check_parameters(self, param_name):
+        rng = np.random.default_rng(2)
+        layer = Conv1D(2, 3, kernel_size=3, rng=rng)
+        x = rng.standard_normal((3, 8, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2) / 2)
+
+        expected = numerical_gradient(loss, layer.params[param_name])
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out)
+        assert np.allclose(layer.grads[param_name], expected, atol=1e-4)
+
+    def test_gradient_check_input(self):
+        rng = np.random.default_rng(3)
+        layer = Conv1D(2, 3, kernel_size=3, rng=rng)
+        x = rng.standard_normal((2, 7, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2) / 2)
+
+        expected = numerical_gradient(loss, x)
+        out = layer.forward(x)
+        grad_x = layer.backward(out)
+        assert np.allclose(grad_x, expected, atol=1e-4)
+
+
+class TestMaxPool1D:
+    def test_forward_picks_maxima(self):
+        layer = MaxPool1D(pool_size=2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0], [9.0], [0.0]]])
+        out = layer.forward(x)
+        assert np.allclose(out[0, :, 0], [5.0, 3.0, 9.0])
+
+    def test_trims_remainder(self):
+        layer = MaxPool1D(pool_size=2)
+        x = np.random.default_rng(0).standard_normal((2, 7, 3))
+        out = layer.forward(x)
+        assert out.shape == (2, 3, 3)
+
+    def test_backward_routes_gradient_to_maxima(self):
+        layer = MaxPool1D(pool_size=2)
+        x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad[0, :, 0], [0.0, 1.0, 0.0, 1.0])
+
+    def test_gradient_check_input(self):
+        rng = np.random.default_rng(4)
+        layer = MaxPool1D(pool_size=3)
+        x = rng.standard_normal((2, 9, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2) / 2)
+
+        expected = numerical_gradient(loss, x)
+        out = layer.forward(x)
+        grad_x = layer.backward(out)
+        assert np.allclose(grad_x, expected, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(0)
+        with pytest.raises(ValueError):
+            MaxPool1D(4).forward(np.zeros((1, 2, 1)))
+        with pytest.raises(ValueError):
+            MaxPool1D(2).forward(np.zeros((2, 4)))
+        with pytest.raises(RuntimeError):
+            MaxPool1D(2).backward(np.zeros((1, 1, 1)))
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        layer = Flatten()
+        x = np.random.default_rng(5).standard_normal((4, 6, 3))
+        out = layer.forward(x)
+        assert out.shape == (4, 18)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(np.zeros((1, 4)))
+
+
+class TestSmallCNNTraining:
+    def test_cnn_learns_a_temporal_pattern(self):
+        """A tiny CNN separates sequences by where their burst occurs."""
+        rng = np.random.default_rng(6)
+        n, time = 120, 16
+        x = np.zeros((n, time, 1))
+        labels = rng.integers(0, 2, size=n)
+        for i in range(n):
+            position = 2 if labels[i] == 0 else 10
+            x[i, position : position + 3, 0] = 5.0 + rng.normal(0, 0.2, size=3)
+
+        network = Sequential([
+            Conv1D(1, 4, kernel_size=3, rng=rng),
+            ReLU(),
+            MaxPool1D(2),
+            Flatten(),
+            Dense(7 * 4, 2, rng=rng),
+        ])
+        loss_fn = SoftmaxCrossEntropy()
+        optimizer = Adam(network, learning_rate=0.01)
+        for _ in range(60):
+            optimizer.zero_grad()
+            logits = network.forward(x, training=True)
+            network.backward(loss_fn.backward(logits, labels))
+            optimizer.step()
+        predictions = network.forward(x).argmax(axis=1)
+        assert (predictions == labels).mean() > 0.95

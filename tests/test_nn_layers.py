@@ -1,0 +1,180 @@
+"""Unit and gradient-check tests for the feed-forward layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import Dense, Dropout, LeakyReLU, ReLU
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros_init
+
+
+def numerical_gradient(func, x, eps=1e-6):
+    """Central-difference numerical gradient of a scalar function."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((50, 80), rng)
+        limit = np.sqrt(6.0 / 130)
+        assert w.shape == (50, 80)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_orthogonal_is_orthogonal(self):
+        rng = np.random.default_rng(1)
+        w = orthogonal((16, 16), rng)
+        identity = w @ w.T
+        assert np.allclose(identity, np.eye(16), atol=1e-8)
+
+    def test_orthogonal_rejects_non_2d(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            orthogonal((4, 4, 4), rng)
+
+    def test_zeros_init(self):
+        assert np.all(zeros_init((3, 2)) == 0.0)
+
+
+class TestDense:
+    def test_forward_shape_and_value(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng=rng)
+        layer.params["W"] = np.ones((4, 3))
+        layer.params["b"] = np.full(3, 0.5)
+        x = np.ones((2, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, 4.5)
+
+    def test_rejects_bad_input(self):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((2, 5)))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones(4))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(4, 3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 3)))
+
+    def test_gradient_check_weights(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(5, 4, rng=rng)
+        x = rng.standard_normal((6, 5))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2) / 2)
+
+        layer.forward(x)
+        analytic_input = layer.backward(layer.forward(x))
+        expected_w = numerical_gradient(loss, layer.params["W"])
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out)
+        assert np.allclose(layer.grads["W"], expected_w, atol=1e-4)
+        assert analytic_input.shape == x.shape
+
+    def test_gradient_accumulates(self):
+        rng = np.random.default_rng(4)
+        layer = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        first = layer.grads["W"].copy()
+        layer.forward(x)
+        layer.backward(np.ones_like(out))
+        assert np.allclose(layer.grads["W"], 2 * first)
+        layer.zero_grad()
+        assert np.all(layer.grads["W"] == 0)
+
+    def test_n_params(self):
+        layer = Dense(10, 7)
+        assert layer.n_params == 10 * 7 + 7
+
+
+class TestActivations:
+    def test_relu_forward_backward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        out = layer.forward(x)
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose(grad, [[0.0, 0.0, 1.0]])
+
+    def test_leaky_relu_forward_backward(self):
+        layer = LeakyReLU(alpha=0.1)
+        x = np.array([[-2.0, 3.0]])
+        out = layer.forward(x)
+        assert np.allclose(out, [[-0.2, 3.0]])
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose(grad, [[0.1, 1.0]])
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 1)))
+        with pytest.raises(RuntimeError):
+            LeakyReLU().backward(np.ones((1, 1)))
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_relu_never_negative(self, values):
+        x = np.array([values])
+        out = ReLU().forward(x)
+        assert np.all(out >= 0.0)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        layer = Dropout(0.5)
+        x = np.random.default_rng(0).standard_normal((8, 8))
+        assert np.allclose(layer.forward(x, training=False), x)
+
+    def test_scales_kept_units(self):
+        rng = np.random.default_rng(5)
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((1000, 10))
+        out = layer.forward(x, training=True)
+        kept = out != 0
+        # inverted dropout scales the kept activations by 1 / keep_prob
+        assert np.allclose(out[kept], 2.0)
+        assert 0.3 < kept.mean() < 0.7
+
+    def test_backward_masks_gradient(self):
+        rng = np.random.default_rng(6)
+        layer = Dropout(0.3, rng=rng)
+        x = np.ones((20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose((grad == 0), (out == 0))
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_zero_rate_is_identity_even_training(self):
+        layer = Dropout(0.0)
+        x = np.ones((3, 3))
+        assert np.allclose(layer.forward(x, training=True), x)

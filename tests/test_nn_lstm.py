@@ -1,0 +1,113 @@
+"""Gradient-check and behavioural tests for the LSTM layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lstm import LSTM, _sigmoid
+
+
+def numerical_gradient(func, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestSigmoid:
+    def test_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        s = _sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + _sigmoid(-x), 1.0)
+
+    def test_extreme_values_do_not_overflow(self):
+        s = _sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.allclose(s, [0.0, 1.0])
+
+
+class TestLSTMForward:
+    def test_output_shape(self):
+        layer = LSTM(3, 8, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((5, 12, 3))
+        out = layer.forward(x)
+        assert out.shape == (5, 8)
+
+    def test_rejects_wrong_rank(self):
+        layer = LSTM(3, 8)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 3)))
+
+    def test_rejects_wrong_features(self):
+        layer = LSTM(3, 8)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 12, 4)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            LSTM(0, 8)
+
+    def test_zero_input_gives_bounded_output(self):
+        layer = LSTM(2, 4, rng=np.random.default_rng(2))
+        out = layer.forward(np.zeros((3, 6, 2)))
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_deterministic_given_same_seed(self):
+        a = LSTM(2, 4, rng=np.random.default_rng(7))
+        b = LSTM(2, 4, rng=np.random.default_rng(7))
+        x = np.random.default_rng(3).standard_normal((2, 5, 2))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = LSTM(2, 4)
+        assert np.allclose(layer.params["b"][4:8], 1.0)
+
+
+class TestLSTMBackward:
+    def test_backward_before_forward_raises(self):
+        layer = LSTM(2, 3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 3)))
+
+    @pytest.mark.parametrize("param_name", ["W", "U", "b"])
+    def test_gradient_check_parameters(self, param_name):
+        rng = np.random.default_rng(42)
+        layer = LSTM(2, 3, rng=rng)
+        x = rng.standard_normal((4, 5, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2) / 2)
+
+        expected = numerical_gradient(loss, layer.params[param_name])
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out)
+        assert np.allclose(layer.grads[param_name], expected, atol=1e-4), param_name
+
+    def test_gradient_check_input(self):
+        rng = np.random.default_rng(43)
+        layer = LSTM(2, 3, rng=rng)
+        x = rng.standard_normal((3, 4, 2))
+
+        def loss():
+            return float(np.sum(layer.forward(x) ** 2) / 2)
+
+        expected = numerical_gradient(loss, x)
+        out = layer.forward(x)
+        grad_x = layer.backward(out)
+        assert np.allclose(grad_x, expected, atol=1e-4)
+
+    def test_grad_shapes_match_params(self):
+        layer = LSTM(3, 5)
+        x = np.random.default_rng(4).standard_normal((2, 6, 3))
+        out = layer.forward(x)
+        layer.backward(np.ones_like(out))
+        for name, param in layer.params.items():
+            assert layer.grads[name].shape == param.shape

@@ -1,0 +1,197 @@
+"""Tests for TraceDataset, the Figure-5 splits and dataset collection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces import (
+    FourWaySplit,
+    SequenceExtractor,
+    Trace,
+    TraceDataset,
+    collect_dataset,
+    four_way_split,
+    reference_test_split,
+)
+from repro.web import WikipediaLikeGenerator
+
+
+def make_dataset(n_classes=6, samples_per_class=10, seed=0):
+    """A small synthetic dataset with class-dependent trace patterns."""
+    rng = np.random.default_rng(seed)
+    traces = []
+    for class_id in range(n_classes):
+        for _ in range(samples_per_class):
+            base = np.zeros((3, 8))
+            base[1, :] = class_id * 10 + rng.normal(0, 0.5, size=8)
+            base = np.abs(base)
+            traces.append(Trace(label=f"page-{class_id:03d}", website="w", sequences=base))
+    return TraceDataset.from_traces(traces)
+
+
+class TestTraceDataset:
+    def test_from_traces_basics(self):
+        dataset = make_dataset(4, 5)
+        assert len(dataset) == 20
+        assert dataset.n_classes == 4
+        assert dataset.n_sequences == 3 and dataset.sequence_length == 8
+        assert dataset.samples_per_class() == {0: 5, 1: 5, 2: 5, 3: 5}
+        assert dataset.label_name(0) == "page-000"
+
+    def test_from_traces_rejects_empty_and_mixed_shapes(self):
+        with pytest.raises(ValueError):
+            TraceDataset.from_traces([])
+        traces = [
+            Trace(label="a", website="w", sequences=np.zeros((3, 8))),
+            Trace(label="b", website="w", sequences=np.zeros((2, 8))),
+        ]
+        with pytest.raises(ValueError):
+            TraceDataset.from_traces(traces)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TraceDataset(np.zeros((2, 3)), np.zeros(2), ["a"])
+        with pytest.raises(ValueError):
+            TraceDataset(np.zeros((2, 3, 4)), np.zeros(3), ["a"])
+        with pytest.raises(ValueError):
+            TraceDataset(np.zeros((2, 3, 4)), np.array([0, 5]), ["a"])
+
+    def test_model_inputs_time_major(self):
+        dataset = make_dataset(2, 3)
+        inputs = dataset.model_inputs()
+        assert inputs.shape == (6, 8, 3)
+        assert np.allclose(inputs[0], dataset.data[0].T)
+
+    def test_subset_and_filter_classes(self):
+        dataset = make_dataset(5, 4)
+        subset = dataset.subset(range(8))
+        assert len(subset) == 8
+        filtered = dataset.filter_classes([1, 3])
+        assert filtered.n_classes == 2
+        assert set(filtered.class_names) == {"page-001", "page-003"}
+        assert set(np.unique(filtered.labels)) == {0, 1}
+
+    def test_filter_classes_validation(self):
+        dataset = make_dataset(3, 2)
+        with pytest.raises(ValueError):
+            dataset.filter_classes([])
+        with pytest.raises(ValueError):
+            dataset.filter_classes([99])
+
+    def test_first_n_classes(self):
+        dataset = make_dataset(6, 2)
+        sliced = dataset.first_n_classes(3)
+        assert sliced.n_classes == 3
+        with pytest.raises(ValueError):
+            dataset.first_n_classes(0)
+        with pytest.raises(ValueError):
+            dataset.first_n_classes(7)
+
+    def test_split_per_class_fractions(self):
+        dataset = make_dataset(4, 10)
+        reference, test = dataset.split_per_class(0.9, seed=1)
+        assert len(reference) == 36 and len(test) == 4
+        # No overlap: the totals add up and every class is present in both.
+        assert len(reference) + len(test) == len(dataset)
+        assert set(np.unique(test.labels)) == set(range(4))
+
+    def test_split_per_class_invalid(self):
+        dataset = make_dataset(2, 4)
+        with pytest.raises(ValueError):
+            dataset.split_per_class(0.0)
+        with pytest.raises(ValueError):
+            dataset.split_per_class(1.0)
+
+    def test_merge_unions_class_names(self):
+        a = make_dataset(3, 2, seed=0)
+        b = make_dataset(5, 2, seed=1)
+        merged = a.merge(b)
+        assert merged.n_classes == 5
+        assert len(merged) == len(a) + len(b)
+
+    def test_merge_shape_mismatch(self):
+        a = make_dataset(2, 2)
+        traces = [Trace(label="x", website="w", sequences=np.zeros((2, 8)))]
+        b = TraceDataset.from_traces(traces)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        dataset = make_dataset(3, 4)
+        path = dataset.save(tmp_path / "wiki")
+        loaded = TraceDataset.load(path)
+        assert np.allclose(loaded.data, dataset.data)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.class_names == dataset.class_names
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceDataset.load(tmp_path / "nope.npz")
+
+    @given(st.integers(2, 6), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_split_never_loses_samples(self, n_classes, samples):
+        dataset = make_dataset(n_classes, samples, seed=n_classes)
+        reference, test = dataset.split_per_class(0.8, seed=0)
+        assert len(reference) + len(test) == len(dataset)
+        # every class retains at least one sample on each side
+        assert set(np.unique(reference.labels)) == set(range(n_classes))
+        assert set(np.unique(test.labels)) == set(range(n_classes))
+
+
+class TestFourWaySplit:
+    def test_figure5_geometry(self):
+        dataset = make_dataset(10, 8)
+        split = four_way_split(dataset, train_classes=6, reference_fraction=0.75, seed=3)
+        assert isinstance(split, FourWaySplit)
+        # A and B share classes; C and D share classes; the two sides are disjoint.
+        assert set(split.set_a.class_names) == set(split.set_b.class_names)
+        assert set(split.set_c.class_names) == set(split.set_d.class_names)
+        assert set(split.set_a.class_names).isdisjoint(split.set_c.class_names)
+        assert split.set_a.n_classes == 6 and split.set_c.n_classes == 4
+        total = sum(len(s) for s in (split.set_a, split.set_b, split.set_c, split.set_d))
+        assert total == len(dataset)
+        assert "Set A" in split.summary()
+
+    def test_four_way_split_validation(self):
+        dataset = make_dataset(4, 4)
+        with pytest.raises(ValueError):
+            four_way_split(dataset, train_classes=0)
+        with pytest.raises(ValueError):
+            four_way_split(dataset, train_classes=4)
+
+    def test_reference_test_split_helper(self):
+        dataset = make_dataset(3, 10)
+        reference, test = reference_test_split(dataset, 0.9, seed=0)
+        assert len(reference) == 27 and len(test) == 3
+
+
+class TestCollectDataset:
+    def test_end_to_end_collection(self):
+        website = WikipediaLikeGenerator(n_pages=4, seed=1).generate()
+        dataset = collect_dataset(
+            website,
+            SequenceExtractor(max_sequences=3, sequence_length=20),
+            visits_per_page=3,
+            seed=0,
+        )
+        assert dataset.n_classes == 4
+        assert len(dataset) == 12
+        assert dataset.website == website.name
+        assert dataset.tls_version == str(website.tls_version)
+        # Traces from the same page are similar but not identical.
+        class0 = dataset.data[dataset.labels == 0]
+        assert not np.allclose(class0[0], class0[1])
+
+    def test_collection_is_deterministic(self):
+        website = WikipediaLikeGenerator(n_pages=3, seed=2).generate()
+        a = collect_dataset(website, visits_per_page=2, seed=5)
+        website_again = WikipediaLikeGenerator(n_pages=3, seed=2).generate()
+        b = collect_dataset(website_again, visits_per_page=2, seed=5)
+        assert np.allclose(a.data, b.data)
+
+    def test_page_subset(self):
+        website = WikipediaLikeGenerator(n_pages=5, seed=3).generate()
+        subset_ids = website.page_ids[:2]
+        dataset = collect_dataset(website, page_ids=subset_ids, visits_per_page=2, seed=0)
+        assert dataset.n_classes == 2

@@ -1,0 +1,202 @@
+"""Tests for trace preprocessing: IP sequences, quantization, Trace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import IPAddress, Packet, PacketCapture
+from repro.traces import SequenceExtractor, Trace, extract_ip_runs, quantize_counts
+
+
+CLIENT = IPAddress("10.0.0.1")
+TEXT = IPAddress("10.0.0.2")
+MEDIA = IPAddress("10.0.0.3")
+EXTRA = IPAddress("10.0.0.4")
+
+
+def capture_from(events):
+    """Build a capture from (time, sender, size) triples; receiver inferred."""
+    capture = PacketCapture(client_ip=CLIENT)
+    for time, sender, size in events:
+        dst = TEXT if sender == CLIENT else CLIENT
+        capture.add(Packet(time, sender, dst, size))
+    return capture
+
+
+class TestExtractIPRuns:
+    def test_consecutive_same_sender_aggregated(self):
+        capture = capture_from([
+            (0.0, CLIENT, 300),
+            (0.1, TEXT, 1000),
+            (0.2, TEXT, 500),
+            (0.3, CLIENT, 200),
+        ])
+        runs = extract_ip_runs(capture)
+        assert runs == [(CLIENT, 300), (TEXT, 1500), (CLIENT, 200)]
+
+    def test_interleaving_breaks_runs(self):
+        capture = capture_from([
+            (0.0, TEXT, 100),
+            (0.1, MEDIA, 200),
+            (0.2, TEXT, 300),
+        ])
+        runs = extract_ip_runs(capture)
+        assert runs == [(TEXT, 100), (MEDIA, 200), (TEXT, 300)]
+
+    def test_empty_capture(self):
+        assert extract_ip_runs(PacketCapture(client_ip=CLIENT)) == []
+
+
+class TestQuantize:
+    def test_disabled_for_small_step(self):
+        counts = np.array([1.0, 1499.0, 3.0])
+        assert np.allclose(quantize_counts(counts, 0), counts)
+        assert np.allclose(quantize_counts(counts, 1), counts)
+
+    def test_rounds_to_step(self):
+        counts = np.array([0.0, 100.0, 749.0, 751.0])
+        assert np.allclose(quantize_counts(counts, 500), [0.0, 500.0, 500.0, 1000.0])
+
+    def test_nonzero_never_erased(self):
+        counts = np.array([1.0, 10.0, 0.0])
+        quantized = quantize_counts(counts, 1000)
+        assert quantized[0] == 1000.0 and quantized[1] == 1000.0 and quantized[2] == 0.0
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_counts(np.array([1.0]), -5)
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50), st.integers(2, 4096))
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_properties(self, values, step):
+        counts = np.array(values, dtype=float)
+        quantized = quantize_counts(counts, step)
+        # Zero stays zero, non-zero stays non-zero, and the error is bounded.
+        assert np.all((counts == 0) == (quantized == 0))
+        nonzero = counts > 0
+        assert np.all(np.abs(quantized[nonzero] - counts[nonzero]) <= step)
+        assert np.all(quantized[nonzero] % step == 0)
+
+
+class TestTrace:
+    def test_valid_trace(self):
+        trace = Trace(label="page", website="w", sequences=np.zeros((3, 10)))
+        assert trace.n_sequences == 3 and trace.length == 10
+        assert trace.total_volume == 0.0
+
+    def test_model_input_is_time_major(self):
+        sequences = np.arange(6, dtype=float).reshape(2, 3)
+        trace = Trace(label="p", website="w", sequences=sequences)
+        model_input = trace.as_model_input()
+        assert model_input.shape == (3, 2)
+        assert np.allclose(model_input, sequences.T)
+
+    def test_invalid_traces(self):
+        with pytest.raises(ValueError):
+            Trace(label="", website="w", sequences=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            Trace(label="p", website="w", sequences=np.zeros(5))
+        with pytest.raises(ValueError):
+            Trace(label="p", website="w", sequences=-np.ones((2, 2)))
+
+
+class TestSequenceExtractor:
+    def test_client_is_always_first_sequence(self):
+        capture = capture_from([
+            (0.0, CLIENT, 300),
+            (0.1, TEXT, 5000),
+            (0.2, MEDIA, 7000),
+        ])
+        extractor = SequenceExtractor(max_sequences=3, sequence_length=10, log_scale=False)
+        array = extractor.extract_array(capture)
+        assert array.shape == (3, 10)
+        assert array[0, 0] == 300.0  # client's first transmission
+        assert array[1, 1] == 5000.0  # first remote (text) second event
+        assert array[2, 2] == 7000.0
+
+    def test_zero_padding_preserves_relative_order(self):
+        capture = capture_from([
+            (0.0, CLIENT, 100),
+            (0.1, TEXT, 200),
+            (0.2, CLIENT, 300),
+        ])
+        array = SequenceExtractor(max_sequences=3, sequence_length=5, log_scale=False).extract_array(capture)
+        # Event positions: client@0, text@1, client@2 — zeros elsewhere.
+        assert array[0, 0] == 100 and array[0, 1] == 0 and array[0, 2] == 300
+        assert array[1, 0] == 0 and array[1, 1] == 200 and array[1, 2] == 0
+
+    def test_overflow_servers_folded_into_last_slot(self):
+        capture = capture_from([
+            (0.0, CLIENT, 100),
+            (0.1, TEXT, 200),
+            (0.2, MEDIA, 300),
+            (0.3, EXTRA, 400),
+        ])
+        array = SequenceExtractor(max_sequences=3, sequence_length=8, log_scale=False).extract_array(capture)
+        # EXTRA is beyond the 2-server budget: folded into MEDIA's row.
+        assert array[2, 2] == 300 and array[2, 3] == 400
+
+    def test_two_sequence_encoding_merges_servers(self):
+        capture = capture_from([
+            (0.0, CLIENT, 100),
+            (0.1, TEXT, 200),
+            (0.2, MEDIA, 300),
+            (0.3, CLIENT, 50),
+        ])
+        extractor = SequenceExtractor(max_sequences=2, merge_servers=True, sequence_length=6, log_scale=False)
+        array = extractor.extract_array(capture)
+        assert array.shape == (2, 6)
+        assert array[0, 0] == 100 and array[0, 3] == 50
+        assert array[1, 1] == 200 and array[1, 2] == 300
+
+    def test_truncation_and_padding(self):
+        events = [(0.01 * i, CLIENT if i % 2 == 0 else TEXT, 10 + i) for i in range(30)]
+        capture = capture_from(events)
+        short = SequenceExtractor(max_sequences=2, sequence_length=5, log_scale=False).extract_array(capture)
+        long = SequenceExtractor(max_sequences=2, sequence_length=100, log_scale=False).extract_array(capture)
+        assert short.shape == (2, 5)
+        assert long.shape == (2, 100)
+        assert np.all(long[:, 30:] == 0)
+
+    def test_log_scale_and_quantization(self):
+        capture = capture_from([(0.0, CLIENT, 1000), (0.1, TEXT, 2100)])
+        raw = SequenceExtractor(sequence_length=4, log_scale=False).extract_array(capture)
+        logged = SequenceExtractor(sequence_length=4, log_scale=True).extract_array(capture)
+        quantized = SequenceExtractor(
+            sequence_length=4, log_scale=False, quantization_step=500
+        ).extract_array(capture)
+        assert np.allclose(logged, np.log1p(raw))
+        assert quantized[1, 1] == 2000.0
+
+    def test_aggregation_toggle(self):
+        capture = capture_from([
+            (0.0, TEXT, 100),
+            (0.1, TEXT, 200),
+        ])
+        aggregated = SequenceExtractor(sequence_length=5, log_scale=False).extract_array(capture)
+        raw = SequenceExtractor(
+            sequence_length=5, log_scale=False, aggregate_consecutive=False
+        ).extract_array(capture)
+        assert aggregated[1, 0] == 300
+        assert raw[1, 0] == 100 and raw[1, 1] == 200
+
+    def test_extract_returns_labelled_trace(self):
+        capture = capture_from([(0.0, CLIENT, 10), (0.1, TEXT, 20)])
+        trace = SequenceExtractor(sequence_length=4).extract(capture, label="page-1", website="wiki")
+        assert trace.label == "page-1" and trace.website == "wiki"
+        assert "total_bytes" in trace.metadata
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SequenceExtractor(max_sequences=1)
+        with pytest.raises(ValueError):
+            SequenceExtractor(sequence_length=0)
+        with pytest.raises(ValueError):
+            SequenceExtractor(quantization_step=-1)
+        with pytest.raises(ValueError):
+            SequenceExtractor(max_sequences=3, merge_servers=True)
+
+    def test_empty_capture_gives_zero_array(self):
+        array = SequenceExtractor(sequence_length=6).extract_array(PacketCapture(client_ip=CLIENT))
+        assert array.shape == (3, 6)
+        assert np.all(array == 0)
