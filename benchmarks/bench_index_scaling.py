@@ -1,0 +1,53 @@
+"""Query-engine scaling: exact search is linear in N, IVF is sublinear.
+
+This is the cost side of the paper's Table 2 story: classification must
+stay cheap as the monitored set grows.  The bench measures per-query k-NN
+time through :class:`~repro.core.index.ExactIndex` and the IVF-style
+:class:`~repro.core.index.CoarseQuantizedIndex` across growing reference
+corpora and asserts that (a) the IVF curve grows sublinearly in N while
+staying close to flat relative to exact search, and (b) approximation does
+not cost accuracy: top-1 agreement with exact search stays >= 0.95 at the
+default ``n_probe``.
+
+Run directly with ``pytest benchmarks/bench_index_scaling.py -s`` or via
+``python -m repro index-bench`` for a standalone table.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.index_bench import measure_index_scaling, scaling_table_rows
+from repro.metrics.reports import format_table
+
+SIZES = (2_000, 6_000, 18_000)
+N_PROBE = 8
+
+
+def test_index_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: measure_index_scaling(SIZES, dim=32, k=50, n_probe=N_PROBE, n_queries=128, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Index scaling — exact vs coarse-quantized query time",
+        format_table(
+            ["N references", "exact ms/query", "IVF ms/query", "speedup", "top-1 agreement", "cells/probe"],
+            scaling_table_rows(rows),
+        ),
+    )
+
+    for row in rows:
+        benchmark.extra_info[f"exact_ms_at_{row.n_references}"] = row.exact_ms_per_query
+        benchmark.extra_info[f"ivf_ms_at_{row.n_references}"] = row.ivf_ms_per_query
+        # Approximation must not cost accuracy at the default n_probe.
+        assert row.top1_agreement >= 0.95
+
+    first, last = rows[0], rows[-1]
+    growth_in_n = last.n_references / first.n_references
+    ivf_growth = last.ivf_ms_per_query / first.ivf_ms_per_query
+    exact_growth = last.exact_ms_per_query / first.exact_ms_per_query
+    # IVF query time grows sublinearly in N (n_cells ~ sqrt(N) keeps the
+    # scanned candidate set ~ n_probe * sqrt(N)); exact search cannot.
+    assert ivf_growth < 0.75 * growth_in_n
+    assert ivf_growth < exact_growth
+    # And at the largest corpus the IVF engine has overtaken brute force.
+    assert last.ivf_ms_per_query < last.exact_ms_per_query

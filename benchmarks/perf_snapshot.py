@@ -1,0 +1,262 @@
+"""Timing snapshot: seed vs optimised hot paths, written to BENCH_1.json.
+
+Runs the seed implementations (reimplemented inline below, verbatim) and
+the current optimised code **in the same process on the same data**, so the
+recorded speedups are apples-to-apples on whatever hardware executes them.
+Covers the three rewritten hot paths:
+
+* batched k-NN ``predict`` (exact index) at two store sizes,
+* the vectorised LSTM forward+backward at the Table I shape,
+* embedding throughput through the full network.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py [--out BENCH_1.json]
+
+Future PRs re-run this to extend the perf trajectory (BENCH_2.json, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.config import ClassifierConfig
+from repro.core import CoarseQuantizedIndex, KNNClassifier, ReferenceStore
+from repro.core.classifier import Prediction
+from repro.core.embedding import EmbeddingModel
+from repro.core.index_bench import clustered_corpus
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros_init
+from repro.nn.lstm import LSTM
+
+
+# --------------------------------------------------------------------- seed code
+def seed_predict(store: ReferenceStore, config: ClassifierConfig, embeddings: np.ndarray) -> List[Prediction]:
+    """The seed KNNClassifier.predict: full sort + per-query Python voting."""
+    queries = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    k = min(config.k, len(store))
+    distances = cdist(queries, store.embeddings, metric=config.distance_metric)
+    labels = store.labels
+    predictions: List[Prediction] = []
+    for row in range(queries.shape[0]):
+        neighbour_order = np.argsort(distances[row], kind="stable")[:k]
+        votes: Dict[str, float] = {}
+        for neighbour in neighbour_order:
+            label = str(labels[neighbour])
+            weight = 1.0 / (distances[row, neighbour] + 1e-9) if config.weighting == "distance" else 1.0
+            votes[label] = votes.get(label, 0.0) + weight
+        closest: Dict[str, float] = {}
+        for neighbour in neighbour_order:
+            label = str(labels[neighbour])
+            closest.setdefault(label, float(distances[row, neighbour]))
+        ranked = sorted(votes, key=lambda label: (-votes[label], closest[label], label))
+        predictions.append(Prediction(ranked_labels=ranked, scores=[votes[l] for l in ranked]))
+    return predictions
+
+
+def _seed_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class SeedLSTM:
+    """The seed LSTM: per-timestep Python lists and per-step GEMMs."""
+
+    def __init__(self, in_features: int, units: int, rng: np.random.Generator) -> None:
+        self.in_features = in_features
+        self.units = units
+        bias = zeros_init((4 * units,))
+        bias[units : 2 * units] = 1.0
+        self.params = {
+            "W": glorot_uniform((in_features, 4 * units), rng),
+            "U": np.concatenate([orthogonal((units, units), rng) for _ in range(4)], axis=1),
+            "b": bias,
+        }
+        self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, steps, _ = x.shape
+        units = self.units
+        h = np.zeros((batch, units))
+        c = np.zeros((batch, units))
+        cache = {key: [] for key in ("i", "f", "g", "o", "c", "h", "c_prev", "h_prev")}
+        W, U, b = self.params["W"], self.params["U"], self.params["b"]
+        for t in range(steps):
+            h_prev, c_prev = h, c
+            z = x[:, t, :] @ W + h_prev @ U + b
+            i = _seed_sigmoid(z[:, :units])
+            f = _seed_sigmoid(z[:, units : 2 * units])
+            g = np.tanh(z[:, 2 * units : 3 * units])
+            o = _seed_sigmoid(z[:, 3 * units :])
+            c = f * c_prev + i * g
+            h = o * np.tanh(c)
+            for key, value in (("i", i), ("f", f), ("g", g), ("o", o), ("c", c), ("h", h),
+                               ("c_prev", c_prev), ("h_prev", h_prev)):
+                cache[key].append(value)
+        self._cache = cache
+        self._x = x
+        return h
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, cache = self._x, self._cache
+        batch, steps, _ = x.shape
+        W, U = self.params["W"], self.params["U"]
+        grad_x = np.zeros_like(x)
+        dh_next = grad.copy()
+        dc_next = np.zeros((batch, self.units))
+        dW, dU, db = np.zeros_like(W), np.zeros_like(U), np.zeros_like(self.params["b"])
+        for t in range(steps - 1, -1, -1):
+            i, f, g, o = cache["i"][t], cache["f"][t], cache["g"][t], cache["o"][t]
+            c, c_prev, h_prev = cache["c"][t], cache["c_prev"][t], cache["h_prev"][t]
+            tanh_c = np.tanh(c)
+            do = dh_next * tanh_c
+            dc = dh_next * o * (1.0 - tanh_c**2) + dc_next
+            di, dg, df = dc * g, dc * i, dc * c_prev
+            dc_next = dc * f
+            dz = np.concatenate(
+                [di * i * (1.0 - i), df * f * (1.0 - f), dg * (1.0 - g**2), do * o * (1.0 - o)], axis=1
+            )
+            dW += x[:, t, :].T @ dz
+            dU += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            grad_x[:, t, :] = dz @ W.T
+            dh_next = dz @ U.T
+        self.grads["W"] += dW
+        self.grads["U"] += dU
+        self.grads["b"] += db
+        return grad_x
+
+
+# ------------------------------------------------------------------ measurement
+def _best_of(fn, repeats: int = 5) -> float:
+    fn()  # warm up caches/workspaces for both implementations alike
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _p50(fn, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def bench_predict(store_sizes=(1_000, 10_000), n_classes=200, dim=32, k=250, n_queries=256) -> Dict:
+    rng = np.random.default_rng(0)
+    results: Dict[str, Dict] = {}
+    for n in store_sizes:
+        vectors = clustered_corpus(n, dim, n_clusters=n_classes, seed=1)
+        labels = [f"page-{i % n_classes:04d}" for i in range(n)]
+        store = ReferenceStore(dim)
+        store.add(vectors, labels)
+        config = ClassifierConfig(k=k)
+        classifier = KNNClassifier(store, config)
+        queries = vectors[rng.choice(n, n_queries, replace=False)] + 0.1 * rng.standard_normal((n_queries, dim))
+
+        batched_p50 = _p50(lambda: classifier.predict(queries))
+        seed_p50 = _p50(lambda: seed_predict(store, config, queries), repeats=3)
+
+        ivf_store = ReferenceStore(dim, index=CoarseQuantizedIndex())
+        ivf_store.add(vectors, labels)
+        ivf_p50 = _p50(lambda: KNNClassifier(ivf_store, config).predict(queries))
+
+        results[str(n)] = {
+            "n_references": n,
+            "n_queries": n_queries,
+            "k": k,
+            "seed_p50_s": seed_p50,
+            "batched_p50_s": batched_p50,
+            "ivf_p50_s": ivf_p50,
+            "speedup_batched_vs_seed": seed_p50 / batched_p50,
+            "speedup_ivf_vs_seed": seed_p50 / ivf_p50,
+        }
+    return results
+
+
+def bench_lstm(batch=512, steps=40, features=3, units=30) -> Dict:
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((batch, steps, features))
+    seed_layer = SeedLSTM(features, units, np.random.default_rng(3))
+    new_layer = LSTM(features, units, rng=np.random.default_rng(3))
+
+    def run_seed():
+        out = seed_layer.forward(x)
+        seed_layer.backward(out)
+
+    def run_new():
+        out = new_layer.forward(x)
+        new_layer.backward(out)
+
+    seed_s = _best_of(run_seed, repeats=9)
+    new_s = _best_of(run_new, repeats=9)
+    return {
+        "shape": {"batch": batch, "steps": steps, "features": features, "units": units},
+        "seed_fwd_bwd_s": seed_s,
+        "vectorised_fwd_bwd_s": new_s,
+        "speedup": seed_s / new_s,
+    }
+
+
+def bench_embed(batch=512, steps=40, features=3) -> Dict:
+    model = EmbeddingModel(n_sequences=features)
+    inputs = np.random.default_rng(4).standard_normal((batch, steps, features)) ** 2
+    elapsed = _best_of(lambda: model.embed(inputs))
+    return {
+        "batch": batch,
+        "embed_s": elapsed,
+        "traces_per_s": batch / elapsed,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_1.json")
+    arguments = parser.parse_args()
+
+    predict = bench_predict()
+    lstm = bench_lstm()
+    embed = bench_embed()
+    snapshot = {
+        "snapshot": "BENCH_1",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "predict": predict,
+        "lstm_fwd_bwd": lstm,
+        "embed_throughput": embed,
+    }
+    arguments.out.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    at_10k = predict["10000"]
+    print(f"predict @ N=10k: seed {at_10k['seed_p50_s']*1e3:.1f} ms -> "
+          f"batched {at_10k['batched_p50_s']*1e3:.1f} ms "
+          f"({at_10k['speedup_batched_vs_seed']:.1f}x), "
+          f"IVF {at_10k['ivf_p50_s']*1e3:.1f} ms ({at_10k['speedup_ivf_vs_seed']:.1f}x)")
+    print(f"LSTM fwd+bwd: seed {lstm['seed_fwd_bwd_s']*1e3:.1f} ms -> "
+          f"{lstm['vectorised_fwd_bwd_s']*1e3:.1f} ms ({lstm['speedup']:.1f}x)")
+    print(f"embed throughput: {embed['traces_per_s']:.0f} traces/s")
+    print(f"wrote {arguments.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
     table3 = subparsers.add_parser("table3", help="print the Table III cost catalogue")
     table3.add_argument("--no-measure", action="store_true", help="catalogue only, skip measured timings")
     table3.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="scale for measured timings")
+
+    index_bench = subparsers.add_parser(
+        "index-bench", help="compare exact vs IVF k-NN query time as the store grows"
+    )
+    index_bench.add_argument(
+        "--sizes", default="2000,6000,18000", help="comma-separated reference-store sizes"
+    )
+    index_bench.add_argument("--dim", type=int, default=32, help="embedding dimension")
+    index_bench.add_argument("--k", type=int, default=50, help="neighbours per query")
+    index_bench.add_argument("--n-probe", type=int, default=8, help="IVF cells probed per query")
+    index_bench.add_argument("--queries", type=int, default=128, help="queries per measurement")
+    index_bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
     return parser
 
 
@@ -129,6 +141,34 @@ def _table3(no_measure: bool, scale_name: str) -> List[str]:
     return [result.as_table(), result.measured_as_table()]
 
 
+def _index_bench(arguments) -> List[str]:
+    from repro.core.index_bench import measure_index_scaling, scaling_table_rows
+
+    try:
+        sizes = [int(size) for size in arguments.sizes.split(",") if size.strip()]
+    except ValueError:
+        raise SystemExit(f"--sizes must be comma-separated integers, got {arguments.sizes!r}")
+    if not sizes or any(size <= 1 for size in sizes):
+        raise SystemExit(f"--sizes needs at least one size > 1, got {arguments.sizes!r}")
+    if arguments.n_probe <= 0:
+        raise SystemExit("--n-probe must be positive")
+    rows = measure_index_scaling(
+        sizes,
+        dim=arguments.dim,
+        k=arguments.k,
+        n_probe=arguments.n_probe,
+        n_queries=arguments.queries,
+        repeats=arguments.repeats,
+    )
+    return [
+        format_table(
+            ["N references", "exact ms/query", "IVF ms/query", "speedup", "top-1 agreement", "cells/probe"],
+            scaling_table_rows(rows),
+            title="k-NN query engine scaling (exact vs coarse-quantized)",
+        )
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -145,6 +185,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if arguments.command == "table3":
         for block in _table3(arguments.no_measure, arguments.scale):
+            print(block)
+            print()
+        return 0
+    if arguments.command == "index-bench":
+        for block in _index_bench(arguments):
             print(block)
             print()
         return 0

@@ -16,6 +16,13 @@ ties the three together.
 """
 
 from repro.core.embedding import EmbeddingModel
+from repro.core.index import (
+    CoarseQuantizedIndex,
+    ExactIndex,
+    NearestNeighbourIndex,
+    index_from_spec,
+    top_k_by_distance,
+)
 from repro.core.pairs import PairGenerator, random_pairs, hard_negative_pairs
 from repro.core.trainer import ContrastiveTrainer, TrainingHistory
 from repro.core.reference_store import ReferenceStore
@@ -26,6 +33,11 @@ from repro.core.openworld import OpenWorldDetector, OpenWorldResult
 from repro.core.deployment import save_deployment, load_deployment
 
 __all__ = [
+    "CoarseQuantizedIndex",
+    "ExactIndex",
+    "NearestNeighbourIndex",
+    "index_from_spec",
+    "top_k_by_distance",
     "OpenWorldDetector",
     "OpenWorldResult",
     "save_deployment",

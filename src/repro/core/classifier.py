@@ -4,6 +4,16 @@ The classifier attributes an unlabelled embedding to webpages by looking at
 the labelled reference points in its neighbourhood: the k nearest
 references vote, and the ranked vote counts give the top-n prediction list
 the evaluation uses.  The paper uses k = 250 with Euclidean distance.
+
+Queries are answered through the reference store's nearest-neighbour index
+(:mod:`repro.core.index`) and the voting/ranking is fully batched: votes
+are accumulated with ``np.bincount`` over the store's int-encoded labels
+and rankings are produced by a lexicographic sort over
+``(-votes, closest-distance, label)`` — the same deterministic tie-break as
+the original per-query Python voting loop, with bit-identical rankings on
+the equivalence fuzz corpus (uniform-weighting vote counts are exact
+integer sums; distance-weighted scores agree up to the last-ulp rounding of
+the BLAS distance kernel).
 """
 
 from __future__ import annotations
@@ -12,10 +22,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.spatial.distance import cdist
 
 from repro.config import ClassifierConfig
 from repro.core.reference_store import ReferenceStore
+
+# Bound the per-chunk ``(queries, n_classes)`` vote matrix to ~8M floats.
+_VOTE_BUDGET = 8_000_000
 
 
 @dataclass
@@ -52,9 +64,8 @@ class KNNClassifier:
         if self.config.weighting not in ("uniform", "distance"):
             raise ValueError(f"unsupported weighting {self.config.weighting!r}")
 
-    # ----------------------------------------------------------------- predict
-    def predict(self, embeddings: np.ndarray) -> List[Prediction]:
-        """Rank candidate labels for each query embedding."""
+    # ---------------------------------------------------------------- queries
+    def _validated_queries(self, embeddings: np.ndarray) -> np.ndarray:
         if len(self.store) == 0:
             raise RuntimeError("the reference store is empty; initialize it before classifying")
         queries = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
@@ -63,32 +74,128 @@ class KNNClassifier:
                 f"query embeddings have dimension {queries.shape[1]}, "
                 f"store holds dimension {self.store.embedding_dim}"
             )
-        k = min(self.config.k, len(self.store))
-        distances = cdist(queries, self.store.embeddings, metric=self.config.distance_metric)
-        labels = self.store.labels
-        predictions: List[Prediction] = []
-        for row in range(queries.shape[0]):
-            neighbour_order = np.argsort(distances[row], kind="stable")[:k]
-            votes: Dict[str, float] = {}
-            for neighbour in neighbour_order:
-                label = str(labels[neighbour])
-                if self.config.weighting == "distance":
-                    weight = 1.0 / (distances[row, neighbour] + 1e-9)
-                else:
-                    weight = 1.0
-                votes[label] = votes.get(label, 0.0) + weight
-            # Rank by votes (descending), tie-break by the distance of the
-            # closest reference of that label so rankings are deterministic.
-            closest: Dict[str, float] = {}
-            for neighbour in neighbour_order:
-                label = str(labels[neighbour])
-                closest.setdefault(label, float(distances[row, neighbour]))
-            ranked = sorted(votes, key=lambda label: (-votes[label], closest[label], label))
-            predictions.append(Prediction(ranked_labels=ranked, scores=[votes[l] for l in ranked]))
-        return predictions
+        if not np.isfinite(queries).all():
+            bad = int(np.flatnonzero(~np.isfinite(queries).all(axis=1))[0])
+            raise ValueError(
+                f"query embedding {bad} contains NaN/inf values; refusing to classify "
+                "(non-finite embeddings would silently mis-rank every candidate)"
+            )
+        return queries
+
+    def _name_ranks(self) -> np.ndarray:
+        """Rank of each class code under lexicographic label order."""
+        names = self.store.class_names
+        ranks = np.empty(len(names), dtype=np.int64)
+        ranks[sorted(range(len(names)), key=names.__getitem__)] = np.arange(len(names))
+        return ranks
+
+    def _ranked(self, queries: np.ndarray) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Per-query ``(ranked class codes, ranked scores)``.
+
+        Neighbour search runs through the store's index; votes accumulate
+        with ``np.bincount`` in ascending-distance order, which reproduces
+        the sequential summation order of the original Python loop.  The
+        "closest reference of that label" tie-break value is a per-(query,
+        class) minimum over the k neighbour distances.
+        """
+        store = self.store
+        k = min(self.config.k, len(store))
+        n_classes = store.n_classes
+        name_ranks = self._name_ranks()
+        label_codes = store.label_codes
+        distance_weighted = self.config.weighting == "distance"
+
+        ranked_codes: List[np.ndarray] = []
+        ranked_scores: List[np.ndarray] = []
+        chunk_size = int(np.clip(_VOTE_BUDGET // max(n_classes, 1), 16, 4096))
+        for start in range(0, queries.shape[0], chunk_size):
+            chunk = queries[start : start + chunk_size]
+            distances, neighbour_ids = store.search(chunk, k, metric=self.config.distance_metric)
+            codes = label_codes[neighbour_ids]
+            if distance_weighted:
+                # The 1e-9 floor bounds the weight of a coincident reference
+                # at 1e9 instead of letting it diverge; see ClassifierConfig.
+                weights = 1.0 / (distances + 1e-9)
+            else:
+                weights = np.ones_like(distances)
+            n_chunk = chunk.shape[0]
+            rows = np.arange(n_chunk)[:, None]
+            flat = codes + (rows * n_classes)
+            votes = np.bincount(
+                flat.ravel(), weights=weights.ravel(), minlength=n_chunk * n_classes
+            ).reshape(n_chunk, n_classes)
+            # Neighbours arrive distance-sorted, so the per-(row, class)
+            # minimum equals the seed's "distance of the closest reference
+            # of that label" (its first occurrence).
+            closest = np.full((n_chunk, n_classes), np.inf)
+            np.minimum.at(closest, (rows, codes), distances)
+            if n_classes <= 4 * k:
+                # Few classes: rank all rows with one batched lexsort.
+                order = np.lexsort(
+                    (np.broadcast_to(name_ranks, votes.shape), closest, -votes), axis=1
+                )
+                counts = np.count_nonzero(votes, axis=1)
+                for row in range(n_chunk):
+                    picked = order[row, : counts[row]]
+                    ranked_codes.append(picked)
+                    ranked_scores.append(votes[row, picked])
+            else:
+                # Many classes: rank only each row's <= k candidate codes.
+                for row in range(n_chunk):
+                    candidates = np.unique(codes[row])
+                    row_votes = votes[row, candidates]
+                    order = np.lexsort(
+                        (name_ranks[candidates], closest[row, candidates], -row_votes)
+                    )
+                    ranked_codes.append(candidates[order])
+                    ranked_scores.append(row_votes[order])
+        return ranked_codes, ranked_scores
+
+    # ----------------------------------------------------------------- predict
+    def predict(self, embeddings: np.ndarray) -> List[Prediction]:
+        """Rank candidate labels for each query embedding."""
+        queries = self._validated_queries(embeddings)
+        names = self.store.class_names
+        ranked_codes, ranked_scores = self._ranked(queries)
+        return [
+            Prediction(
+                ranked_labels=[names[code] for code in codes.tolist()],
+                scores=scores.tolist(),
+            )
+            for codes, scores in zip(ranked_codes, ranked_scores)
+        ]
 
     def predict_one(self, embedding: np.ndarray) -> Prediction:
         return self.predict(np.atleast_2d(embedding))[0]
+
+    def predict_labels(self, embeddings: np.ndarray, n: int = 1) -> List[List[str]]:
+        """Top-``n`` label lists per query — the fast path that skips building
+        :class:`Prediction` objects (used by the evaluation loops)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        queries = self._validated_queries(embeddings)
+        names = self.store.class_names
+        ranked_codes, _ = self._ranked(queries)
+        return [[names[code] for code in codes[:n]] for codes in ranked_codes]
+
+    def _true_positions(
+        self, embeddings: np.ndarray, true_labels: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """0-based rank of each true label (-1 if unranked) and ranking sizes."""
+        queries = self._validated_queries(embeddings)
+        true_labels = [str(label) for label in true_labels]
+        if queries.shape[0] != len(true_labels):
+            raise ValueError("number of embeddings and labels differ")
+        code_of = {name: code for code, name in enumerate(self.store.class_names)}
+        ranked_codes, _ = self._ranked(queries)
+        positions = np.empty(len(ranked_codes), dtype=np.int64)
+        lengths = np.empty(len(ranked_codes), dtype=np.int64)
+        for row, codes in enumerate(ranked_codes):
+            lengths[row] = codes.size
+            true_code = code_of.get(true_labels[row], -1)
+            hit = np.flatnonzero(codes == true_code)
+            positions[row] = int(hit[0]) if hit.size else -1
+        return positions, lengths
 
     # ---------------------------------------------------------------- evaluate
     def topn_accuracy(
@@ -98,16 +205,11 @@ class KNNClassifier:
         ns: Sequence[int] = (1, 3, 5, 10, 20),
     ) -> Dict[int, float]:
         """Top-n accuracy of the classifier over a labelled query set."""
-        true_labels = [str(label) for label in true_labels]
-        predictions = self.predict(embeddings)
-        if len(predictions) != len(true_labels):
-            raise ValueError("number of embeddings and labels differ")
+        positions, _ = self._true_positions(embeddings, true_labels)
+        found = positions >= 0
         results: Dict[int, float] = {}
         for n in ns:
-            hits = sum(
-                1 for prediction, label in zip(predictions, true_labels) if prediction.contains(label, n)
-            )
-            results[int(n)] = hits / len(true_labels)
+            results[int(n)] = float((found & (positions < int(n))).mean())
         return results
 
     def guesses_needed(self, embeddings: np.ndarray, true_labels: Sequence[str]) -> np.ndarray:
@@ -118,12 +220,5 @@ class KNNClassifier:
         their guesses" interpretation used for the per-class CDFs
         (Figures 9-11).
         """
-        true_labels = [str(label) for label in true_labels]
-        predictions = self.predict(embeddings)
-        positions = np.empty(len(predictions), dtype=np.float64)
-        for index, (prediction, label) in enumerate(zip(predictions, true_labels)):
-            if label in prediction.ranked_labels:
-                positions[index] = prediction.ranked_labels.index(label) + 1
-            else:
-                positions[index] = len(prediction.ranked_labels) + 1
-        return positions
+        positions, lengths = self._true_positions(embeddings, true_labels)
+        return np.where(positions >= 0, positions + 1, lengths + 1).astype(np.float64)

@@ -22,6 +22,7 @@ from typing import Union
 
 from repro.config import ClassifierConfig, EmbeddingHyperparameters
 from repro.core.fingerprinter import AdaptiveFingerprinter
+from repro.core.index import index_from_spec
 from repro.core.reference_store import ReferenceStore
 from repro.traces.sequences import SequenceExtractor
 
@@ -42,6 +43,7 @@ def save_deployment(fingerprinter: AdaptiveFingerprinter, directory: PathLike) -
     config = {
         "hyperparameters": fingerprinter.model.hyperparameters.as_dict(),
         "classifier": asdict(fingerprinter.classifier_config),
+        "index": fingerprinter.reference_store.index.spec(),
         "extractor": {
             "max_sequences": fingerprinter.extractor.max_sequences,
             "sequence_length": fingerprinter.extractor.sequence_length,
@@ -76,6 +78,7 @@ def load_deployment(directory: PathLike) -> AdaptiveFingerprinter:
     )
     classifier_config = ClassifierConfig(**config["classifier"])
     extractor = SequenceExtractor(**config["extractor"])
+    index_spec = config.get("index")  # absent in pre-index deployments -> exact
 
     fingerprinter = AdaptiveFingerprinter(
         n_sequences=extractor.max_sequences,
@@ -84,14 +87,13 @@ def load_deployment(directory: PathLike) -> AdaptiveFingerprinter:
         classifier_config=classifier_config,
         extractor=extractor,
         seed=int(config.get("seed", 0)),
+        index_factory=lambda: index_from_spec(index_spec),
     )
     fingerprinter.model.load(directory / _WEIGHTS_FILE)
     fingerprinter.mark_provisioned()
 
-    references = ReferenceStore.load(directory / _REFERENCES_FILE)
+    # The bulk add during load already (re)builds the index once.
+    references = ReferenceStore.load(directory / _REFERENCES_FILE, index=index_from_spec(index_spec))
     if len(references):
-        fingerprinter.reference_store = references
-        from repro.core.classifier import KNNClassifier
-
-        fingerprinter._classifier = KNNClassifier(references, classifier_config)
+        fingerprinter.attach_references(references)
     return fingerprinter

@@ -13,13 +13,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.config import ClassifierConfig, EmbeddingHyperparameters, TrainingConfig
 from repro.core.classifier import KNNClassifier, Prediction
 from repro.core.embedding import EmbeddingModel
+from repro.core.index import NearestNeighbourIndex, index_from_spec
 from repro.core.reference_store import ReferenceStore
 from repro.core.trainer import ContrastiveTrainer, TrainingHistory
 from repro.net.capture import PacketCapture
@@ -55,6 +56,7 @@ class AdaptiveFingerprinter:
         classifier_config: Optional[ClassifierConfig] = None,
         extractor: Optional[SequenceExtractor] = None,
         seed: int = 0,
+        index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
     ) -> None:
         self.extractor = extractor if extractor is not None else SequenceExtractor(
             max_sequences=n_sequences,
@@ -68,7 +70,12 @@ class AdaptiveFingerprinter:
         )
         self.training_config = training_config if training_config is not None else TrainingConfig()
         self.classifier_config = classifier_config if classifier_config is not None else ClassifierConfig()
-        self.reference_store = ReferenceStore(self.model.embedding_dim)
+        # The index factory decides the query engine of every reference store
+        # this deployment creates (exact by default; IVF for large corpora).
+        self.index_factory: Callable[[], NearestNeighbourIndex] = (
+            index_factory if index_factory is not None else lambda: index_from_spec(None)
+        )
+        self.reference_store = ReferenceStore(self.model.embedding_dim, index=self.index_factory())
         self._classifier: Optional[KNNClassifier] = None
         self._provisioned = False
 
@@ -97,11 +104,22 @@ class AdaptiveFingerprinter:
         """Populate the reference store from a labelled dataset."""
         self._require_provisioned()
         if reset:
-            self.reference_store = ReferenceStore(self.model.embedding_dim)
+            self.reference_store = ReferenceStore(self.model.embedding_dim, index=self.index_factory())
         embeddings = self.model.embed_dataset(reference_dataset)
         labels = [reference_dataset.label_name(l) for l in reference_dataset.labels]
         self.reference_store.add(embeddings, labels)
         self._classifier = KNNClassifier(self.reference_store, self.classifier_config)
+
+    def attach_references(self, references: ReferenceStore) -> None:
+        """Adopt an existing reference store (e.g. one restored from disk)."""
+        self._require_provisioned()
+        if references.embedding_dim != self.model.embedding_dim:
+            raise ValueError(
+                f"reference store dimension {references.embedding_dim} does not match "
+                f"the model's embedding dimension {self.model.embedding_dim}"
+            )
+        self.reference_store = references
+        self._classifier = KNNClassifier(references, self.classifier_config)
 
     # ------------------------------------------------------------ fingerprinting
     def fingerprint(self, observation: Union[Trace, PacketCapture, np.ndarray]) -> Prediction:
@@ -154,7 +172,7 @@ class AdaptiveFingerprinter:
             by_label.setdefault(trace.label, []).append(trace.as_model_input())
         for label, inputs in by_label.items():
             embeddings = self.model.embed(np.stack(inputs))
-            if replace and label in set(self.reference_store.labels):
+            if replace and self.reference_store.has_class(label):
                 self.reference_store.replace_class(label, embeddings)
             else:
                 self.reference_store.add(embeddings, [label] * embeddings.shape[0])

@@ -1,0 +1,113 @@
+"""Exact-vs-IVF query-time scaling measurement (the Table 2 cost story).
+
+Shared by ``repro index-bench`` and ``benchmarks/bench_index_scaling.py``:
+build clustered synthetic embedding corpora of growing size, answer the
+same k-NN queries through :class:`~repro.core.index.ExactIndex` and
+:class:`~repro.core.index.CoarseQuantizedIndex`, and report per-query time
+plus top-1 agreement.  The IVF curve growing sublinearly while the exact
+curve grows linearly is the property the classifier inherits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.index import CoarseQuantizedIndex, ExactIndex
+
+
+@dataclass
+class ScalingRow:
+    """One corpus size in the exact-vs-IVF comparison."""
+
+    n_references: int
+    exact_ms_per_query: float
+    ivf_ms_per_query: float
+    top1_agreement: float
+    n_cells: int
+    n_probe: int
+
+    @property
+    def speedup(self) -> float:
+        if self.ivf_ms_per_query == 0:
+            return float("inf")
+        return self.exact_ms_per_query / self.ivf_ms_per_query
+
+
+def clustered_corpus(
+    n: int, dim: int, *, n_clusters: Optional[int] = None, seed: int = 0
+) -> np.ndarray:
+    """Synthetic embedding corpus with cluster structure (like real pages)."""
+    rng = np.random.default_rng(seed)
+    n_clusters = n_clusters if n_clusters is not None else max(8, n // 50)
+    centres = rng.standard_normal((n_clusters, dim)) * 10.0
+    assignment = rng.integers(0, n_clusters, size=n)
+    return centres[assignment] + rng.standard_normal((n, dim))
+
+
+def _time_search(index, vectors: np.ndarray, queries: np.ndarray, k: int, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        index.search(vectors, queries, k)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_index_scaling(
+    sizes: Sequence[int],
+    *,
+    dim: int = 32,
+    k: int = 50,
+    n_probe: int = 8,
+    n_queries: int = 128,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[ScalingRow]:
+    """Per-query search time of exact vs IVF search at each corpus size."""
+    rows: List[ScalingRow] = []
+    rng = np.random.default_rng(seed + 1)
+    for n in sizes:
+        vectors = clustered_corpus(n, dim, seed=seed)
+        queries = vectors[rng.choice(n, size=min(n_queries, n), replace=False)]
+        queries = queries + 0.1 * rng.standard_normal(queries.shape)
+
+        exact = ExactIndex()
+        ivf = CoarseQuantizedIndex(n_probe=n_probe, min_train_size=min(256, n))
+        ivf.rebuild(vectors)
+
+        exact_s = _time_search(exact, vectors, queries, k, repeats)
+        ivf_s = _time_search(ivf, vectors, queries, k, repeats)
+        _, exact_ids = exact.search(vectors, queries, 1)
+        _, ivf_ids = ivf.search(vectors, queries, 1)
+        agreement = float((exact_ids[:, 0] == ivf_ids[:, 0]).mean())
+        n_cells = ivf._centroids.shape[0] if ivf.trained else 0
+        rows.append(
+            ScalingRow(
+                n_references=int(n),
+                exact_ms_per_query=1e3 * exact_s / queries.shape[0],
+                ivf_ms_per_query=1e3 * ivf_s / queries.shape[0],
+                top1_agreement=agreement,
+                n_cells=n_cells,
+                n_probe=min(n_probe, n_cells) if n_cells else n_probe,
+            )
+        )
+    return rows
+
+
+def scaling_table_rows(rows: Sequence[ScalingRow]) -> List[List[str]]:
+    """Rows for :func:`repro.metrics.reports.format_table`."""
+    return [
+        [
+            str(row.n_references),
+            f"{row.exact_ms_per_query:.3f}",
+            f"{row.ivf_ms_per_query:.3f}",
+            f"{row.speedup:.1f}x",
+            f"{row.top1_agreement:.3f}",
+            f"{row.n_cells}/{row.n_probe}",
+        ]
+        for row in rows
+    ]

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
-from scipy.spatial.distance import cdist
 
 from repro.core.reference_store import ReferenceStore
 
@@ -65,24 +64,23 @@ class OpenWorldDetector:
         *other* reference is computed; monitored pages should stay below the
         chosen percentile of that distribution, unmonitored pages above it.
         """
+        # Top-(k+1) through the store's query engine; the extra neighbour
+        # absorbs each reference matching itself at distance zero.
         embeddings = self.store.embeddings
-        distances = cdist(embeddings, embeddings, metric=self.metric)
-        np.fill_diagonal(distances, np.inf)
-        kth = np.sort(distances, axis=1)[:, self.neighbour - 1]
+        n = len(self.store)
+        distances, ids = self.store.search(embeddings, min(self.neighbour + 1, n), metric=self.metric)
+        distances = np.where(ids == np.arange(n)[:, None], np.inf, distances)
+        distances.sort(axis=1)
+        kth = distances[:, self.neighbour - 1]
         return float(np.percentile(kth, self.percentile))
 
     # ----------------------------------------------------------------- detect
     def scores(self, embeddings: np.ndarray) -> np.ndarray:
         """k-th-nearest-reference distance for each query embedding."""
         queries = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
-        if queries.shape[1] != self.store.embedding_dim:
-            raise ValueError(
-                f"query embeddings have dimension {queries.shape[1]}, "
-                f"store holds dimension {self.store.embedding_dim}"
-            )
-        distances = cdist(queries, self.store.embeddings, metric=self.metric)
-        k = min(self.neighbour, distances.shape[1])
-        return np.sort(distances, axis=1)[:, k - 1]
+        k = min(self.neighbour, len(self.store))
+        distances, _ = self.store.search(queries, k, metric=self.metric)
+        return distances[:, k - 1].copy()
 
     def is_unknown(self, embeddings: np.ndarray) -> np.ndarray:
         """Boolean array: True where the query looks like an unmonitored page."""

@@ -4,6 +4,11 @@ Positive pairs are two traces of the same webpage, negative pairs are
 traces of different webpages.  Random sampling is the paper's baseline
 strategy; hard-negative and semi-hard-negative mining (FaceNet-style) are
 provided as the "more advanced techniques" the paper references.
+
+Sampling is fully vectorised (no per-pair Python loop) and mining is
+row-blocked: distances are computed per block of *unique anchors* against
+the corpus instead of materialising the full N x N matrix and re-scanning
+it once per sampled pair.
 """
 
 from __future__ import annotations
@@ -13,6 +18,19 @@ from typing import Optional, Tuple
 
 import numpy as np
 from scipy.spatial.distance import cdist
+
+_MINING_BLOCK = 512
+
+
+def _class_members(labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(unique classes, per-class counts, padded member-index matrix)``."""
+    classes, counts = np.unique(labels, return_counts=True)
+    order = np.argsort(labels, kind="stable")
+    members = np.zeros((classes.size, int(counts.max())), dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    for row in range(classes.size):
+        members[row, : counts[row]] = order[offsets[row] : offsets[row + 1]]
+    return classes, counts, members
 
 
 def random_pairs(
@@ -35,33 +53,66 @@ def random_pairs(
         raise ValueError("need at least two samples to form pairs")
     rng = rng if rng is not None else np.random.default_rng(0)
 
-    by_class = {int(c): np.flatnonzero(labels == c) for c in np.unique(labels)}
-    multi_sample_classes = [c for c, idx in by_class.items() if len(idx) >= 2]
-    if not multi_sample_classes:
+    classes, counts, members = _class_members(labels)
+    multi = np.flatnonzero(counts >= 2)
+    if multi.size == 0:
         raise ValueError("no class has two or more samples; cannot form positive pairs")
-    classes = sorted(by_class)
-    if len(classes) < 2:
+    if classes.size < 2:
         raise ValueError("need at least two classes to form negative pairs")
 
-    left = np.empty(n_pairs, dtype=np.int64)
-    right = np.empty(n_pairs, dtype=np.int64)
-    similarity = np.empty(n_pairs, dtype=np.float64)
     n_positive = int(round(n_pairs * positive_fraction))
+    n_negative = n_pairs - n_positive
 
-    for k in range(n_pairs):
-        if k < n_positive:
-            cls = multi_sample_classes[int(rng.integers(0, len(multi_sample_classes)))]
-            i, j = rng.choice(by_class[cls], size=2, replace=False)
-            similarity[k] = 1.0
-        else:
-            cls_a, cls_b = rng.choice(classes, size=2, replace=False)
-            i = rng.choice(by_class[int(cls_a)])
-            j = rng.choice(by_class[int(cls_b)])
-            similarity[k] = 0.0
-        left[k], right[k] = int(i), int(j)
+    # Positives: a multi-sample class, then two distinct members of it (the
+    # second draw skips the first via the shift trick).
+    pos_cls = multi[rng.integers(0, multi.size, size=n_positive)]
+    first = rng.integers(0, counts[pos_cls])
+    second = rng.integers(0, counts[pos_cls] - 1)
+    second += second >= first
+    left_pos = members[pos_cls, first]
+    right_pos = members[pos_cls, second]
 
+    # Negatives: two distinct classes, one random member of each.
+    cls_a = rng.integers(0, classes.size, size=n_negative)
+    cls_b = rng.integers(0, classes.size - 1, size=n_negative)
+    cls_b += cls_b >= cls_a
+    left_neg = members[cls_a, rng.integers(0, counts[cls_a])]
+    right_neg = members[cls_b, rng.integers(0, counts[cls_b])]
+
+    left = np.concatenate([left_pos, left_neg])
+    right = np.concatenate([right_pos, right_neg])
+    similarity = np.concatenate(
+        [np.ones(n_positive, dtype=np.float64), np.zeros(n_negative, dtype=np.float64)]
+    )
     order = rng.permutation(n_pairs)
     return left[order], right[order], similarity[order]
+
+
+def _mine_hard_negatives(
+    labels: np.ndarray,
+    embeddings: np.ndarray,
+    anchors: np.ndarray,
+    semi_hard_margin: float,
+) -> np.ndarray:
+    """Nearest (semi-)hard negative for each unique anchor, row-blocked."""
+    mined = np.empty(anchors.size, dtype=np.int64)
+    for start in range(0, anchors.size, _MINING_BLOCK):
+        block = anchors[start : start + _MINING_BLOCK]
+        distances = cdist(embeddings[block], embeddings, metric="euclidean")
+        same_class = labels[block][:, None] == labels[None, :]
+        candidates = np.where(same_class, np.inf, distances)
+        if semi_hard_margin > 0:
+            same_distances = np.where(same_class, distances, np.inf)
+            same_distances[np.arange(block.size), block] = np.inf  # not the anchor itself
+            nearest_positive = same_distances.min(axis=1)
+            nearest_positive = np.where(np.isfinite(nearest_positive), nearest_positive, 0.0)
+            too_close = candidates < (nearest_positive + semi_hard_margin)[:, None]
+            # Only exclude too-close negatives when something farther exists,
+            # otherwise fall back to the plain hard negative.
+            has_far = (np.isfinite(candidates) & ~too_close).any(axis=1)
+            candidates = np.where(has_far[:, None] & too_close, np.inf, candidates)
+        mined[start : start + block.size] = np.argmin(candidates, axis=1)
+    return mined
 
 
 def hard_negative_pairs(
@@ -91,21 +142,11 @@ def hard_negative_pairs(
     if negatives.size == 0:
         return left_r, right_r, sim_r
 
-    distances = cdist(embeddings, embeddings, metric="euclidean")
-    same_class = labels[:, None] == labels[None, :]
-    for k in negatives:
-        anchor = int(left_r[k])
-        candidate_distances = distances[anchor].copy()
-        candidate_distances[same_class[anchor]] = np.inf
-        if semi_hard_margin > 0:
-            same = distances[anchor].copy()
-            same[~same_class[anchor]] = np.inf
-            same[anchor] = np.inf
-            nearest_positive = float(np.min(same)) if np.isfinite(same).any() else 0.0
-            too_close = candidate_distances < nearest_positive + semi_hard_margin
-            if not np.all(too_close | np.isinf(candidate_distances)):
-                candidate_distances[too_close] = np.inf
-        right_r[k] = int(np.argmin(candidate_distances))
+    # The mined partner is a deterministic function of the anchor, so mine
+    # each unique anchor once and fan the result back out to the pairs.
+    anchors, inverse = np.unique(left_r[negatives], return_inverse=True)
+    mined = _mine_hard_negatives(labels, embeddings, anchors, semi_hard_margin)
+    right_r[negatives] = mined[inverse]
     return left_r, right_r, sim_r
 
 

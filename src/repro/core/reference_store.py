@@ -4,6 +4,15 @@ The reference store is the component that makes the attack *adaptive*: to
 track a changed page or add a new one, the adversary only swaps or appends
 reference embeddings — the embedding model itself is never retrained
 (Section IV-C).
+
+Storage is an amortised-doubling buffer (appends are O(1) amortised rather
+than an O(N) reallocation per ``add``) and labels are kept int-encoded:
+``label_codes`` maps each row to a code, ``class_names`` maps codes back to
+strings, and ``classes``/``n_classes``/``class_counts`` all derive from
+that cached encoding.  The store owns a nearest-neighbour index (see
+:mod:`repro.core.index`) and keeps it consistent across every mutation, so
+classification cost can stay sublinear while adaptation remains
+retraining-free.
 """
 
 from __future__ import annotations
@@ -13,48 +22,112 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.core.index import ExactIndex, NearestNeighbourIndex, top_k_by_distance
 
 PathLike = Union[str, os.PathLike]
+
+_INITIAL_CAPACITY = 32
 
 
 class ReferenceStore:
     """Labelled embedding vectors used as k-NN reference points."""
 
-    def __init__(self, embedding_dim: int) -> None:
+    def __init__(self, embedding_dim: int, index: Optional[NearestNeighbourIndex] = None) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
         self.embedding_dim = int(embedding_dim)
-        self._embeddings: np.ndarray = np.empty((0, embedding_dim), dtype=np.float64)
-        self._labels: List[str] = []
+        self._buffer: np.ndarray = np.empty((0, embedding_dim), dtype=np.float64)
+        self._size: int = 0
+        self._codes: np.ndarray = np.empty(0, dtype=np.int64)
+        self._class_names: List[str] = []
+        self._class_index: Dict[str, int] = {}
+        self._counts: np.ndarray = np.empty(0, dtype=np.int64)
+        self._index: NearestNeighbourIndex = index if index is not None else ExactIndex()
 
     # ------------------------------------------------------------------- state
     def __len__(self) -> int:
-        return len(self._labels)
+        return self._size
 
     @property
     def embeddings(self) -> np.ndarray:
-        return self._embeddings
+        """The (N, dim) matrix of reference embeddings (a read-only view)."""
+        view = self._buffer[: self._size]
+        view.flags.writeable = False
+        return view
 
     @property
     def labels(self) -> np.ndarray:
-        return np.array(self._labels, dtype=object)
+        """Per-row labels as an object array (decoded from the cached codes)."""
+        names = np.array(self._class_names, dtype=object)
+        return names[self._codes[: self._size]] if self._size else np.empty(0, dtype=object)
+
+    @property
+    def label_codes(self) -> np.ndarray:
+        """Per-row integer class codes; ``class_names[code]`` is the label."""
+        view = self._codes[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def class_names(self) -> List[str]:
+        """Code -> label mapping (codes are first-occurrence ordered)."""
+        return list(self._class_names)
 
     @property
     def classes(self) -> List[str]:
         """Distinct class labels in insertion order."""
-        return list(dict.fromkeys(self._labels))
+        return list(self._class_names)
 
     @property
     def n_classes(self) -> int:
-        return len(set(self._labels))
+        return len(self._class_names)
 
     def class_counts(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for label in self._labels:
-            counts[label] = counts.get(label, 0) + 1
-        return counts
+        return {name: int(self._counts[code]) for code, name in enumerate(self._class_names)}
+
+    def has_class(self, label: str) -> bool:
+        return label in self._class_index
+
+    def __contains__(self, label: str) -> bool:
+        return self.has_class(label)
+
+    @property
+    def index(self) -> NearestNeighbourIndex:
+        return self._index
 
     # --------------------------------------------------------------- mutation
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._buffer.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(_INITIAL_CAPACITY, capacity)
+        while new_capacity < needed:
+            new_capacity *= 2
+        buffer = np.empty((new_capacity, self.embedding_dim), dtype=np.float64)
+        buffer[: self._size] = self._buffer[: self._size]
+        self._buffer = buffer
+        codes = np.empty(new_capacity, dtype=np.int64)
+        codes[: self._size] = self._codes[: self._size]
+        self._codes = codes
+
+    def _encode(self, labels: List[str]) -> np.ndarray:
+        codes = np.empty(len(labels), dtype=np.int64)
+        for position, label in enumerate(labels):
+            code = self._class_index.get(label)
+            if code is None:
+                code = len(self._class_names)
+                self._class_index[label] = code
+                self._class_names.append(label)
+            codes[position] = code
+        if len(self._class_names) > self._counts.shape[0]:
+            grown = np.zeros(len(self._class_names), dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        return codes
+
     def add(self, embeddings: np.ndarray, labels: Iterable[str]) -> None:
         """Append reference embeddings with their class labels."""
         embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
@@ -69,31 +142,79 @@ class ReferenceStore:
             )
         if any(not label for label in labels):
             raise ValueError("labels must be non-empty strings")
-        self._embeddings = np.concatenate([self._embeddings, embeddings], axis=0)
-        self._labels.extend(labels)
+        n_new = embeddings.shape[0]
+        self._reserve(n_new)
+        self._buffer[self._size : self._size + n_new] = embeddings
+        codes = self._encode(labels)
+        self._codes[self._size : self._size + n_new] = codes
+        self._size += n_new
+        np.add.at(self._counts, codes, 1)
+        self._index.add(self._buffer[: self._size], n_new)
 
     def remove_class(self, label: str) -> int:
         """Drop every reference of ``label``; returns how many were removed."""
-        mask = np.array([l != label for l in self._labels], dtype=bool)
-        removed = int((~mask).sum())
-        if removed == 0:
+        code = self._class_index.get(label)
+        if code is None:
             raise KeyError(f"no references with label {label!r}")
-        self._embeddings = self._embeddings[mask]
-        self._labels = [l for l in self._labels if l != label]
+        codes = self._codes[: self._size]
+        kept_mask = codes != code
+        removed = self._size - int(kept_mask.sum())
+        # Compact rows in order, then drop the code from the encoding so the
+        # remaining codes stay dense and first-occurrence ordered.
+        kept = int(kept_mask.sum())
+        self._buffer[:kept] = self._buffer[: self._size][kept_mask]
+        new_codes = codes[kept_mask]
+        new_codes[new_codes > code] -= 1
+        self._codes[:kept] = new_codes
+        self._size = kept
+        del self._class_names[code]
+        self._counts = np.delete(self._counts, code)
+        self._class_index = {name: position for position, name in enumerate(self._class_names)}
+        self._index.remove(kept_mask)
         return removed
 
     def replace_class(self, label: str, embeddings: np.ndarray) -> None:
         """Swap the references of one class (the paper's adaptation step)."""
-        if label in set(self._labels):
+        if self.has_class(label):
             self.remove_class(label)
         embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
         self.add(embeddings, [label] * embeddings.shape[0])
 
     def class_embeddings(self, label: str) -> np.ndarray:
-        mask = np.array([l == label for l in self._labels], dtype=bool)
-        if not mask.any():
+        code = self._class_index.get(label)
+        if code is None:
             raise KeyError(f"no references with label {label!r}")
-        return self._embeddings[mask]
+        return self._buffer[: self._size][self._codes[: self._size] == code]
+
+    # ------------------------------------------------------------------ search
+    def search(
+        self, queries: np.ndarray, k: int, *, metric: str = "euclidean"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """k nearest references per query, ordered by ``(distance, row id)``.
+
+        Dispatches to the owned index when its metric matches; any other
+        metric is answered by an exact brute-force scan so callers with a
+        non-default metric keep working.
+        """
+        if self._size == 0:
+            raise RuntimeError("the reference store is empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.embedding_dim:
+            raise ValueError(
+                f"query embeddings have dimension {queries.shape[1]}, "
+                f"store holds dimension {self.embedding_dim}"
+            )
+        k = min(int(k), self._size)
+        if metric == self._index.metric:
+            return self._index.search(self.embeddings, queries, k)
+        distances = cdist(queries, self.embeddings, metric=metric)
+        return top_k_by_distance(distances, k)
+
+    def rebuild_index(self, index: Optional[NearestNeighbourIndex] = None) -> None:
+        """Swap in (or refresh) the nearest-neighbour index."""
+        if index is not None:
+            self._index = index
+        self._index.rebuild(self.embeddings)
 
     # ------------------------------------------------------------- persistence
     def save(self, path: PathLike) -> Path:
@@ -103,19 +224,19 @@ class ReferenceStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         np.savez_compressed(
             path,
-            embeddings=self._embeddings,
-            labels=np.array(self._labels, dtype=object),
+            embeddings=self.embeddings,
+            labels=self.labels,
             embedding_dim=np.array(self.embedding_dim),
         )
         return path
 
     @classmethod
-    def load(cls, path: PathLike) -> "ReferenceStore":
+    def load(cls, path: PathLike, index: Optional[NearestNeighbourIndex] = None) -> "ReferenceStore":
         path = Path(path)
         if not path.exists():
             raise FileNotFoundError(f"reference store archive not found: {path}")
         with np.load(path, allow_pickle=True) as archive:
-            store = cls(int(archive["embedding_dim"]))
+            store = cls(int(archive["embedding_dim"]), index=index)
             labels = [str(label) for label in archive["labels"]]
             if len(labels):
                 store.add(archive["embeddings"], labels)

@@ -1,0 +1,213 @@
+"""Optional fused C kernels for the LSTM cell's elementwise hot loops.
+
+The per-timestep LSTM cell update and its backward pass are ~30 small
+elementwise NumPy calls per step; at (batch, units) = (512, 30) each call
+is dominated by dispatch overhead, not arithmetic.  This module fuses each
+phase into a single C function (pure arithmetic, no transcendentals — the
+``tanh`` calls stay in NumPy's SIMD loops) compiled on first use with the
+system C compiler and loaded through :mod:`ctypes`.
+
+No new dependency is introduced: when no compiler is available, or the
+build fails for any reason, ``lstm_kernels()`` returns ``None`` and the
+LSTM layer falls back to the equivalent NumPy implementation.  The kernels
+are numerically the same computation (IEEE semantics, no -ffast-math);
+only the operation fusion differs.
+
+The shared object is cached next to this file, keyed by a hash of the C
+source, so each machine compiles at most once per kernel version.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_C_SOURCE = r"""
+/* Fused elementwise kernels for the tanh-domain LSTM cell.
+
+   Layout: gates is (n, 4*u) row-major with gate order [i, f, g, o], all in
+   tanh domain (sigmoid(z) = 0.5 * (t + 1) with t = tanh(0.5 z)); every
+   other array is (n, u) row-major and contiguous.
+*/
+
+void lstm_cell_c(long n, long u, const double *gates, const double *c_prev,
+                 double *c_out)
+{
+    for (long row = 0; row < n; ++row) {
+        const double *g4 = gates + row * 4 * u;
+        const double *ti = g4;
+        const double *tf = g4 + u;
+        const double *tg = g4 + 2 * u;
+        const double *cp = c_prev + row * u;
+        double *c = c_out + row * u;
+        for (long j = 0; j < u; ++j) {
+            /* c = f*c_prev + i*g with f = (tf+1)/2, i = (ti+1)/2 */
+            c[j] = 0.5 * ((tf[j] + 1.0) * cp[j] + (ti[j] + 1.0) * tg[j]);
+        }
+    }
+}
+
+void lstm_cell_h(long n, long u, long h_stride, const double *gates,
+                 const double *tanh_c, double *h_out)
+{
+    /* h_stride: row stride (in elements) of h_out, so h can be written
+       straight into a column block of the fused [x | h | 1] GEMM slab. */
+    for (long row = 0; row < n; ++row) {
+        const double *to = gates + row * 4 * u + 3 * u;
+        const double *tc = tanh_c + row * u;
+        double *h = h_out + row * h_stride;
+        for (long j = 0; j < u; ++j) {
+            /* h = o * tanh(c) with o = (to+1)/2 */
+            h[j] = 0.5 * (to[j] + 1.0) * tc[j];
+        }
+    }
+}
+
+void lstm_cell_backward(long n, long u, const double *gates,
+                        const double *tanh_c, const double *c_prev,
+                        const double *dh, const double *dc_next_in,
+                        double *dz_out, double *dc_next_out)
+{
+    for (long row = 0; row < n; ++row) {
+        const double *g4 = gates + row * 4 * u;
+        const double *ti = g4;
+        const double *tf = g4 + u;
+        const double *tg = g4 + 2 * u;
+        const double *to = g4 + 3 * u;
+        const double *tc = tanh_c + row * u;
+        const double *cp = c_prev + row * u;
+        const double *dhr = dh + row * u;
+        const double *dcn_in = dc_next_in + row * u;
+        double *dz = dz_out + row * 4 * u;
+        double *dcn_out = dc_next_out + row * u;
+        for (long j = 0; j < u; ++j) {
+            /* sigmoid' = 0.25 (1 - t^2) in tanh domain, tanh' = 1 - t^2 */
+            double tc2 = 1.0 - tc[j] * tc[j];
+            double dc = dhr[j] * 0.5 * (to[j] + 1.0) * tc2 + dcn_in[j];
+            dz[j]         = dc * tg[j] * 0.25 * (1.0 - ti[j] * ti[j]);
+            dz[u + j]     = dc * cp[j] * 0.25 * (1.0 - tf[j] * tf[j]);
+            dz[2 * u + j] = dc * 0.5 * (ti[j] + 1.0) * (1.0 - tg[j] * tg[j]);
+            dz[3 * u + j] = dhr[j] * tc[j] * 0.25 * (1.0 - to[j] * to[j]);
+            dcn_out[j] = dc * 0.5 * (tf[j] + 1.0);
+        }
+    }
+}
+"""
+
+_CFLAGS = ["-O3", "-march=native", "-shared", "-fPIC"]
+_cached: Optional[object] = None
+_build_attempted = False
+
+
+def _host_fingerprint() -> str:
+    """Identify the CPU the kernel is compiled for.
+
+    ``-march=native`` code is only valid on CPUs with the same ISA
+    extensions, so the cache key must change when the tree moves to a
+    different machine (otherwise loading the stale .so would SIGILL).
+    """
+    try:
+        with open("/proc/cpuinfo") as cpuinfo:
+            for line in cpuinfo:
+                if line.startswith("flags"):
+                    return line
+    except OSError:
+        pass
+    import platform
+
+    return f"{platform.machine()}-{platform.processor()}"
+
+
+def _build_library() -> Optional[ctypes.CDLL]:
+    key = hashlib.sha256((_C_SOURCE + "\0" + _host_fingerprint()).encode()).hexdigest()[:16]
+    lib_path = Path(__file__).with_name(f"_lstm_kernel_{key}.so")
+    if not lib_path.exists():
+        compiler = os.environ.get("CC", "cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            c_file = Path(tmp) / "lstm_kernel.c"
+            c_file.write_text(_C_SOURCE)
+            tmp_so = Path(tmp) / "lstm_kernel.so"
+            result = subprocess.run(
+                [compiler, *_CFLAGS, "-o", str(tmp_so), str(c_file)],
+                capture_output=True,
+                timeout=120,
+            )
+            if result.returncode != 0:
+                return None
+            # Atomic move so concurrent builders cannot race.
+            os.replace(tmp_so, lib_path)
+    library = ctypes.CDLL(str(lib_path))
+    c_long = ctypes.c_long
+    c_dptr = ctypes.POINTER(ctypes.c_double)
+    library.lstm_cell_c.argtypes = [c_long, c_long, c_dptr, c_dptr, c_dptr]
+    library.lstm_cell_h.argtypes = [c_long, c_long, c_long, c_dptr, c_dptr, c_dptr]
+    library.lstm_cell_backward.argtypes = [c_long, c_long] + [c_dptr] * 7
+    for name in ("lstm_cell_c", "lstm_cell_h", "lstm_cell_backward"):
+        getattr(library, name).restype = None
+    return library
+
+
+class LSTMKernels:
+    """ctypes wrappers around the fused cell kernels."""
+
+    def __init__(self, library: ctypes.CDLL) -> None:
+        self._lib = library
+        self._as_ptr = ctypes.POINTER(ctypes.c_double)
+
+    def _ptr(self, array: np.ndarray):
+        return array.ctypes.data_as(self._as_ptr)
+
+    def cell_c(self, gates: np.ndarray, c_prev: np.ndarray, c_out: np.ndarray) -> None:
+        n, u = c_out.shape
+        self._lib.lstm_cell_c(n, u, self._ptr(gates), self._ptr(c_prev), self._ptr(c_out))
+
+    def cell_h(self, gates: np.ndarray, tanh_c: np.ndarray, h_out: np.ndarray) -> None:
+        n, u = h_out.shape
+        h_stride = h_out.strides[0] // h_out.itemsize
+        self._lib.lstm_cell_h(n, u, h_stride, self._ptr(gates), self._ptr(tanh_c), self._ptr(h_out))
+
+    def cell_backward(
+        self,
+        gates: np.ndarray,
+        tanh_c: np.ndarray,
+        c_prev: np.ndarray,
+        dh: np.ndarray,
+        dc_next_in: np.ndarray,
+        dz_out: np.ndarray,
+        dc_next_out: np.ndarray,
+    ) -> None:
+        n, u = dh.shape
+        self._lib.lstm_cell_backward(
+            n,
+            u,
+            self._ptr(gates),
+            self._ptr(tanh_c),
+            self._ptr(c_prev),
+            self._ptr(dh),
+            self._ptr(dc_next_in),
+            self._ptr(dz_out),
+            self._ptr(dc_next_out),
+        )
+
+
+def lstm_kernels() -> Optional[LSTMKernels]:
+    """The compiled kernels, or ``None`` when unavailable (NumPy fallback)."""
+    global _cached, _build_attempted
+    if _build_attempted:
+        return _cached
+    _build_attempted = True
+    if os.environ.get("REPRO_DISABLE_KERNELS"):
+        return None
+    try:
+        library = _build_library()
+    except Exception:
+        library = None
+    _cached = LSTMKernels(library) if library is not None else None
+    return _cached

@@ -1,0 +1,208 @@
+"""Tests for the nearest-neighbour index layer and the store that owns it."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import (
+    CoarseQuantizedIndex,
+    ExactIndex,
+    index_from_spec,
+    top_k_by_distance,
+)
+from repro.core.reference_store import ReferenceStore
+
+
+class TestTopK:
+    def test_matches_stable_argsort(self):
+        rng = np.random.default_rng(0)
+        distances = rng.standard_normal((20, 50)) ** 2
+        for k in (1, 7, 49, 50):
+            dist, idx = top_k_by_distance(distances, k)
+            for row in range(20):
+                expected = np.argsort(distances[row], kind="stable")[:k]
+                assert np.array_equal(idx[row], expected)
+                assert np.array_equal(dist[row], distances[row, expected])
+
+    def test_boundary_ties_resolved_by_id(self):
+        # Columns 0..3 all tie at distance 1; k=2 must pick ids 0 and 1.
+        distances = np.array([[1.0, 1.0, 1.0, 1.0, 5.0]])
+        dist, idx = top_k_by_distance(distances, 2)
+        assert idx.tolist() == [[0, 1]]
+        assert dist.tolist() == [[1.0, 1.0]]
+
+    def test_k_of_larger_than_row(self):
+        distances = np.array([[3.0, 1.0, 2.0]])
+        dist, idx = top_k_by_distance(distances, 10)
+        assert idx.tolist() == [[1, 2, 0]]
+
+
+class TestExactIndex:
+    def test_search_orders_by_distance_then_id(self):
+        vectors = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.0]])
+        index = ExactIndex()
+        dist, idx = index.search(vectors, np.array([[0.0, 0.0]]), 3)
+        assert idx.tolist() == [[0, 2, 1]]
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            ExactIndex(metric="hamming")
+
+    def test_empty_search_raises(self):
+        with pytest.raises(ValueError):
+            ExactIndex().search(np.empty((0, 2)), np.zeros((1, 2)), 1)
+
+
+class TestCoarseQuantizedIndex:
+    def test_untrained_below_min_size_falls_back_to_exact(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((50, 4))
+        ivf = CoarseQuantizedIndex(min_train_size=256)
+        ivf.rebuild(vectors)
+        assert not ivf.trained
+        d1, i1 = ivf.search(vectors, vectors[:5], 3)
+        d2, i2 = ExactIndex().search(vectors, vectors[:5], 3)
+        assert np.array_equal(i1, i2) and np.array_equal(d1, d2)
+
+    def test_trains_once_corpus_is_large_enough(self):
+        rng = np.random.default_rng(2)
+        ivf = CoarseQuantizedIndex(min_train_size=64)
+        vectors = rng.standard_normal((40, 4))
+        ivf.rebuild(vectors)
+        assert not ivf.trained
+        grown = np.concatenate([vectors, rng.standard_normal((60, 4))])
+        ivf.add(grown, 60)
+        assert ivf.trained
+
+    def test_incremental_add_assigns_to_existing_cells(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.standard_normal((300, 4))
+        ivf = CoarseQuantizedIndex(n_cells=8, min_train_size=16)
+        ivf.rebuild(vectors)
+        centroids_before = ivf._centroids.copy()
+        grown = np.concatenate([vectors, rng.standard_normal((50, 4))])
+        ivf.add(grown, 50)
+        # Retraining-free: centroids untouched, assignments extended.
+        assert np.array_equal(ivf._centroids, centroids_before)
+        assert ivf._assignments.size == 350
+        d, i = ivf.search(grown, grown[-3:], 1)
+        assert set(i[:, 0]) <= set(range(350))
+
+    def test_remove_renumbers_ids(self):
+        rng = np.random.default_rng(4)
+        vectors = rng.standard_normal((200, 3))
+        ivf = CoarseQuantizedIndex(n_cells=5, n_probe=5, min_train_size=16)
+        ivf.rebuild(vectors)
+        kept_mask = np.ones(200, dtype=bool)
+        kept_mask[10:60] = False
+        kept = vectors[kept_mask]
+        ivf.remove(kept_mask)
+        assert ivf._assignments.size == kept.shape[0]
+        _, ids = ivf.search(kept, kept[:4], 1)
+        assert np.array_equal(ids[:, 0], np.arange(4))
+
+    def test_probe_shortfall_falls_back_to_exact(self):
+        # One faraway point gets its own cell; probing only that cell for a
+        # nearby query yields < k candidates and must not surface padding.
+        rng = np.random.default_rng(5)
+        vectors = np.concatenate([rng.standard_normal((299, 2)), [[500.0, 500.0]]])
+        ivf = CoarseQuantizedIndex(n_cells=4, n_probe=1, min_train_size=16)
+        ivf.rebuild(vectors)
+        d, i = ivf.search(vectors, np.array([[499.0, 499.0]]), 10)
+        assert np.all(i >= 0)
+        assert np.all(np.isfinite(d))
+
+    def test_cross_cell_distance_ties_ordered_by_id(self):
+        # Two clusters far apart; the query sits exactly between two points
+        # that live in different cells, so the tie must resolve by id even
+        # though the probe layout visits cells in arbitrary order.
+        rng = np.random.default_rng(6)
+        left = rng.standard_normal((150, 2)) + [-50.0, 0.0]
+        right = rng.standard_normal((150, 2)) + [50.0, 0.0]
+        vectors = np.concatenate([left, right, [[-10.0, 0.0]], [[10.0, 0.0]]])
+        ivf = CoarseQuantizedIndex(n_cells=2, n_probe=2, min_train_size=16)
+        ivf.rebuild(vectors)
+        d, i = ivf.search(vectors, np.array([[0.0, 0.0]]), 2)
+        assert i[0].tolist() == [300, 301]
+        assert d[0, 0] == d[0, 1]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CoarseQuantizedIndex(n_cells=0)
+        with pytest.raises(ValueError):
+            CoarseQuantizedIndex(n_probe=0)
+        with pytest.raises(ValueError):
+            CoarseQuantizedIndex(metric="cosine")
+
+    def test_spec_roundtrip(self):
+        ivf = CoarseQuantizedIndex(n_cells=11, n_probe=3, min_train_size=99, seed=7)
+        clone = index_from_spec(ivf.spec())
+        assert isinstance(clone, CoarseQuantizedIndex)
+        assert clone.spec() == ivf.spec()
+        exact = index_from_spec(ExactIndex(metric="cosine").spec())
+        assert isinstance(exact, ExactIndex) and exact.metric == "cosine"
+        assert isinstance(index_from_spec(None), ExactIndex)
+        with pytest.raises(ValueError):
+            index_from_spec({"kind": "magic"})
+
+
+class TestStoreIndexConsistency:
+    def build_store(self, index, n=400, dim=4, seed=6):
+        rng = np.random.default_rng(seed)
+        store = ReferenceStore(dim, index=index)
+        points = rng.standard_normal((n, dim))
+        labels = [f"c{i % 20}" for i in range(n)]
+        store.add(points, labels)
+        return store, rng
+
+    def test_ivf_store_tracks_mutations(self):
+        store, rng = self.build_store(CoarseQuantizedIndex(n_cells=10, n_probe=10, min_train_size=16))
+        exact_store = ReferenceStore(4)
+        exact_store.add(store.embeddings, list(store.labels))
+
+        store.remove_class("c3")
+        exact_store.remove_class("c3")
+        store.replace_class("c5", rng.standard_normal((7, 4)))
+        exact_store.replace_class("c5", np.asarray(store.class_embeddings("c5")))
+        queries = rng.standard_normal((25, 4))
+        d1, i1 = store.search(queries, 5)
+        d2, i2 = exact_store.search(queries, 5)
+        # Full-probe IVF after arbitrary mutations == exact search.
+        assert np.array_equal(i1, i2)
+        assert np.allclose(d1, d2)
+
+    def test_store_search_with_other_metric_falls_back(self):
+        store, rng = self.build_store(CoarseQuantizedIndex(min_train_size=16))
+        d, i = store.search(rng.standard_normal((3, 4)), 4, metric="cityblock")
+        assert d.shape == (3, 4)
+
+    def test_cached_class_accounting(self):
+        store = ReferenceStore(2)
+        store.add(np.zeros((3, 2)), ["a", "b", "a"])
+        assert store.classes == ["a", "b"]
+        assert store.n_classes == 2
+        assert store.class_counts() == {"a": 2, "b": 1}
+        assert store.has_class("a") and "b" in store and "zz" not in store
+        assert store.label_codes.tolist() == [0, 1, 0]
+        store.remove_class("a")
+        assert store.classes == ["b"]
+        assert store.label_codes.tolist() == [0]
+        assert store.class_counts() == {"b": 1}
+        store.add(np.ones((2, 2)), ["a", "c"])
+        assert store.classes == ["b", "a", "c"]
+        assert store.class_counts() == {"b": 1, "a": 1, "c": 1}
+
+    def test_amortised_buffer_growth_preserves_content(self):
+        store = ReferenceStore(3)
+        rng = np.random.default_rng(8)
+        chunks = [rng.standard_normal((n, 3)) for n in (1, 5, 40, 200)]
+        for position, chunk in enumerate(chunks):
+            store.add(chunk, [f"k{position}"] * chunk.shape[0])
+        assert len(store) == 246
+        assert np.array_equal(store.embeddings, np.concatenate(chunks))
+        assert store._buffer.shape[0] >= 246  # doubling buffer over-allocates
+
+    def test_embeddings_view_is_read_only(self):
+        store = ReferenceStore(2)
+        store.add(np.zeros((2, 2)), ["a", "b"])
+        with pytest.raises(ValueError):
+            store.embeddings[0, 0] = 5.0

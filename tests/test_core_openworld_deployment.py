@@ -77,7 +77,10 @@ class TestOpenWorldDetector:
             n_sequences=wiki_dataset.n_sequences,
             sequence_length=wiki_dataset.sequence_length,
             hyperparameters=tiny_hyperparameters(),
-            training_config=tiny_training_config(epochs=6, pairs_per_epoch=600),
+            # The fixture-default training budget: a 6-epoch run leaves the
+            # embedding marginal enough that the assertion below becomes a
+            # coin flip on the training trajectory.
+            training_config=tiny_training_config(),
             classifier_config=ClassifierConfig(k=10),
             seed=0,
         )
