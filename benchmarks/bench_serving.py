@@ -1,0 +1,53 @@
+"""Serving-layer benchmark: sharded, micro-batched replay -> BENCH_2.json.
+
+Replays a synthetic open-world trace mix through the serving subsystem
+(:mod:`repro.serving`) and asserts the deployment-scale contract:
+
+* with >= 2 shards and micro-batching enabled the merged predictions are
+  identical to a single-process ``ExactIndex`` baseline,
+* a ``replace_class`` adaptation fired mid-replay causes zero failed
+  queries (the copy-on-write snapshot swap never blocks serving),
+* throughput and p50/p99 per-query latency are recorded to
+  ``benchmarks/results/BENCH_2.json``.
+
+Run directly with ``pytest benchmarks/bench_serving.py -s`` or via
+``python -m repro serve-bench`` for the standalone snapshot.
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.serving.bench import format_summary, run_serving_bench
+
+OUT = Path(__file__).parent / "results" / "BENCH_2.json"
+
+
+def test_serving_bench(benchmark):
+    snapshot = benchmark.pedantic(
+        lambda: run_serving_bench(
+            n_references=3000,
+            n_classes=60,
+            dim=16,
+            k=25,
+            n_queries=1000,
+            n_shards=2,
+            executor="serial",
+            out=OUT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Serving bench — sharded micro-batched replay", "\n".join(format_summary(snapshot)))
+
+    # Sharding + micro-batching must not change a single answer.
+    assert snapshot["identical_to_exact_baseline"]["serial"] is True
+    # Zero-downtime adaptation: the mid-run replace_class failed nothing.
+    assert snapshot["adaptation"]["failed_queries"] == 0
+
+    report = snapshot["serving"]["serial"]["report"]
+    assert report["throughput_qps"] > 0
+    assert report["p99_ms"] >= report["p50_ms"] > 0
+    benchmark.extra_info["throughput_qps"] = report["throughput_qps"]
+    benchmark.extra_info["p50_ms"] = report["p50_ms"]
+    benchmark.extra_info["p99_ms"] = report["p99_ms"]
+    benchmark.extra_info["swap_ms"] = snapshot["adaptation"]["swap_ms"]["serial"]

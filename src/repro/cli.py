@@ -1,16 +1,22 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows::
+The subcommands cover the common workflows::
 
     python -m repro info                     # package / scale overview
     python -m repro experiment exp1 --scale smoke
-    python -m repro experiment all  --scale ci
+    python -m repro experiment all  --scale ci --index ivf
     python -m repro table3 --no-measure
+    python -m repro index-bench              # exact-vs-IVF scaling table
+    python -m repro serve-bench              # serving layer -> BENCH_2.json
 
 The ``experiment`` subcommand builds the shared
 :class:`~repro.experiments.setup.ExperimentContext` once and runs the
 requested experiment(s), printing the same tables the benchmark harness
-regenerates and (optionally) writing them to an output directory.
+regenerates and (optionally) writing them to an output directory; the
+``--index/--n-cells/--n-probe`` flags pick the k-NN query engine so
+paper-scale runs can use the sublinear IVF index.  ``serve-bench`` replays
+an open-world trace mix through the sharded, micro-batched serving layer
+(:mod:`repro.serving`) and records throughput and p50/p99 latency.
 """
 
 from __future__ import annotations
@@ -46,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--output-dir", type=Path, default=None, help="write the regenerated tables to this directory"
     )
+    experiment.add_argument(
+        "--index", default="exact", choices=("exact", "ivf"),
+        help="k-NN query engine for every reference store (ivf = sublinear CoarseQuantizedIndex)",
+    )
+    experiment.add_argument(
+        "--n-cells", type=int, default=None,
+        help="IVF coarse cells (default: ceil(sqrt(N)) at build time)",
+    )
+    experiment.add_argument("--n-probe", type=int, default=8, help="IVF cells probed per query")
 
     table3 = subparsers.add_parser("table3", help="print the Table III cost catalogue")
     table3.add_argument("--no-measure", action="store_true", help="catalogue only, skip measured timings")
@@ -62,6 +77,43 @@ def build_parser() -> argparse.ArgumentParser:
     index_bench.add_argument("--n-probe", type=int, default=8, help="IVF cells probed per query")
     index_bench.add_argument("--queries", type=int, default=128, help="queries per measurement")
     index_bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="replay an open-world mix through the sharded serving layer -> BENCH_2.json",
+    )
+    serve_bench.add_argument("--references", type=int, default=6000, help="reference corpus size")
+    serve_bench.add_argument("--classes", type=int, default=120, help="monitored classes")
+    serve_bench.add_argument("--dim", type=int, default=32, help="embedding dimension")
+    serve_bench.add_argument("--k", type=int, default=50, help="neighbours per query")
+    serve_bench.add_argument("--queries", type=int, default=2000, help="queries to replay")
+    serve_bench.add_argument("--shards", type=int, default=2, help="reference-store shards (>= 2)")
+    serve_bench.add_argument("--batch-size", type=int, default=64, help="micro-batch size cap")
+    serve_bench.add_argument(
+        "--max-latency-ms", type=float, default=2.0, help="micro-batch age-out latency budget"
+    )
+    serve_bench.add_argument("--cache-size", type=int, default=4096, help="LRU result-cache entries (0 disables)")
+    serve_bench.add_argument(
+        "--executor", default="serial", choices=("serial", "process", "both"),
+        help="shard scatter: in-process, worker processes (shared memory), or both",
+    )
+    serve_bench.add_argument(
+        "--assignment", default="hash", choices=("hash", "balanced"), help="class -> shard placement"
+    )
+    serve_bench.add_argument(
+        "--unmonitored-fraction", type=float, default=0.2, help="open-world share of the query mix"
+    )
+    serve_bench.add_argument(
+        "--revisit-fraction", type=float, default=0.1, help="share of monitored queries that are exact revisits"
+    )
+    serve_bench.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve_bench.add_argument(
+        "--out", type=Path, default=Path("BENCH_2.json"), help="where to write the JSON snapshot"
+    )
+    serve_bench.add_argument(
+        "--smoke", action="store_true",
+        help="small fast preset (overrides sizes; used by the CI serving smoke job)",
+    )
     return parser
 
 
@@ -97,7 +149,15 @@ def _info() -> str:
     return "\n".join(lines)
 
 
-def _run_experiments(name: str, scale_name: str, output_dir: Optional[Path]) -> List[str]:
+def _run_experiments(
+    name: str,
+    scale_name: str,
+    output_dir: Optional[Path],
+    *,
+    index_kind: str = "exact",
+    n_cells: Optional[int] = None,
+    n_probe: int = 8,
+) -> List[str]:
     # Imported lazily so `repro info` stays instant.
     from repro.experiments import (
         ExperimentContext,
@@ -109,7 +169,9 @@ def _run_experiments(name: str, scale_name: str, output_dir: Optional[Path]) -> 
         run_table3,
     )
 
-    context = ExperimentContext.build(get_scale(scale_name))
+    context = ExperimentContext.build(
+        get_scale(scale_name), index_kind=index_kind, n_cells=n_cells, n_probe=n_probe
+    )
     runners: Dict[str, Callable[[], List[str]]] = {
         "exp1": lambda: [run_experiment1(context).as_table()],
         "exp2": lambda: (lambda r: [r.as_table(), r.table2_as_table()])(run_experiment2(context)),
@@ -119,7 +181,9 @@ def _run_experiments(name: str, scale_name: str, output_dir: Optional[Path]) -> 
         "table3": lambda: (lambda r: [r.as_table(), r.measured_as_table()])(run_table3(context)),
     }
     selected = EXPERIMENT_NAMES if name == "all" else (name,)
-    outputs: List[str] = [f"scale: {scale_name}", context.wiki_split.summary()]
+    outputs: List[str] = [
+        f"scale: {scale_name}, index: {index_kind}", context.wiki_split.summary()
+    ]
     for key in selected:
         tables = runners[key]()
         outputs.extend(tables)
@@ -169,6 +233,37 @@ def _index_bench(arguments) -> List[str]:
     ]
 
 
+def _serve_bench(arguments) -> List[str]:
+    from repro.serving.bench import format_summary, run_serving_bench
+
+    if arguments.shards < 2:
+        raise SystemExit("--shards must be >= 2 (the merge path is the point of the bench)")
+    if arguments.smoke:
+        preset = dict(n_references=1200, n_classes=40, dim=16, k=25, n_queries=400)
+    else:
+        preset = dict(
+            n_references=arguments.references,
+            n_classes=arguments.classes,
+            dim=arguments.dim,
+            k=arguments.k,
+            n_queries=arguments.queries,
+        )
+    snapshot = run_serving_bench(
+        **preset,
+        n_shards=arguments.shards,
+        max_batch_size=arguments.batch_size,
+        max_latency_s=arguments.max_latency_ms / 1e3,
+        cache_size=arguments.cache_size,
+        unmonitored_fraction=arguments.unmonitored_fraction,
+        revisit_fraction=arguments.revisit_fraction,
+        executor=arguments.executor,
+        assignment=arguments.assignment,
+        seed=arguments.seed,
+        out=arguments.out,
+    )
+    return format_summary(snapshot) + [f"wrote {arguments.out}"]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -179,7 +274,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_info())
         return 0
     if arguments.command == "experiment":
-        for block in _run_experiments(arguments.name, arguments.scale, arguments.output_dir):
+        blocks = _run_experiments(
+            arguments.name,
+            arguments.scale,
+            arguments.output_dir,
+            index_kind=arguments.index,
+            n_cells=arguments.n_cells,
+            n_probe=arguments.n_probe,
+        )
+        for block in blocks:
             print(block)
             print()
         return 0
@@ -192,6 +295,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for block in _index_bench(arguments):
             print(block)
             print()
+        return 0
+    if arguments.command == "serve-bench":
+        for line in _serve_bench(arguments):
+            print(line)
         return 0
     parser.error(f"unknown command {arguments.command!r}")
     return 2

@@ -30,7 +30,12 @@ from repro.core.classifier import KNNClassifier, Prediction
 from repro.core.fingerprinter import AdaptiveFingerprinter
 from repro.core.adaptation import AdaptationPolicy, AdaptationReport
 from repro.core.openworld import OpenWorldDetector, OpenWorldResult
-from repro.core.deployment import save_deployment, load_deployment
+from repro.core.deployment import (
+    DeploymentError,
+    DeploymentNotFoundError,
+    save_deployment,
+    load_deployment,
+)
 
 __all__ = [
     "CoarseQuantizedIndex",
@@ -40,6 +45,8 @@ __all__ = [
     "top_k_by_distance",
     "OpenWorldDetector",
     "OpenWorldResult",
+    "DeploymentError",
+    "DeploymentNotFoundError",
     "save_deployment",
     "load_deployment",
     "EmbeddingModel",

@@ -72,6 +72,22 @@ def _sqrt_clamped(d2: np.ndarray) -> np.ndarray:
     return np.sqrt(d2, out=d2)
 
 
+def _metric_distances(
+    queries: np.ndarray,
+    vectors: np.ndarray,
+    metric: str,
+    vectors_sq: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Pairwise distances under ``metric``.
+
+    Euclidean rows come back *squared* (rank-equivalent; callers square-root
+    only the selected top-k); other metrics are exact ``cdist`` distances.
+    """
+    if metric == "euclidean":
+        return squared_euclidean_distances(queries, vectors, vectors_sq)
+    return cdist(queries, vectors, metric=metric)
+
+
 def top_k_by_distance(distances: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     """Top-k smallest entries per row, ordered by ``(distance, column)``.
 
@@ -173,28 +189,37 @@ class ExactIndex(NearestNeighbourIndex):
 
 
 def _kmeans(
-    vectors: np.ndarray, n_cells: int, *, n_iter: int = 10, seed: int = 0
+    vectors: np.ndarray, n_cells: int, *, metric: str = "euclidean", n_iter: int = 10, seed: int = 0
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Plain Lloyd's k-means; returns ``(centroids, assignments)``.
+    """Plain Lloyd's k-means under ``metric``; returns ``(centroids, assignments)``.
 
     Deliberately small: the coarse quantizer only needs rough cells, not a
-    converged clustering, and this keeps the index dependency-free.
+    converged clustering, and this keeps the index dependency-free.  Cell
+    updates use the metric's natural centre: the mean for euclidean and
+    cosine (the mean points in the mean direction, which is all cosine
+    assignment looks at), the coordinate-wise median for cityblock (the L1
+    minimiser).
     """
     n = vectors.shape[0]
     rng = np.random.default_rng(seed)
     centroids = vectors[rng.choice(n, size=n_cells, replace=False)].copy()
     assignments = np.zeros(n, dtype=np.int64)
+    centre = np.median if metric == "cityblock" else np.mean
     for _ in range(n_iter):
-        assignments = np.argmin(squared_euclidean_distances(vectors, centroids), axis=1)
+        distances = _metric_distances(vectors, centroids, metric)
+        assignments = np.argmin(distances, axis=1)
         for cell in range(n_cells):
             members = assignments == cell
             if members.any():
-                centroids[cell] = vectors[members].mean(axis=0)
+                centroids[cell] = centre(vectors[members], axis=0)
+                if metric == "cosine" and not np.linalg.norm(centroids[cell]) > 0.0:
+                    # Cancelled-out mean has no direction; keep a member.
+                    centroids[cell] = vectors[members][0]
             else:
                 # Re-seed an empty cell on the point farthest from its centroid.
-                spread = np.linalg.norm(vectors - centroids[assignments], axis=1)
+                spread = np.take_along_axis(distances, assignments[:, None], axis=1)[:, 0]
                 centroids[cell] = vectors[int(np.argmax(spread))]
-    assignments = np.argmin(squared_euclidean_distances(vectors, centroids), axis=1)
+    assignments = np.argmin(_metric_distances(vectors, centroids, metric), axis=1)
     return centroids, assignments
 
 
@@ -218,6 +243,12 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
     ``remove`` drops assignments, so adaptation (replace/remove/add of a
     class) never re-runs k-means; call :meth:`refit` to re-train cells
     explicitly if the corpus has drifted far from the original clustering.
+
+    All of :data:`SUPPORTED_METRICS` are accepted: coarse assignment, probe
+    selection and the candidate scan all run under the configured metric
+    (euclidean keeps its squared-distance BLAS fast path; cosine and
+    cityblock go through ``cdist``), and k-means updates cells with the
+    metric's natural centre.
     """
 
     def __init__(
@@ -230,8 +261,8 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         train_iters: int = 10,
         seed: int = 0,
     ) -> None:
-        if metric != "euclidean":
-            raise ValueError("CoarseQuantizedIndex only supports the euclidean metric")
+        if metric not in SUPPORTED_METRICS:
+            raise ValueError(f"unsupported metric {metric!r}; expected one of {SUPPORTED_METRICS}")
         if n_cells is not None and n_cells <= 0:
             raise ValueError("n_cells must be positive")
         if n_probe <= 0:
@@ -277,7 +308,11 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
             return
         n_cells = self._resolve_n_cells(n)
         self._centroids, self._assignments = _kmeans(
-            np.asarray(vectors, dtype=np.float64), n_cells, n_iter=self.train_iters, seed=self.seed
+            np.asarray(vectors, dtype=np.float64),
+            n_cells,
+            metric=self.metric,
+            n_iter=self.train_iters,
+            seed=self.seed,
         )
         self._cells = None
 
@@ -292,7 +327,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
                 self.rebuild(vectors)
             return
         new_rows = vectors[n - n_new :]
-        assignments = np.argmin(squared_euclidean_distances(new_rows, self._centroids), axis=1)
+        assignments = np.argmin(_metric_distances(new_rows, self._centroids, self.metric), axis=1)
         self._assignments = np.concatenate([self._assignments, assignments])
         self._cells = None
 
@@ -318,14 +353,15 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         n_probe = min(self.n_probe, n_cells)
         cells = self._cell_lists()
         cell_sizes = np.array([len(cell) for cell in cells], dtype=np.int64)
-        vectors_sq = np.einsum("ij,ij->i", vectors, vectors)
+        euclidean = self.metric == "euclidean"
+        vectors_sq = np.einsum("ij,ij->i", vectors, vectors) if euclidean else None
 
         out_d = np.empty((queries.shape[0], k))
         out_i = np.empty((queries.shape[0], k), dtype=np.int64)
         for start in range(0, queries.shape[0], chunk_size):
             chunk = queries[start : start + chunk_size]
             n_chunk = chunk.shape[0]
-            centroid_d = squared_euclidean_distances(chunk, self._centroids)
+            centroid_d = _metric_distances(chunk, self._centroids, self.metric)
             if n_probe >= n_cells:
                 probe = np.broadcast_to(np.arange(n_cells), centroid_d.shape).copy()
             else:
@@ -356,11 +392,15 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
                 probing = flat_queries[group]
                 cols = flat_offsets[group][:, None] + np.arange(members.size)[None, :]
                 cand[probing[:, None], cols] = members
-                distances[probing[:, None], cols] = squared_euclidean_distances(
-                    chunk[probing], vectors[members], vectors_sq[members]
-                )
+                if euclidean:
+                    block = squared_euclidean_distances(
+                        chunk[probing], vectors[members], vectors_sq[members]
+                    )
+                else:
+                    block = cdist(chunk[probing], vectors[members], metric=self.metric)
+                distances[probing[:, None], cols] = block
             cd, ci = top_k_by_distance(distances, k)
-            chunk_d = _sqrt_clamped(cd)
+            chunk_d = _sqrt_clamped(cd) if euclidean else cd
             chunk_i = np.take_along_axis(cand, ci, axis=1)
             # top_k broke ties by *candidate column*, which follows the
             # arbitrary probe layout; restore the documented (distance, id)

@@ -17,9 +17,10 @@ retraining-free.
 
 from __future__ import annotations
 
+import copy
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.spatial.distance import cdist
@@ -29,6 +30,73 @@ from repro.core.index import ExactIndex, NearestNeighbourIndex, top_k_by_distanc
 PathLike = Union[str, os.PathLike]
 
 _INITIAL_CAPACITY = 32
+
+
+class LabelEncoding:
+    """Dense, first-occurrence int encoding of class labels with counts.
+
+    Shared by :class:`ReferenceStore` and the serving layer's sharded store
+    so the two can never drift: ``names[code]`` is the label, codes stay
+    dense and first-occurrence ordered across removals, and per-code
+    reference counts ride along.
+    """
+
+    __slots__ = ("names", "index", "counts")
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self.index: Dict[str, int] = {}
+        self.counts: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def encode(self, labels: Sequence[str]) -> np.ndarray:
+        """Codes for ``labels`` (allocating new ones) and count them in."""
+        codes = np.empty(len(labels), dtype=np.int64)
+        for position, label in enumerate(labels):
+            code = self.index.get(label)
+            if code is None:
+                code = len(self.names)
+                self.index[label] = code
+                self.names.append(label)
+            codes[position] = code
+        if len(self.names) > self.counts.shape[0]:
+            grown = np.zeros(len(self.names), dtype=np.int64)
+            grown[: self.counts.shape[0]] = self.counts
+            self.counts = grown
+        np.add.at(self.counts, codes, 1)
+        return codes
+
+    def code_of(self, label: str) -> Optional[int]:
+        return self.index.get(label)
+
+    def drop(self, code: int) -> None:
+        """Remove a code entirely; later codes shift down by one."""
+        del self.names[code]
+        self.counts = np.delete(self.counts, code)
+        self.index = {name: position for position, name in enumerate(self.names)}
+
+    def clone(self) -> "LabelEncoding":
+        fresh = LabelEncoding()
+        fresh.names = list(self.names)
+        fresh.index = dict(self.index)
+        fresh.counts = self.counts.copy()
+        return fresh
+
+
+def validate_reference_batch(
+    embeddings: np.ndarray, labels: Iterable[str], embedding_dim: int
+) -> Tuple[np.ndarray, List[str]]:
+    """The shared add-batch validation of the flat and sharded stores."""
+    embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    labels = [str(label) for label in labels]
+    if embeddings.shape[0] != len(labels):
+        raise ValueError(f"got {embeddings.shape[0]} embeddings but {len(labels)} labels")
+    if embeddings.shape[1] != embedding_dim:
+        raise ValueError(
+            f"embeddings have dimension {embeddings.shape[1]}, store expects {embedding_dim}"
+        )
+    if any(not label for label in labels):
+        raise ValueError("labels must be non-empty strings")
+    return embeddings, labels
 
 
 class ReferenceStore:
@@ -41,9 +109,7 @@ class ReferenceStore:
         self._buffer: np.ndarray = np.empty((0, embedding_dim), dtype=np.float64)
         self._size: int = 0
         self._codes: np.ndarray = np.empty(0, dtype=np.int64)
-        self._class_names: List[str] = []
-        self._class_index: Dict[str, int] = {}
-        self._counts: np.ndarray = np.empty(0, dtype=np.int64)
+        self._encoding = LabelEncoding()
         self._index: NearestNeighbourIndex = index if index is not None else ExactIndex()
 
     # ------------------------------------------------------------------- state
@@ -60,7 +126,7 @@ class ReferenceStore:
     @property
     def labels(self) -> np.ndarray:
         """Per-row labels as an object array (decoded from the cached codes)."""
-        names = np.array(self._class_names, dtype=object)
+        names = np.array(self._encoding.names, dtype=object)
         return names[self._codes[: self._size]] if self._size else np.empty(0, dtype=object)
 
     @property
@@ -73,22 +139,25 @@ class ReferenceStore:
     @property
     def class_names(self) -> List[str]:
         """Code -> label mapping (codes are first-occurrence ordered)."""
-        return list(self._class_names)
+        return list(self._encoding.names)
 
     @property
     def classes(self) -> List[str]:
         """Distinct class labels in insertion order."""
-        return list(self._class_names)
+        return list(self._encoding.names)
 
     @property
     def n_classes(self) -> int:
-        return len(self._class_names)
+        return len(self._encoding.names)
 
     def class_counts(self) -> Dict[str, int]:
-        return {name: int(self._counts[code]) for code, name in enumerate(self._class_names)}
+        return {
+            name: int(self._encoding.counts[code])
+            for code, name in enumerate(self._encoding.names)
+        }
 
     def has_class(self, label: str) -> bool:
-        return label in self._class_index
+        return label in self._encoding.index
 
     def __contains__(self, label: str) -> bool:
         return self.has_class(label)
@@ -113,47 +182,20 @@ class ReferenceStore:
         codes[: self._size] = self._codes[: self._size]
         self._codes = codes
 
-    def _encode(self, labels: List[str]) -> np.ndarray:
-        codes = np.empty(len(labels), dtype=np.int64)
-        for position, label in enumerate(labels):
-            code = self._class_index.get(label)
-            if code is None:
-                code = len(self._class_names)
-                self._class_index[label] = code
-                self._class_names.append(label)
-            codes[position] = code
-        if len(self._class_names) > self._counts.shape[0]:
-            grown = np.zeros(len(self._class_names), dtype=np.int64)
-            grown[: self._counts.shape[0]] = self._counts
-            self._counts = grown
-        return codes
-
     def add(self, embeddings: np.ndarray, labels: Iterable[str]) -> None:
         """Append reference embeddings with their class labels."""
-        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
-        labels = [str(label) for label in labels]
-        if embeddings.shape[0] != len(labels):
-            raise ValueError(
-                f"got {embeddings.shape[0]} embeddings but {len(labels)} labels"
-            )
-        if embeddings.shape[1] != self.embedding_dim:
-            raise ValueError(
-                f"embeddings have dimension {embeddings.shape[1]}, store expects {self.embedding_dim}"
-            )
-        if any(not label for label in labels):
-            raise ValueError("labels must be non-empty strings")
+        embeddings, labels = validate_reference_batch(embeddings, labels, self.embedding_dim)
         n_new = embeddings.shape[0]
         self._reserve(n_new)
         self._buffer[self._size : self._size + n_new] = embeddings
-        codes = self._encode(labels)
+        codes = self._encoding.encode(labels)
         self._codes[self._size : self._size + n_new] = codes
         self._size += n_new
-        np.add.at(self._counts, codes, 1)
         self._index.add(self._buffer[: self._size], n_new)
 
     def remove_class(self, label: str) -> int:
         """Drop every reference of ``label``; returns how many were removed."""
-        code = self._class_index.get(label)
+        code = self._encoding.code_of(label)
         if code is None:
             raise KeyError(f"no references with label {label!r}")
         codes = self._codes[: self._size]
@@ -167,9 +209,7 @@ class ReferenceStore:
         new_codes[new_codes > code] -= 1
         self._codes[:kept] = new_codes
         self._size = kept
-        del self._class_names[code]
-        self._counts = np.delete(self._counts, code)
-        self._class_index = {name: position for position, name in enumerate(self._class_names)}
+        self._encoding.drop(code)
         self._index.remove(kept_mask)
         return removed
 
@@ -181,10 +221,24 @@ class ReferenceStore:
         self.add(embeddings, [label] * embeddings.shape[0])
 
     def class_embeddings(self, label: str) -> np.ndarray:
-        code = self._class_index.get(label)
+        code = self._encoding.code_of(label)
         if code is None:
             raise KeyError(f"no references with label {label!r}")
         return self._buffer[: self._size][self._codes[: self._size] == code]
+
+    def clone(self) -> "ReferenceStore":
+        """Deep copy, *including the trained index state*.
+
+        An O(N) buffer copy with no index retraining — the serving layer's
+        copy-on-write shard swap clones the touched shard this way, keeping
+        adaptation retraining-free even for IVF-indexed shards.
+        """
+        fresh = ReferenceStore(self.embedding_dim, index=copy.deepcopy(self._index))
+        fresh._buffer = self._buffer[: self._size].copy()
+        fresh._codes = self._codes[: self._size].copy()
+        fresh._size = self._size
+        fresh._encoding = self._encoding.clone()
+        return fresh
 
     # ------------------------------------------------------------------ search
     def search(

@@ -19,7 +19,12 @@ datasets and the provisioned model once per scale so the runners (and the
 benchmark harness) do not repeat the expensive steps.
 """
 
-from repro.experiments.setup import ExperimentContext, ci_hyperparameters, ci_training_config
+from repro.experiments.setup import (
+    ExperimentContext,
+    ci_hyperparameters,
+    ci_training_config,
+    experiment_index_factory,
+)
 from repro.experiments.exp1_static import run_experiment1, Experiment1Result
 from repro.experiments.exp2_adaptability import run_experiment2, Experiment2Result
 from repro.experiments.exp3_transfer import run_experiment3, Experiment3Result
@@ -31,6 +36,7 @@ __all__ = [
     "ExperimentContext",
     "ci_hyperparameters",
     "ci_training_config",
+    "experiment_index_factory",
     "run_experiment1",
     "Experiment1Result",
     "run_experiment2",

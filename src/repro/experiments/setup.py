@@ -14,6 +14,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from typing import Callable
+
 from repro.config import (
     ClassifierConfig,
     EmbeddingHyperparameters,
@@ -22,6 +24,7 @@ from repro.config import (
     get_scale,
 )
 from repro.core.fingerprinter import AdaptiveFingerprinter
+from repro.core.index import CoarseQuantizedIndex, ExactIndex, NearestNeighbourIndex
 from repro.core.trainer import TrainingHistory
 from repro.traces import SequenceExtractor, TraceDataset, collect_dataset, four_way_split, FourWaySplit
 from repro.tls.version import TLSVersion
@@ -62,6 +65,29 @@ def ci_training_config(scale: ExperimentScale, **overrides) -> TrainingConfig:
     return TrainingConfig(**defaults)
 
 
+INDEX_KINDS = ("exact", "ivf")
+
+
+def experiment_index_factory(
+    index_kind: str = "exact",
+    *,
+    n_cells: Optional[int] = None,
+    n_probe: int = 8,
+    metric: str = "euclidean",
+) -> Callable[[], NearestNeighbourIndex]:
+    """Index factory for the experiment runners (``--index`` on the CLI).
+
+    ``"exact"`` is the default brute-force engine; ``"ivf"`` builds the
+    sublinear :class:`CoarseQuantizedIndex` so paper-scale runs (thousands
+    of monitored classes, 100 samples each) keep classification cheap.
+    """
+    if index_kind not in INDEX_KINDS:
+        raise ValueError(f"unknown index kind {index_kind!r}; expected one of {INDEX_KINDS}")
+    if index_kind == "exact":
+        return lambda: ExactIndex(metric=metric)
+    return lambda: CoarseQuantizedIndex(n_cells=n_cells, n_probe=n_probe, metric=metric)
+
+
 @dataclass
 class ExperimentContext:
     """Everything the experiment runners share for one scale."""
@@ -78,8 +104,21 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------ build
     @classmethod
-    def build(cls, scale: ExperimentScale | str = "ci", *, sequence_length: int = SEQUENCE_LENGTH) -> "ExperimentContext":
-        """Build datasets, the Figure-5 split and the provisioned model."""
+    def build(
+        cls,
+        scale: ExperimentScale | str = "ci",
+        *,
+        sequence_length: int = SEQUENCE_LENGTH,
+        index_kind: str = "exact",
+        n_cells: Optional[int] = None,
+        n_probe: int = 8,
+    ) -> "ExperimentContext":
+        """Build datasets, the Figure-5 split and the provisioned model.
+
+        ``index_kind``/``n_cells``/``n_probe`` pick the k-NN query engine
+        every reference store of the shared fingerprinter uses, so the CLI
+        experiment runners can run paper-scale sweeps on the IVF index.
+        """
         if isinstance(scale, str):
             scale = get_scale(scale)
 
@@ -132,6 +171,7 @@ class ExperimentContext:
             classifier_config=ClassifierConfig(k=scale.knn_k),
             extractor=extractor,
             seed=0,
+            index_factory=experiment_index_factory(index_kind, n_cells=n_cells, n_probe=n_probe),
         )
         history = fingerprinter.provision(wiki_split.set_a)
 

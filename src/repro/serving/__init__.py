@@ -1,0 +1,49 @@
+"""The serving subsystem: answering trace queries at deployment scale.
+
+PR 1 made one query cheap; this layer makes a *stream* of queries cheap
+while the reference corpus churns, which is the paper's actual operating
+mode (an adversary monitoring pages for months, adapting as they change):
+
+* :class:`~repro.serving.sharded_store.ShardedReferenceStore` — monitored
+  classes partitioned across per-shard store+index pairs; merged top-k is
+  interchangeable with a flat store's.  Shard scatter runs in-process or
+  across worker processes with shared-memory embedding buffers
+  (:class:`~repro.serving.sharded_store.ProcessShardExecutor`).
+* :class:`~repro.serving.scheduler.BatchScheduler` — coalesces single
+  queries into micro-batches (``max_batch_size`` / ``max_latency_s``) for
+  the batched k-NN path, with an LRU cache keyed on quantized embeddings.
+* :class:`~repro.serving.manager.DeploymentManager` — owns the live
+  serving snapshot; adaptation lands as a copy-on-write shard swap, so
+  serving never blocks on (or tears under) a retraining-free update, and
+  warm restarts reuse ``save_deployment``/``load_deployment``.
+* :class:`~repro.serving.loadgen.LoadGenerator` — replays open-world trace
+  mixes and reports throughput and p50/p99 latency
+  (``repro serve-bench`` -> ``BENCH_2.json``).
+"""
+
+from repro.serving.loadgen import LatencyReport, LoadGenerator, ReplayResult, open_world_mix
+from repro.serving.manager import DeploymentManager, OpenWorldConfig, ServingSnapshot
+from repro.serving.scheduler import BatchScheduler, QueryTicket, SchedulerStats
+from repro.serving.sharded_store import (
+    InProcessShardExecutor,
+    ProcessShardExecutor,
+    ServingError,
+    ShardedReferenceStore,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "DeploymentManager",
+    "InProcessShardExecutor",
+    "LatencyReport",
+    "LoadGenerator",
+    "OpenWorldConfig",
+    "ProcessShardExecutor",
+    "QueryTicket",
+    "ReplayResult",
+    "SchedulerStats",
+    "ServingError",
+    "ServingSnapshot",
+    "ShardedReferenceStore",
+    "open_world_mix",
+]

@@ -1,0 +1,292 @@
+"""The serve-bench measurement behind ``repro serve-bench`` -> BENCH_2.json.
+
+Replays a synthetic open-world trace mix through the serving subsystem and
+records the numbers that matter for the deployment story:
+
+* **Correctness under sharding + batching** — the sharded, micro-batched
+  predictions must be identical to a single-process ``ExactIndex``
+  baseline over the same queries.
+* **Zero-downtime adaptation** — a ``replace_class`` swap fired halfway
+  through the replay must cause zero failed queries.
+* **Throughput / latency** — queries/s and p50/p99 per-query latency for
+  the single-process baseline, the serial sharded path and (optionally)
+  the multiprocessing shared-memory path.
+
+Usage::
+
+    PYTHONPATH=src python -m repro serve-bench [--smoke] [--out BENCH_2.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import ClassifierConfig
+from repro.core.classifier import KNNClassifier
+from repro.core.index_bench import clustered_corpus
+from repro.core.reference_store import ReferenceStore
+from repro.serving.loadgen import LoadGenerator, open_world_mix
+from repro.serving.manager import DeploymentManager
+from repro.serving.scheduler import BatchScheduler
+from repro.serving.sharded_store import (
+    InProcessShardExecutor,
+    ProcessShardExecutor,
+    ServingError,
+    ShardedReferenceStore,
+)
+
+
+def _build_corpus(n_references: int, n_classes: int, dim: int, seed: int):
+    corpus = clustered_corpus(n_references, dim, n_clusters=n_classes, seed=seed)
+    labels = [f"page-{i % n_classes:04d}" for i in range(n_references)]
+    return corpus, labels
+
+
+def _baseline(flat: ReferenceStore, config: ClassifierConfig, queries: np.ndarray) -> Dict:
+    """Single-process ExactIndex predictions + batch timing."""
+    classifier = KNNClassifier(flat, config)
+    classifier.predict(queries[:8])  # warm up
+    start = time.perf_counter()
+    predictions = classifier.predict(queries)
+    elapsed = time.perf_counter() - start
+    return {
+        "predictions": predictions,
+        "total_s": elapsed,
+        "throughput_qps": queries.shape[0] / elapsed,
+        "ms_per_query": 1e3 * elapsed / queries.shape[0],
+    }
+
+
+def _replay(
+    manager: DeploymentManager,
+    queries: np.ndarray,
+    *,
+    max_batch_size: int,
+    max_latency_s: float,
+    cache_size: int,
+    mid_run=None,
+):
+    scheduler = BatchScheduler(
+        manager, max_batch_size=max_batch_size, max_latency_s=max_latency_s, cache_size=cache_size
+    )
+    # Background flusher: batches fill to max_batch_size or age out after
+    # max_latency_s, so both knobs shape the recorded latency.
+    with scheduler:
+        result = LoadGenerator(queries).replay(scheduler, mid_run=mid_run)
+    return result, scheduler.stats
+
+
+def run_serving_bench(
+    *,
+    n_references: int = 6000,
+    n_classes: int = 120,
+    dim: int = 32,
+    k: int = 50,
+    n_queries: int = 2000,
+    n_shards: int = 2,
+    max_batch_size: int = 64,
+    max_latency_s: float = 0.002,
+    cache_size: int = 4096,
+    unmonitored_fraction: float = 0.2,
+    revisit_fraction: float = 0.1,
+    executor: str = "serial",
+    assignment: str = "hash",
+    seed: int = 0,
+    out: Optional[Path] = None,
+) -> Dict:
+    """Run the serving bench; returns (and optionally writes) the snapshot."""
+    if executor not in ("serial", "process", "both"):
+        raise ValueError("executor must be one of 'serial', 'process', 'both'")
+    if n_shards < 2:
+        raise ValueError("the serving bench needs >= 2 shards to exercise the merge path")
+
+    corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
+    flat = ReferenceStore(dim)
+    flat.add(corpus, labels)
+    config = ClassifierConfig(k=k)
+    queries, is_unmonitored = open_world_mix(
+        corpus,
+        n_queries,
+        unmonitored_fraction=unmonitored_fraction,
+        revisit_fraction=revisit_fraction,
+        seed=seed + 1,
+    )
+
+    baseline = _baseline(flat, config, queries)
+    baseline_labels: List[List[str]] = [p.ranked_labels for p in baseline["predictions"]]
+
+    rng = np.random.default_rng(seed + 2)
+    victim = labels[0]
+    fresh = corpus[: max(4, n_references // n_classes)] + 0.05 * rng.standard_normal(
+        (max(4, n_references // n_classes), dim)
+    )
+
+    sections: Dict[str, Dict] = {}
+    agreement: Dict[str, bool] = {}
+    swap_ms: Dict[str, float] = {}
+    failed_total = 0
+    modes = ("serial", "process") if executor == "both" else (executor,)
+    for mode in modes:
+        shard_executor = (
+            InProcessShardExecutor() if mode == "serial" else ProcessShardExecutor(n_workers=n_shards)
+        )
+        try:
+            manager = DeploymentManager(
+                ShardedReferenceStore.from_reference_store(
+                    flat, n_shards=n_shards, assignment=assignment, executor=shard_executor
+                ),
+                config,
+            )
+            # Cold pass measures throughput/latency; a second pass over the
+            # same stream against the now-warm LRU cache measures the cache
+            # (a flood-speed submit loop outruns the flusher, so within one
+            # pass a revisit is queued before its source's result lands).
+            scheduler = BatchScheduler(
+                manager,
+                max_batch_size=max_batch_size,
+                max_latency_s=max_latency_s,
+                cache_size=cache_size,
+            )
+            with scheduler:
+                result = LoadGenerator(queries).replay(scheduler)
+                cold_hits = scheduler.stats.cache_hits
+                cold_lookups = cold_hits + scheduler.stats.cache_misses
+                warm_result = LoadGenerator(queries).replay(scheduler)
+            stats = scheduler.stats
+            warm_hits = stats.cache_hits - cold_hits
+            warm_lookups = (stats.cache_hits + stats.cache_misses) - cold_lookups
+            identical = all(
+                p is not None and p.ranked_labels == expected
+                for replayed in (result, warm_result)
+                for p, expected in zip(replayed.predictions, baseline_labels)
+            )
+            agreement[mode] = identical
+
+            # Rolling adaptation on this executor: replace one monitored
+            # class mid-replay; zero queries may fail.
+            adapt_manager = DeploymentManager(
+                ShardedReferenceStore.from_reference_store(
+                    flat, n_shards=n_shards, assignment=assignment, executor=shard_executor
+                ),
+                config,
+            )
+
+            def swap() -> None:
+                start = time.perf_counter()
+                adapt_manager.replace_class(victim, fresh)
+                swap_ms[mode] = 1e3 * (time.perf_counter() - start)
+
+            adapt_result, adapt_stats = _replay(
+                adapt_manager,
+                queries,
+                max_batch_size=max_batch_size,
+                max_latency_s=max_latency_s,
+                cache_size=cache_size,
+                mid_run=swap,
+            )
+            failed_total += adapt_result.failed
+            if adapt_result.failed:
+                raise ServingError(
+                    f"{adapt_result.failed} queries failed during the mid-run replace_class "
+                    f"swap on the {mode} executor; zero-downtime adaptation is broken"
+                )
+            sections[mode] = {
+                "report": result.report.as_dict(),
+                "scheduler": stats.as_dict(),
+                "warm": {
+                    "report": warm_result.report.as_dict(),
+                    "cache_hit_rate": warm_hits / warm_lookups if warm_lookups else 0.0,
+                },
+                "shard_sizes": manager.store.shard_sizes(),
+                "identical_to_exact_baseline": identical,
+                "adaptation": {
+                    "swap_ms": swap_ms.get(mode),
+                    "failed_queries": adapt_result.failed,
+                    "report": adapt_result.report.as_dict(),
+                    "scheduler": adapt_stats.as_dict(),
+                },
+            }
+        finally:
+            shard_executor.close()
+
+    snapshot = {
+        "snapshot": "BENCH_2",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workload": {
+            "n_references": n_references,
+            "n_classes": n_classes,
+            "dim": dim,
+            "k": k,
+            "n_queries": n_queries,
+            "unmonitored_fraction": unmonitored_fraction,
+            "revisit_fraction": revisit_fraction,
+            "n_unmonitored": int(is_unmonitored.sum()),
+            "n_shards": n_shards,
+            "max_batch_size": max_batch_size,
+            "max_latency_s": max_latency_s,
+            "assignment": assignment,
+        },
+        "baseline_exact_single_process": {
+            "throughput_qps": baseline["throughput_qps"],
+            "ms_per_query": baseline["ms_per_query"],
+        },
+        "serving": sections,
+        "identical_to_exact_baseline": agreement,
+        "adaptation": {
+            "replaced_class": victim,
+            "swap_ms": swap_ms,
+            "failed_queries": failed_total,
+        },
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot
+
+
+def format_summary(snapshot: Dict) -> List[str]:
+    """Human-readable lines for the CLI."""
+    lines = []
+    workload = snapshot["workload"]
+    lines.append(
+        f"serving bench: N={workload['n_references']} refs, {workload['n_classes']} classes, "
+        f"{workload['n_queries']} queries ({workload['n_unmonitored']} open-world), "
+        f"{workload['n_shards']} shards, batch<= {workload['max_batch_size']}"
+    )
+    base = snapshot["baseline_exact_single_process"]
+    lines.append(
+        f"  baseline (single-process exact): {base['throughput_qps']:.0f} q/s, "
+        f"{base['ms_per_query']:.3f} ms/query"
+    )
+    for mode, section in snapshot["serving"].items():
+        report = section["report"]
+        stats = section["scheduler"]
+        adaptation = section["adaptation"]
+        warm = section["warm"]
+        lines.append(
+            f"  sharded/{mode}: {report['throughput_qps']:.0f} q/s, "
+            f"p50 {report['p50_ms']:.2f} ms, p99 {report['p99_ms']:.2f} ms, "
+            f"{stats['batches']} batches, "
+            f"identical to baseline: {section['identical_to_exact_baseline']}"
+        )
+        lines.append(
+            f"    warm replay (LRU cache): {warm['report']['throughput_qps']:.0f} q/s, "
+            f"p50 {warm['report']['p50_ms']:.2f} ms, "
+            f"cache hit rate {warm['cache_hit_rate']:.2f}"
+        )
+        lines.append(
+            f"    mid-run replace_class('{snapshot['adaptation']['replaced_class']}'): "
+            f"swap {adaptation['swap_ms']:.1f} ms, failed queries: {adaptation['failed_queries']}"
+        )
+    return lines

@@ -1,0 +1,180 @@
+"""Open-world load generation and latency reporting for the serving bench.
+
+A realistic query stream for the paper's deployment is a mix: mostly page
+loads of monitored pages (embeddings near the reference clusters, since the
+embedding model maps revisits of a page close together) plus a fraction of
+loads of *unmonitored* pages, which land far from every reference cluster
+(Section VI-C's open-world case).  :func:`open_world_mix` synthesises such
+a stream from a reference corpus; :class:`LoadGenerator` replays it through
+a :class:`~repro.serving.scheduler.BatchScheduler`, optionally firing an
+adaptation callback mid-stream, and reports throughput and latency
+percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classifier import Prediction
+from repro.serving.scheduler import BatchScheduler, QueryTicket
+from repro.serving.sharded_store import ServingError
+
+
+def open_world_mix(
+    reference_embeddings: np.ndarray,
+    n_queries: int,
+    *,
+    unmonitored_fraction: float = 0.2,
+    noise_scale: float = 0.1,
+    outlier_shift: float = 25.0,
+    revisit_fraction: float = 0.0,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthesise ``(queries, is_unmonitored)`` for an open-world replay.
+
+    Monitored queries are reference embeddings perturbed by
+    ``noise_scale``-scaled Gaussian noise (a revisit of a monitored page);
+    unmonitored queries are references displaced by ``outlier_shift`` along
+    a random direction (a page no reference lies near).  A
+    ``revisit_fraction`` of the monitored queries are exact duplicates of
+    earlier ones — the cache-friendly victim who reloads a page.
+    """
+    references = np.atleast_2d(np.asarray(reference_embeddings, dtype=np.float64))
+    if references.shape[0] == 0:
+        raise ValueError("reference_embeddings must be non-empty")
+    if not 0.0 <= unmonitored_fraction <= 1.0:
+        raise ValueError("unmonitored_fraction must be in [0, 1]")
+    if not 0.0 <= revisit_fraction < 1.0:
+        raise ValueError("revisit_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    n_unmonitored = int(round(n_queries * unmonitored_fraction))
+    n_monitored = n_queries - n_unmonitored
+
+    rows = rng.integers(0, references.shape[0], size=n_monitored)
+    monitored = references[rows] + noise_scale * rng.standard_normal((n_monitored, references.shape[1]))
+    n_revisits = int(round(n_monitored * revisit_fraction))
+    if n_revisits and n_monitored > n_revisits:
+        sources = rng.integers(0, n_monitored - n_revisits, size=n_revisits)
+        monitored[n_monitored - n_revisits :] = monitored[sources]
+
+    directions = rng.standard_normal((n_unmonitored, references.shape[1]))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    unmonitored = (
+        references[rng.integers(0, references.shape[0], size=n_unmonitored)]
+        + outlier_shift * directions / norms
+    )
+
+    queries = np.concatenate([monitored, unmonitored], axis=0)
+    is_unmonitored = np.zeros(n_queries, dtype=bool)
+    is_unmonitored[n_monitored:] = True
+    order = rng.permutation(n_queries)
+    return queries[order], is_unmonitored[order]
+
+
+@dataclass
+class LatencyReport:
+    """Throughput and latency percentiles of one replay."""
+
+    n_queries: int
+    duration_s: float
+    throughput_qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    failed: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_queries": self.n_queries,
+            "duration_s": self.duration_s,
+            "throughput_qps": self.throughput_qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Everything one :meth:`LoadGenerator.replay` produced."""
+
+    predictions: List[Optional[Prediction]]
+    tickets: List[QueryTicket]
+    report: LatencyReport
+
+    @property
+    def failed(self) -> int:
+        return self.report.failed
+
+
+def latency_report(tickets: List[QueryTicket], duration_s: float, failed: int) -> LatencyReport:
+    latencies = np.array(
+        [ticket.latency_s for ticket in tickets if ticket.latency_s is not None], dtype=np.float64
+    )
+    if latencies.size == 0:
+        latencies = np.zeros(1)
+    return LatencyReport(
+        n_queries=len(tickets),
+        duration_s=duration_s,
+        throughput_qps=len(tickets) / duration_s if duration_s > 0 else float("inf"),
+        p50_ms=float(np.percentile(latencies, 50) * 1e3),
+        p99_ms=float(np.percentile(latencies, 99) * 1e3),
+        mean_ms=float(latencies.mean() * 1e3),
+        max_ms=float(latencies.max() * 1e3),
+        failed=failed,
+    )
+
+
+class LoadGenerator:
+    """Replay a fixed query stream through a scheduler and time it."""
+
+    def __init__(self, queries: np.ndarray) -> None:
+        self.queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self.queries.shape[0] == 0:
+            raise ValueError("the query stream is empty")
+
+    def replay(
+        self,
+        scheduler: BatchScheduler,
+        *,
+        mid_run: Optional[Callable[[], object]] = None,
+        result_timeout_s: float = 60.0,
+    ) -> ReplayResult:
+        """Submit every query in order; fire ``mid_run`` at the halfway point.
+
+        ``mid_run`` is where a rolling-adaptation callback goes (e.g.
+        ``manager.replace_class``): it runs between two submissions while
+        earlier queries may still be in flight, which is exactly the
+        zero-downtime scenario the serving layer must survive.
+        """
+        halfway = self.queries.shape[0] // 2
+        tickets: List[QueryTicket] = []
+        start = time.monotonic()
+        for position, query in enumerate(self.queries):
+            if mid_run is not None and position == halfway:
+                mid_run()
+            tickets.append(scheduler.submit(query))
+        if not scheduler.running:
+            scheduler.flush()
+        predictions: List[Optional[Prediction]] = []
+        failed = 0
+        for ticket in tickets:
+            try:
+                predictions.append(ticket.result(result_timeout_s))
+            except ServingError:
+                predictions.append(None)
+                failed += 1
+        duration = time.monotonic() - start
+        return ReplayResult(
+            predictions=predictions,
+            tickets=tickets,
+            report=latency_report(tickets, duration, failed),
+        )

@@ -1,0 +1,221 @@
+"""Zero-downtime deployment management for the serving layer.
+
+The paper's operational story is a fingerprinter that keeps classifying
+while its reference corpus churns.  :class:`DeploymentManager` makes that
+concrete: the live serving state is one immutable
+:class:`ServingSnapshot` (sharded store + classifier + optional open-world
+detector), and every adaptation builds a *new* snapshot through the
+sharded store's copy-on-write operations and swaps it in with a single
+reference assignment.  In-flight batches keep the snapshot they grabbed, so
+serving never blocks on — and never observes a torn state from — an update;
+that is the "zero failed queries during replace_class" guarantee the
+serving bench asserts.
+
+Warm restarts reuse the deployment persistence layer:
+:meth:`DeploymentManager.load` restores a saved deployment with
+:func:`~repro.core.deployment.load_deployment` and shards its corpus;
+:meth:`DeploymentManager.save` collapses the live sharded corpus back into
+the attached fingerprinter and persists it with
+:func:`~repro.core.deployment.save_deployment`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import ClassifierConfig
+from repro.core.classifier import KNNClassifier, Prediction
+from repro.core.deployment import load_deployment, save_deployment
+from repro.core.fingerprinter import AdaptiveFingerprinter
+from repro.core.openworld import OpenWorldDetector
+from repro.serving.sharded_store import ServingError, ShardedReferenceStore
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class OpenWorldConfig:
+    """Calibration knobs for the serving-side open-world detector."""
+
+    neighbour: int = 5
+    percentile: float = 95.0
+    metric: str = "euclidean"
+
+
+@dataclass(frozen=True)
+class ServingSnapshot:
+    """One immutable serving state; batches classify against exactly one."""
+
+    store: ShardedReferenceStore
+    classifier: KNNClassifier
+    detector: Optional[OpenWorldDetector]
+    generation: int
+
+    def predict(self, embeddings: np.ndarray) -> List[Prediction]:
+        return self.classifier.predict(embeddings)
+
+    def is_unknown(self, embeddings: np.ndarray) -> np.ndarray:
+        if self.detector is None:
+            raise ServingError("open-world detection is not enabled on this deployment")
+        return self.detector.is_unknown(embeddings)
+
+
+class DeploymentManager:
+    """Owns the live serving snapshot and applies retraining-free updates."""
+
+    def __init__(
+        self,
+        store: ShardedReferenceStore,
+        classifier_config: Optional[ClassifierConfig] = None,
+        *,
+        fingerprinter: Optional[AdaptiveFingerprinter] = None,
+        open_world: Optional[OpenWorldConfig] = None,
+    ) -> None:
+        if classifier_config is None:
+            classifier_config = (
+                fingerprinter.classifier_config if fingerprinter is not None else ClassifierConfig()
+            )
+        self.classifier_config = classifier_config
+        self.open_world = open_world
+        self._fingerprinter = fingerprinter
+        self._swap_lock = threading.Lock()
+        self._snapshot = self._build_snapshot(store, generation=0)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_fingerprinter(
+        cls,
+        fingerprinter: AdaptiveFingerprinter,
+        *,
+        n_shards: int = 2,
+        assignment: str = "hash",
+        executor: Optional[object] = None,
+        classifier_config: Optional[ClassifierConfig] = None,
+        open_world: Optional[OpenWorldConfig] = None,
+    ) -> "DeploymentManager":
+        """Shard an initialised fingerprinter's reference corpus and serve it."""
+        store = ShardedReferenceStore.from_reference_store(
+            fingerprinter.reference_store,
+            n_shards=n_shards,
+            assignment=assignment,
+            executor=executor,
+        )
+        return cls(
+            store,
+            classifier_config if classifier_config is not None else fingerprinter.classifier_config,
+            fingerprinter=fingerprinter,
+            open_world=open_world,
+        )
+
+    @classmethod
+    def load(cls, directory: PathLike, **kwargs) -> "DeploymentManager":
+        """Warm restart: restore a saved deployment and shard its corpus."""
+        return cls.from_fingerprinter(load_deployment(directory), **kwargs)
+
+    def save(self, directory: PathLike) -> Path:
+        """Persist the live corpus (and model) for the next warm restart."""
+        if self._fingerprinter is None:
+            raise ServingError(
+                "no fingerprinter attached; the embedding model is required to persist a deployment"
+            )
+        snapshot = self._snapshot
+        flat = snapshot.store.to_reference_store(index=self._fingerprinter.index_factory())
+        self._fingerprinter.attach_references(flat)
+        return save_deployment(self._fingerprinter, directory)
+
+    # ------------------------------------------------------------------- state
+    def snapshot(self) -> ServingSnapshot:
+        """The current serving state (an atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def store(self) -> ShardedReferenceStore:
+        return self._snapshot.store
+
+    @property
+    def classifier(self) -> KNNClassifier:
+        return self._snapshot.classifier
+
+    @property
+    def generation(self) -> int:
+        return self._snapshot.generation
+
+    @property
+    def fingerprinter(self) -> Optional[AdaptiveFingerprinter]:
+        return self._fingerprinter
+
+    def _build_snapshot(self, store: ShardedReferenceStore, generation: int) -> ServingSnapshot:
+        classifier = KNNClassifier(store, self.classifier_config)
+        detector = None
+        if self.open_world is not None and len(store):
+            detector = OpenWorldDetector(
+                store,
+                neighbour=self.open_world.neighbour,
+                percentile=self.open_world.percentile,
+                metric=self.open_world.metric,
+            )
+        return ServingSnapshot(store=store, classifier=classifier, detector=detector, generation=generation)
+
+    # ----------------------------------------------- zero-downtime adaptation
+    def _swap(self, build_store) -> ServingSnapshot:
+        with self._swap_lock:
+            old = self._snapshot
+            new_store = build_store(old.store)
+            snapshot = self._build_snapshot(new_store, old.generation + 1)
+            self._snapshot = snapshot
+        return snapshot
+
+    def add_class(self, label: str, embeddings: np.ndarray) -> ServingSnapshot:
+        """Start monitoring a page (copy-on-write shard swap)."""
+        return self._swap(lambda store: store.with_class_added(label, embeddings))
+
+    def remove_class(self, label: str) -> ServingSnapshot:
+        """Stop monitoring a page (copy-on-write shard swap)."""
+        return self._swap(lambda store: store.with_class_removed(label))
+
+    def replace_class(self, label: str, embeddings: np.ndarray) -> ServingSnapshot:
+        """Refresh a drifted page's references (copy-on-write shard swap)."""
+        return self._swap(lambda store: store.with_class_replaced(label, embeddings))
+
+    def adapt(self, traces: Sequence, *, replace: bool = True) -> ServingSnapshot:
+        """Apply fresh traces through the attached model (no retraining).
+
+        The serving twin of :meth:`AdaptiveFingerprinter.adapt`: traces are
+        embedded with the attached model, grouped by label, and applied as
+        copy-on-write replace/add swaps.
+        """
+        if self._fingerprinter is None:
+            raise ServingError("no fingerprinter attached; cannot embed traces")
+        if not traces:
+            raise ValueError("adapt requires at least one trace")
+        by_label: Dict[str, List[np.ndarray]] = {}
+        for trace in traces:
+            by_label.setdefault(trace.label, []).append(trace.as_model_input())
+        snapshot = self._snapshot
+        for label, inputs in by_label.items():
+            embeddings = self._fingerprinter.model.embed(np.stack(inputs))
+            if replace and self._snapshot.store.has_class(label):
+                snapshot = self.replace_class(label, embeddings)
+            else:
+                snapshot = self.add_class(label, embeddings)
+        return snapshot
+
+    # ------------------------------------------------------------------- close
+    def close(self) -> None:
+        """Shut down the shard executor (worker processes, shared memory)."""
+        executor = self._snapshot.store.executor
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "DeploymentManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,285 @@
+"""Micro-batched query scheduling for the serving layer.
+
+The batched :meth:`~repro.core.classifier.KNNClassifier.predict` path is an
+order of magnitude cheaper per query than classifying one trace at a time,
+but a serving front-end receives queries one at a time.
+:class:`BatchScheduler` closes that gap: submitted queries are coalesced
+into micro-batches bounded by ``max_batch_size`` (throughput knob) and
+``max_latency_s`` (tail-latency knob — the longest any query waits for
+company), and every batch classifies against one consistent
+:class:`~repro.serving.manager.ServingSnapshot`, so an adaptation swap
+mid-stream can never tear a batch.
+
+An LRU cache keyed on ``(snapshot generation, quantized embedding bytes)``
+short-circuits repeated queries — the paper's victims revisit pages, and
+TLS traces quantize to identical embeddings more often than raw floats
+suggest.  The generation in the key invalidates the whole cache the moment
+an adaptation swap lands, for free.
+
+The scheduler runs in two modes: with :meth:`start` (or as a context
+manager) a background thread flushes batches as they fill or age out;
+without it, full batches execute inline on ``submit`` and :meth:`flush`
+drains the tail — deterministic, for tests and single-threaded replay.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import Prediction
+from repro.serving.sharded_store import ServingError
+
+_DEFAULT_RESULT_TIMEOUT_S = 60.0
+
+
+@dataclass
+class SchedulerStats:
+    """Counters the serving bench reports."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    largest_batch: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "largest_batch": self.largest_batch,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+class QueryTicket:
+    """Handle for one submitted query; :meth:`result` blocks until classified."""
+
+    __slots__ = ("_done", "_prediction", "_error", "submitted_at", "completed_at", "cached")
+
+    def __init__(self, submitted_at: float) -> None:
+        self._done = threading.Event()
+        self._prediction: Optional[Prediction] = None
+        self._error: Optional[str] = None
+        self.submitted_at = submitted_at
+        self.completed_at: Optional[float] = None
+        self.cached = False
+
+    def _fulfil(self, prediction: Prediction, completed_at: float, *, cached: bool = False) -> None:
+        self._prediction = prediction
+        self.completed_at = completed_at
+        self.cached = cached
+        self._done.set()
+
+    def _fail(self, message: str, completed_at: float) -> None:
+        self._error = message
+        self.completed_at = completed_at
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self._done.is_set() and self._error is not None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def result(self, timeout: Optional[float] = _DEFAULT_RESULT_TIMEOUT_S) -> Prediction:
+        if not self._done.wait(timeout):
+            raise ServingError("timed out waiting for the query result")
+        if self._error is not None:
+            raise ServingError(f"query failed: {self._error}")
+        assert self._prediction is not None
+        return self._prediction
+
+
+class BatchScheduler:
+    """Coalesce single-query submissions into micro-batched classification."""
+
+    def __init__(
+        self,
+        source,
+        *,
+        max_batch_size: int = 64,
+        max_latency_s: float = 0.002,
+        cache_size: int = 4096,
+        cache_decimals: int = 6,
+    ) -> None:
+        """``source`` is anything with ``snapshot() -> ServingSnapshot``
+        (a :class:`~repro.serving.manager.DeploymentManager` in practice)."""
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_latency_s < 0:
+            raise ValueError("max_latency_s must be non-negative")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self._source = source
+        self.max_batch_size = int(max_batch_size)
+        self.max_latency_s = float(max_latency_s)
+        self.cache_size = int(cache_size)
+        self.cache_decimals = int(cache_decimals)
+        self._pending: List[Tuple[np.ndarray, Optional[Tuple[int, bytes]], QueryTicket]] = []
+        self._wakeup = threading.Condition()
+        self._cache: "OrderedDict[Tuple[int, bytes], Prediction]" = OrderedDict()
+        self.stats = SchedulerStats()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "BatchScheduler":
+        """Run the background flusher (batches age out after max_latency_s)."""
+        if self._thread is None:
+            self._running = True
+            self._thread = threading.Thread(target=self._run, name="batch-scheduler", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the flusher and drain anything still pending."""
+        thread = self._thread
+        if thread is not None:
+            with self._wakeup:
+                self._running = False
+                self._wakeup.notify_all()
+            thread.join(timeout=30.0)
+            self._thread = None
+        self.flush()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------- submit
+    def _cache_key(self, embedding: np.ndarray, generation: int) -> Optional[Tuple[int, bytes]]:
+        if self.cache_size == 0:
+            return None
+        quantized = np.round(embedding, self.cache_decimals) + 0.0  # collapse -0.0
+        return (generation, quantized.tobytes())
+
+    def submit(self, embedding: np.ndarray) -> QueryTicket:
+        """Queue one query embedding; returns immediately with a ticket."""
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        ticket = QueryTicket(time.monotonic())
+        key = self._cache_key(embedding, self._source.snapshot().generation)
+        inline_batch = None
+        with self._wakeup:
+            self.stats.submitted += 1
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    self.stats.completed += 1
+                    ticket._fulfil(cached, time.monotonic(), cached=True)
+                    return ticket
+                self.stats.cache_misses += 1
+            self._pending.append((embedding, key, ticket))
+            if len(self._pending) >= self.max_batch_size:
+                if self._thread is None:
+                    inline_batch = self._pending[: self.max_batch_size]
+                    del self._pending[: len(inline_batch)]
+                else:
+                    self._wakeup.notify()
+        if inline_batch:
+            self._execute(inline_batch)
+        return ticket
+
+    def classify(
+        self, embeddings: np.ndarray, *, timeout: Optional[float] = _DEFAULT_RESULT_TIMEOUT_S
+    ) -> List[Prediction]:
+        """Submit a block of embeddings and wait for all results."""
+        block = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        tickets = [self.submit(embedding) for embedding in block]
+        if self._thread is None:
+            self.flush()
+        return [ticket.result(timeout) for ticket in tickets]
+
+    # -------------------------------------------------------------------- flush
+    def flush(self) -> None:
+        """Synchronously drain every pending query on the calling thread."""
+        while True:
+            with self._wakeup:
+                batch = self._pending[: self.max_batch_size]
+                del self._pending[: len(batch)]
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while self._running and not self._pending:
+                    self._wakeup.wait(timeout=0.05)
+                if not self._running and not self._pending:
+                    return
+                if self._running and self._pending and len(self._pending) < self.max_batch_size:
+                    # Wait out the oldest query's latency budget; new
+                    # arrivals may fill the batch meanwhile.
+                    deadline = self._pending[0][2].submitted_at + self.max_latency_s
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        self._wakeup.wait(timeout=remaining)
+                batch = self._pending[: self.max_batch_size]
+                del self._pending[: len(batch)]
+            if batch:
+                self._execute(batch)
+
+    # ------------------------------------------------------------------ execute
+    def _execute(self, batch: Sequence[Tuple[np.ndarray, Optional[Tuple[int, bytes]], QueryTicket]]) -> None:
+        snapshot = self._source.snapshot()
+        embeddings = np.stack([embedding for embedding, _, _ in batch])
+        try:
+            predictions = snapshot.predict(embeddings)
+        except Exception as error:
+            now = time.monotonic()
+            with self._wakeup:
+                self.stats.batches += 1
+                self.stats.failed += len(batch)
+            message = f"{type(error).__name__}: {error}"
+            for _, _, ticket in batch:
+                ticket._fail(message, now)
+            return
+        now = time.monotonic()
+        with self._wakeup:
+            self.stats.batches += 1
+            self.stats.completed += len(batch)
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            if self.cache_size:
+                for (_, key, _), prediction in zip(batch, predictions):
+                    if key is None:
+                        continue
+                    # Key under the generation actually served, so a swap
+                    # between submit and execute can't poison the cache.
+                    self._cache[(snapshot.generation, key[1])] = prediction
+                    self._cache.move_to_end((snapshot.generation, key[1]))
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        for (_, _, ticket), prediction in zip(batch, predictions):
+            ticket._fulfil(prediction, now)

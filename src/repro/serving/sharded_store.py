@@ -1,0 +1,653 @@
+"""Sharded reference corpus: the storage layer of the serving subsystem.
+
+A production deployment of the paper's fingerprinter holds reference
+embeddings for thousands of monitored pages and must answer a continuous
+query stream while the corpus churns.  :class:`ShardedReferenceStore`
+partitions the monitored classes across ``n_shards`` independent
+:class:`~repro.core.reference_store.ReferenceStore` + index pairs and
+answers a query by scatter-gathering per-shard top-k candidates and merging
+them by ``(distance, global id)``.
+
+Two properties make the sharded store a drop-in for the flat one:
+
+* **Global row ids.**  Every reference keeps the row number it would occupy
+  in a single flat :class:`ReferenceStore` fed the same mutation sequence,
+  and removals renumber ids exactly like the flat store's compaction.
+  Merged ``search`` results are therefore directly comparable to — and
+  bit-for-bit interchangeable with — a single-process exact baseline.
+* **The flat read surface.**  ``len``, ``embedding_dim``, ``class_names``,
+  ``label_codes``, ``class_counts`` … are all provided, so
+  :class:`~repro.core.classifier.KNNClassifier` and
+  :class:`~repro.core.openworld.OpenWorldDetector` work against a sharded
+  store unchanged.
+
+Shard scatter runs through a pluggable executor:
+:class:`InProcessShardExecutor` answers serially in the calling process
+(deterministic, zero overhead — the default), while
+:class:`ProcessShardExecutor` fans shards out to worker processes that
+attach the shard embedding matrices through read-mostly POSIX shared-memory
+segments, republished only when a shard actually changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import zlib
+from collections import Counter
+from multiprocessing import shared_memory
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.core.index import NearestNeighbourIndex, index_from_spec, top_k_by_distance
+from repro.core.reference_store import LabelEncoding, ReferenceStore, validate_reference_batch
+
+
+class ServingError(RuntimeError):
+    """A serving-layer component failed or was misused."""
+
+
+_shard_uids = itertools.count()
+
+
+class _Shard:
+    """One partition: a reference store plus its local-row -> global-row map.
+
+    ``uid`` identifies the shard across copy-on-write clones (a clone that
+    *shares* the underlying store keeps the uid, so executor-side caches
+    stay warm) and ``version`` counts mutations of the underlying store
+    (bumped whenever the embedding matrix changes, so executors know when
+    to republish).
+    """
+
+    __slots__ = ("store", "global_ids", "uid", "version")
+
+    def __init__(
+        self,
+        store: ReferenceStore,
+        global_ids: np.ndarray,
+        *,
+        uid: Optional[int] = None,
+        version: int = 0,
+    ) -> None:
+        self.store = store
+        self.global_ids = global_ids
+        self.uid = next(_shard_uids) if uid is None else uid
+        self.version = version
+
+
+# --------------------------------------------------------------------- executors
+def _search_shard_vectors(
+    vectors: np.ndarray, index: NearestNeighbourIndex, queries: np.ndarray, k: int, metric: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shard-local search with the same metric dispatch as ReferenceStore."""
+    k = min(int(k), vectors.shape[0])
+    if metric == index.metric:
+        return index.search(vectors, queries, k)
+    distances = cdist(queries, vectors, metric=metric)
+    return top_k_by_distance(distances, k)
+
+
+def _untrack_shared_memory(segment: shared_memory.SharedMemory) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    On CPython <= 3.12 merely attaching registers the segment with the
+    tracker, which would unlink the parent-owned segment when the worker
+    exits; the parent alone manages segment lifetime.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+
+
+def _shard_worker(requests, responses) -> None:
+    """Worker loop: answer shard searches against shared-memory embeddings.
+
+    Attachments (and the index rebuilt over them) are cached per shard uid
+    and refreshed only when the request carries a newer shard version, so a
+    steady-state request ships nothing but the query block.
+    """
+    cache: Dict[int, Tuple[int, shared_memory.SharedMemory, np.ndarray, NearestNeighbourIndex]] = {}
+    while True:
+        task = requests.get()
+        if task is None:
+            break
+        request_id, uid, version, shm_name, shape, index_spec, queries, k, metric = task
+        try:
+            entry = cache.get(uid)
+            if entry is None or entry[0] != version:
+                if entry is not None:
+                    entry[1].close()
+                segment = shared_memory.SharedMemory(name=shm_name)
+                _untrack_shared_memory(segment)
+                vectors = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+                index = index_from_spec(index_spec)
+                index.rebuild(vectors)
+                cache[uid] = (version, segment, vectors, index)
+            _, _, vectors, index = cache[uid]
+            distances, ids = _search_shard_vectors(vectors, index, queries, k, metric)
+            responses.put((request_id, distances, ids, None))
+        except Exception as error:  # keep the worker alive; surface the failure
+            responses.put((request_id, None, None, f"{type(error).__name__}: {error}"))
+    for _, segment, _, _ in cache.values():
+        segment.close()
+
+
+class InProcessShardExecutor:
+    """Answer shard searches serially in the calling process.
+
+    The deterministic default: useful for tests, CI and small shard counts
+    where process fan-out overhead exceeds the search itself.
+    """
+
+    def search(
+        self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return [shard.store.search(queries, k, metric=metric) for shard in shards]
+
+    def close(self) -> None:  # nothing owned
+        pass
+
+
+class ProcessShardExecutor:
+    """Scatter shard searches across worker processes.
+
+    Each shard's embedding matrix is published at most once per shard
+    version into a shared-memory segment; workers attach read-only and keep
+    the attachment (plus a rebuilt index) cached until the version moves.
+    Adaptation therefore republishes only the shard it touched — the
+    copy-on-write story end to end.
+
+    Workers rebuild the shard's index from its spec, so an IVF shard pays
+    one k-means per (worker, version); the exact index is free to rebuild.
+
+    ``search`` is serialised with a lock: the scatter shares one response
+    queue, so two overlapping calls (e.g. the batch flusher thread and an
+    adaptation swap recalibrating an open-world detector) must not
+    interleave their collections.  Segments whose shard has not been
+    queried for a while — a copy-on-write swap retires the old shard's uid
+    for good — are unlinked automatically, so long-running adaptation churn
+    does not accumulate shared memory.
+    """
+
+    _RESPONSE_TIMEOUT_S = 120.0
+    # A published segment is evicted after this many search calls without
+    # its shard appearing; in-flight snapshots re-publish on demand.
+    _EVICT_AFTER_CALLS = 8
+
+    def __init__(self, n_workers: int = 2, *, start_method: Optional[str] = None) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._requests = [context.Queue() for _ in range(n_workers)]
+        self._responses = context.Queue()
+        self._workers = [
+            context.Process(target=_shard_worker, args=(queue, self._responses), daemon=True)
+            for queue in self._requests
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._published: Dict[int, Tuple[int, shared_memory.SharedMemory, Tuple[int, ...]]] = {}
+        self._last_used: Dict[int, int] = {}
+        self._search_calls = 0
+        self._request_counter = 0
+        self._search_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- publication
+    def _publish(self, shard: _Shard) -> Tuple[str, Tuple[int, ...]]:
+        entry = self._published.get(shard.uid)
+        if entry is not None and entry[0] == shard.version:
+            return entry[1].name, entry[2]
+        vectors = shard.store.embeddings
+        segment = shared_memory.SharedMemory(create=True, size=max(1, vectors.nbytes))
+        np.ndarray(vectors.shape, dtype=np.float64, buffer=segment.buf)[:] = vectors
+        if entry is not None:
+            # Workers already attached keep the old mapping alive; unlinking
+            # only removes the name, which nobody will attach again.
+            entry[1].close()
+            entry[1].unlink()
+        self._published[shard.uid] = (shard.version, segment, vectors.shape)
+        return segment.name, vectors.shape
+
+    def _evict_stale(self) -> None:
+        """Unlink segments of shards that stopped being queried (called with
+        the search lock held, after all in-flight responses are collected)."""
+        stale = [
+            uid
+            for uid, last in self._last_used.items()
+            if self._search_calls - last > self._EVICT_AFTER_CALLS
+        ]
+        for uid in stale:
+            _, segment, _ = self._published.pop(uid)
+            del self._last_used[uid]
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------ search
+    def search(
+        self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        with self._search_lock:
+            if self._closed:
+                raise ServingError("the shard executor has been closed")
+            self._search_calls += 1
+            pending: Dict[int, int] = {}
+            for position, shard in enumerate(shards):
+                name, shape = self._publish(shard)
+                self._last_used[shard.uid] = self._search_calls
+                request_id = self._request_counter
+                self._request_counter += 1
+                task = (
+                    request_id,
+                    shard.uid,
+                    shard.version,
+                    name,
+                    shape,
+                    shard.store.index.spec(),
+                    queries,
+                    k,
+                    metric,
+                )
+                self._requests[position % len(self._requests)].put(task)
+                pending[request_id] = position
+            results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(shards)
+            failure: Optional[str] = None
+            while pending:
+                try:
+                    request_id, distances, ids, error = self._responses.get(
+                        timeout=self._RESPONSE_TIMEOUT_S
+                    )
+                except Exception as exc:
+                    raise ServingError(f"timed out waiting for shard workers: {exc!r}") from exc
+                position = pending.pop(request_id, None)
+                if position is None:  # stale response from an aborted call
+                    continue
+                if error is not None:
+                    failure = failure or error
+                    continue
+                results[position] = (distances, ids)
+            if failure is not None:
+                raise ServingError(f"shard worker failed: {failure}")
+            self._evict_stale()
+            return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------- close
+    def close(self) -> None:
+        with self._search_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for queue in self._requests:
+            try:
+                queue.put(None)
+            except Exception:
+                pass
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():
+                worker.terminate()
+        for _, segment, _ in self._published.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+        self._published.clear()
+        self._last_used.clear()
+
+    def __del__(self) -> None:  # best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------- sharded store
+ASSIGNMENT_POLICIES = ("hash", "balanced")
+
+
+class ShardedReferenceStore:
+    """Monitored classes partitioned across per-shard store+index pairs.
+
+    Classes (never individual references) are the unit of placement, so an
+    adaptation step touches exactly one shard.  ``assignment`` picks the
+    shard for a class never seen before: ``"hash"`` is stable across
+    deployments (CRC32 of the label), ``"balanced"`` greedily places new
+    classes on the currently smallest shard.  ``replace_class`` keeps a
+    class pinned to its shard, so churn never migrates data between shards.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        n_shards: int = 2,
+        *,
+        assignment: str = "hash",
+        index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
+        executor: Optional[object] = None,
+    ) -> None:
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if assignment not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
+            )
+        self.embedding_dim = int(embedding_dim)
+        self.n_shards = int(n_shards)
+        self.assignment = assignment
+        self.index_factory: Callable[[], NearestNeighbourIndex] = (
+            index_factory if index_factory is not None else lambda: index_from_spec(None)
+        )
+        self._executor = executor if executor is not None else InProcessShardExecutor()
+        self._shards: List[_Shard] = [
+            _Shard(ReferenceStore(self.embedding_dim, index=self.index_factory()),
+                   np.empty(0, dtype=np.int64))
+            for _ in range(self.n_shards)
+        ]
+        self._class_shard: Dict[str, int] = {}
+        # The global ledger: the same label encoding a flat store fed the
+        # identical mutation sequence would hold (see reference_store.py).
+        self._encoding = LabelEncoding()
+        self._codes: np.ndarray = np.empty(0, dtype=np.int64)
+        self._size = 0
+        self._generation = 0
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_reference_store(
+        cls,
+        store: ReferenceStore,
+        n_shards: int = 2,
+        *,
+        assignment: str = "hash",
+        index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
+        executor: Optional[object] = None,
+    ) -> "ShardedReferenceStore":
+        """Shard an existing flat store (global ids == its current row ids)."""
+        if index_factory is None:
+            spec = store.index.spec()
+            index_factory = lambda: index_from_spec(spec)  # noqa: E731
+        sharded = cls(
+            store.embedding_dim,
+            n_shards,
+            assignment=assignment,
+            index_factory=index_factory,
+            executor=executor,
+        )
+        if len(store):
+            sharded.add(store.embeddings, list(store.labels))
+        return sharded
+
+    # ------------------------------------------------------------------- state
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (cache keys, staleness checks)."""
+        return self._generation
+
+    @property
+    def executor(self) -> object:
+        return self._executor
+
+    @property
+    def class_names(self) -> List[str]:
+        return list(self._encoding.names)
+
+    @property
+    def classes(self) -> List[str]:
+        return list(self._encoding.names)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self._encoding.names)
+
+    @property
+    def label_codes(self) -> np.ndarray:
+        view = self._codes[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def labels(self) -> np.ndarray:
+        names = np.array(self._encoding.names, dtype=object)
+        return names[self._codes[: self._size]] if self._size else np.empty(0, dtype=object)
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The (N, dim) matrix in *global* row order (gathered; O(N) copy)."""
+        out = np.empty((self._size, self.embedding_dim), dtype=np.float64)
+        for shard in self._shards:
+            if len(shard.store):
+                out[shard.global_ids] = shard.store.embeddings
+        out.flags.writeable = False
+        return out
+
+    def class_counts(self) -> Dict[str, int]:
+        return {
+            name: int(self._encoding.counts[code])
+            for code, name in enumerate(self._encoding.names)
+        }
+
+    def has_class(self, label: str) -> bool:
+        return label in self._encoding.index
+
+    def __contains__(self, label: str) -> bool:
+        return self.has_class(label)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard.store) for shard in self._shards]
+
+    def _place(self, label: str, sizes: Sequence[int]) -> int:
+        """Pick a shard for a class not placed yet (the single policy site)."""
+        if self.assignment == "hash":
+            return zlib.crc32(str(label).encode("utf-8")) % self.n_shards
+        return int(np.argmin(sizes))
+
+    def shard_of(self, label: str) -> int:
+        """Which shard holds (or would hold) a class's references."""
+        existing = self._class_shard.get(label)
+        if existing is not None:
+            return existing
+        return self._place(label, [len(shard.store) for shard in self._shards])
+
+    def class_embeddings(self, label: str) -> np.ndarray:
+        shard_id = self._class_shard.get(label)
+        if shard_id is None:
+            raise KeyError(f"no references with label {label!r}")
+        return self._shards[shard_id].store.class_embeddings(label)
+
+    # ---------------------------------------------------------------- mutation
+    def add(self, embeddings: np.ndarray, labels: Iterable[str]) -> None:
+        """Append references; whole classes are routed to their shard."""
+        embeddings, labels = validate_reference_batch(embeddings, labels, self.embedding_dim)
+        n_new = embeddings.shape[0]
+        if n_new == 0:
+            return
+        # Route any new classes (first-occurrence order keeps "balanced"
+        # deterministic; counts of rows arriving in this same call are part
+        # of the balance).
+        occurrences = Counter(labels)
+        planned = np.array([len(shard.store) for shard in self._shards], dtype=np.int64)
+        for label in dict.fromkeys(labels):
+            if label not in self._class_shard:
+                self._class_shard[label] = self._place(label, planned)
+            planned[self._class_shard[label]] += occurrences[label]
+
+        codes = self._encoding.encode(labels)
+        global_ids = np.arange(self._size, self._size + n_new, dtype=np.int64)
+        self._codes = np.concatenate([self._codes, codes])
+        self._size += n_new
+
+        shard_of_row = np.array([self._class_shard[label] for label in labels], dtype=np.int64)
+        for shard_id in np.unique(shard_of_row):
+            mask = shard_of_row == shard_id
+            shard = self._shards[shard_id]
+            shard.store.add(
+                embeddings[mask], [label for label, hit in zip(labels, mask) if hit]
+            )
+            shard.global_ids = np.concatenate([shard.global_ids, global_ids[mask]])
+            shard.version += 1
+        self._generation += 1
+
+    def remove_class(self, label: str) -> int:
+        """Drop a class; global ids renumber exactly like flat compaction."""
+        code = self._encoding.code_of(label)
+        if code is None:
+            raise KeyError(f"no references with label {label!r}")
+        shard = self._shards[self._class_shard[label]]
+        local_code = shard.store.class_names.index(label)
+        local_kept = (shard.store.label_codes != local_code).copy()
+        removed_global_ids = np.sort(shard.global_ids[~local_kept])
+        shard.store.remove_class(label)
+        shard.global_ids = shard.global_ids[local_kept]
+        shard.version += 1
+
+        global_kept = self._codes != code
+        new_codes = self._codes[global_kept]
+        new_codes[new_codes > code] -= 1
+        self._codes = new_codes
+        removed = self._size - int(global_kept.sum())
+        self._size = int(global_kept.sum())
+        self._encoding.drop(code)
+        del self._class_shard[label]
+
+        for other in self._shards:
+            if other.global_ids.size:
+                other.global_ids = other.global_ids - np.searchsorted(
+                    removed_global_ids, other.global_ids
+                )
+        self._generation += 1
+        return removed
+
+    def replace_class(self, label: str, embeddings: np.ndarray) -> None:
+        """Swap one class's references (stays on its shard — the paper's
+        adaptation step, sharded)."""
+        label = str(label)
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        pinned = self._class_shard.get(label)
+        if label in self._encoding.index:
+            self.remove_class(label)
+        if pinned is not None:
+            self._class_shard[label] = pinned
+        self.add(embeddings, [label] * embeddings.shape[0])
+
+    # ----------------------------------------------------------- copy-on-write
+    def _cow_clone(self, materialise: Set[int]) -> "ShardedReferenceStore":
+        """Clone sharing every shard's store except the ``materialise``d ones.
+
+        Shared shards keep their uid/version, so executor-side caches stay
+        warm; materialised shards get a deep-copied store (and a fresh uid)
+        that the clone may mutate without the original ever observing it.
+        """
+        clone = ShardedReferenceStore.__new__(ShardedReferenceStore)
+        clone.embedding_dim = self.embedding_dim
+        clone.n_shards = self.n_shards
+        clone.assignment = self.assignment
+        clone.index_factory = self.index_factory
+        clone._executor = self._executor
+        clone._class_shard = dict(self._class_shard)
+        clone._encoding = self._encoding.clone()
+        clone._codes = self._codes.copy()
+        clone._size = self._size
+        clone._generation = self._generation
+        clone._shards = []
+        for shard_id, shard in enumerate(self._shards):
+            if shard_id in materialise:
+                # Deep copy including the trained index state — no k-means
+                # retrain on an adaptation swap (the retraining-free story).
+                clone._shards.append(_Shard(shard.store.clone(), shard.global_ids.copy()))
+            else:
+                clone._shards.append(
+                    _Shard(shard.store, shard.global_ids.copy(), uid=shard.uid, version=shard.version)
+                )
+        return clone
+
+    def with_class_added(self, label: str, embeddings: np.ndarray) -> "ShardedReferenceStore":
+        """A new store with the class appended; ``self`` is untouched."""
+        label = str(label)
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        shard_id = self.shard_of(label)
+        clone = self._cow_clone({shard_id})
+        clone._class_shard.setdefault(label, shard_id)
+        clone.add(embeddings, [label] * embeddings.shape[0])
+        return clone
+
+    def with_class_removed(self, label: str) -> "ShardedReferenceStore":
+        """A new store without the class; ``self`` is untouched."""
+        label = str(label)
+        if label not in self._encoding.index:
+            raise KeyError(f"no references with label {label!r}")
+        clone = self._cow_clone({self._class_shard[label]})
+        clone.remove_class(label)
+        return clone
+
+    def with_class_replaced(self, label: str, embeddings: np.ndarray) -> "ShardedReferenceStore":
+        """A new store with the class's references swapped; ``self`` untouched."""
+        label = str(label)
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        shard_id = self.shard_of(label)
+        clone = self._cow_clone({shard_id})
+        clone._class_shard.setdefault(label, shard_id)
+        clone.replace_class(label, embeddings)
+        return clone
+
+    # ------------------------------------------------------------------ search
+    def search(
+        self, queries: np.ndarray, k: int, *, metric: str = "euclidean"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merged k nearest references, ordered by ``(distance, global id)``."""
+        if self._size == 0:
+            raise RuntimeError("the sharded reference store is empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.embedding_dim:
+            raise ValueError(
+                f"query embeddings have dimension {queries.shape[1]}, "
+                f"store holds dimension {self.embedding_dim}"
+            )
+        k = min(int(k), self._size)
+        live = [shard for shard in self._shards if len(shard.store)]
+        results = self._executor.search(live, queries, k, metric)
+        merged_d = np.concatenate([distances for distances, _ in results], axis=1)
+        merged_g = np.concatenate(
+            [shard.global_ids[ids] for shard, (_, ids) in zip(live, results)], axis=1
+        )
+        order = np.lexsort((merged_g, merged_d), axis=1)[:, :k]
+        return (
+            np.take_along_axis(merged_d, order, axis=1),
+            np.take_along_axis(merged_g, order, axis=1),
+        )
+
+    # ------------------------------------------------------------- flatten/save
+    def flatten(self) -> Tuple[np.ndarray, List[str]]:
+        """``(embeddings, labels)`` in global row order (for persistence)."""
+        names = self._encoding.names
+        labels = [names[code] for code in self._codes[: self._size].tolist()]
+        return np.asarray(self.embeddings), labels
+
+    def to_reference_store(
+        self, index: Optional[NearestNeighbourIndex] = None
+    ) -> ReferenceStore:
+        """Collapse back into a flat store (same global row order)."""
+        flat = ReferenceStore(
+            self.embedding_dim, index=index if index is not None else self.index_factory()
+        )
+        embeddings, labels = self.flatten()
+        if len(labels):
+            flat.add(embeddings, labels)
+        return flat

@@ -131,7 +131,55 @@ class TestCoarseQuantizedIndex:
         with pytest.raises(ValueError):
             CoarseQuantizedIndex(n_probe=0)
         with pytest.raises(ValueError):
-            CoarseQuantizedIndex(metric="cosine")
+            CoarseQuantizedIndex(metric="hamming")
+
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine", "cityblock"])
+    def test_full_probe_matches_exact_per_metric(self, metric):
+        rng = np.random.default_rng(9)
+        vectors = rng.standard_normal((400, 6)) + 2.0
+        queries = rng.standard_normal((30, 6))
+        ivf = CoarseQuantizedIndex(n_cells=8, n_probe=8, metric=metric, min_train_size=16)
+        ivf.rebuild(vectors)
+        d_ivf, i_ivf = ivf.search(vectors, queries, 6)
+        d_exact, i_exact = ExactIndex(metric).search(vectors, queries, 6)
+        assert np.array_equal(i_ivf, i_exact)
+        assert np.allclose(d_ivf, d_exact)
+
+    @pytest.mark.parametrize("metric", ["cosine", "cityblock"])
+    def test_incremental_mutation_per_metric(self, metric):
+        rng = np.random.default_rng(10)
+        vectors = rng.standard_normal((300, 5)) + 1.5
+        ivf = CoarseQuantizedIndex(n_cells=6, n_probe=6, metric=metric, min_train_size=16)
+        ivf.rebuild(vectors)
+        grown = np.concatenate([vectors, rng.standard_normal((40, 5)) + 1.5])
+        ivf.add(grown, 40)
+        kept_mask = np.ones(340, dtype=bool)
+        kept_mask[50:120] = False
+        ivf.remove(kept_mask)
+        kept = grown[kept_mask]
+        queries = rng.standard_normal((12, 5))
+        d_ivf, i_ivf = ivf.search(kept, queries, 4)
+        d_exact, i_exact = ExactIndex(metric).search(kept, queries, 4)
+        assert np.array_equal(i_ivf, i_exact)
+        assert np.allclose(d_ivf, d_exact)
+
+    @pytest.mark.parametrize("metric", ["cosine", "cityblock"])
+    def test_partial_probe_mostly_agrees_per_metric(self, metric):
+        rng = np.random.default_rng(11)
+        vectors = rng.standard_normal((500, 6)) + 2.0
+        queries = vectors[rng.choice(500, 40, replace=False)] + 0.05 * rng.standard_normal((40, 6))
+        ivf = CoarseQuantizedIndex(n_cells=10, n_probe=4, metric=metric, min_train_size=16)
+        ivf.rebuild(vectors)
+        _, i_ivf = ivf.search(vectors, queries, 1)
+        _, i_exact = ExactIndex(metric).search(vectors, queries, 1)
+        assert (i_ivf[:, 0] == i_exact[:, 0]).mean() >= 0.85
+
+    def test_metric_spec_roundtrip(self):
+        ivf = CoarseQuantizedIndex(n_cells=7, n_probe=2, metric="cityblock", min_train_size=32)
+        clone = index_from_spec(ivf.spec())
+        assert isinstance(clone, CoarseQuantizedIndex)
+        assert clone.metric == "cityblock"
+        assert clone.spec() == ivf.spec()
 
     def test_spec_roundtrip(self):
         ivf = CoarseQuantizedIndex(n_cells=11, n_probe=3, min_train_size=99, seed=7)
@@ -206,3 +254,28 @@ class TestStoreIndexConsistency:
         store.add(np.zeros((2, 2)), ["a", "b"])
         with pytest.raises(ValueError):
             store.embeddings[0, 0] = 5.0
+
+    def test_clone_copies_index_state_without_retrain(self):
+        rng = np.random.default_rng(12)
+        store = ReferenceStore(
+            4, index=CoarseQuantizedIndex(n_cells=4, n_probe=4, min_train_size=16)
+        )
+        store.add(rng.standard_normal((200, 4)), [f"c{i % 8}" for i in range(200)])
+        centroids = store.index._centroids.copy()
+        clone = store.clone()
+        # The trained quantizer is deep-copied, not re-trained.
+        assert clone.index is not store.index
+        assert np.array_equal(clone.index._centroids, centroids)
+        assert np.array_equal(clone.embeddings, store.embeddings)
+        assert clone.class_counts() == store.class_counts()
+        # Mutating the clone leaves the original untouched (and vice versa).
+        clone.add(rng.standard_normal((3, 4)), ["c1"] * 3)
+        clone.remove_class("c0")
+        assert len(store) == 200 and store.has_class("c0")
+        assert np.array_equal(store.index._centroids, centroids)
+        queries = rng.standard_normal((5, 4))
+        flat = ReferenceStore(4)
+        flat.add(clone.embeddings, list(clone.labels))
+        d_clone, i_clone = clone.search(queries, 3)
+        d_flat, i_flat = flat.search(queries, 3)
+        assert np.array_equal(i_clone, i_flat)

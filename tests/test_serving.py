@@ -1,0 +1,407 @@
+"""Tests for the serving subsystem: sharding, micro-batching, zero-downtime."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClassifierConfig
+from repro.core import KNNClassifier, OpenWorldDetector, ReferenceStore
+from repro.core.index import CoarseQuantizedIndex
+from repro.serving import (
+    BatchScheduler,
+    DeploymentManager,
+    LoadGenerator,
+    OpenWorldConfig,
+    ProcessShardExecutor,
+    ServingError,
+    ShardedReferenceStore,
+    open_world_mix,
+)
+
+
+def clustered_corpus(n=600, dim=8, n_classes=20, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = rng.standard_normal((n_classes, dim)) * 8.0
+    assignment = rng.integers(0, n_classes, size=n)
+    corpus = centres[assignment] + rng.standard_normal((n, dim))
+    labels = [f"page-{code:03d}" for code in assignment]
+    return corpus, labels, rng
+
+
+def flat_and_sharded(n_shards=3, assignment="hash", executor=None, **kwargs):
+    corpus, labels, rng = clustered_corpus(**kwargs)
+    flat = ReferenceStore(corpus.shape[1])
+    flat.add(corpus, labels)
+    sharded = ShardedReferenceStore.from_reference_store(
+        flat, n_shards=n_shards, assignment=assignment, executor=executor
+    )
+    return flat, sharded, corpus, rng
+
+
+class TestShardedReferenceStore:
+    def test_flat_read_surface_matches(self):
+        flat, sharded, _, _ = flat_and_sharded()
+        assert len(sharded) == len(flat)
+        assert sharded.embedding_dim == flat.embedding_dim
+        assert sharded.class_names == flat.class_names
+        assert sharded.n_classes == flat.n_classes
+        assert sharded.class_counts() == flat.class_counts()
+        assert np.array_equal(sharded.label_codes, flat.label_codes)
+        assert np.array_equal(sharded.embeddings, flat.embeddings)
+        assert list(sharded.labels) == list(flat.labels)
+        assert sum(sharded.shard_sizes()) == len(flat)
+
+    def test_merged_search_identical_to_flat(self):
+        flat, sharded, corpus, rng = flat_and_sharded()
+        queries = corpus[rng.choice(len(flat), 40, replace=False)] + 0.1
+        d_flat, i_flat = flat.search(queries, 9)
+        d_sharded, i_sharded = sharded.search(queries, 9)
+        assert np.array_equal(i_flat, i_sharded)
+        assert np.allclose(d_flat, d_sharded)
+
+    def test_classifier_predictions_identical_to_flat(self):
+        flat, sharded, corpus, rng = flat_and_sharded()
+        config = ClassifierConfig(k=15)
+        queries = corpus[:50] + 0.05 * rng.standard_normal((50, corpus.shape[1]))
+        flat_predictions = KNNClassifier(flat, config).predict(queries)
+        sharded_predictions = KNNClassifier(sharded, config).predict(queries)
+        for a, b in zip(flat_predictions, sharded_predictions):
+            assert a.ranked_labels == b.ranked_labels
+            assert a.scores == pytest.approx(b.scores)
+
+    def test_churn_mirrors_flat_store(self):
+        flat, sharded, corpus, rng = flat_and_sharded()
+        fresh = rng.standard_normal((7, corpus.shape[1]))
+        for store in (flat, sharded):
+            store.remove_class("page-003")
+            store.replace_class("page-001", fresh)
+            store.add(fresh + 2.0, ["new-page"] * 7)
+        assert sharded.class_names == flat.class_names
+        assert np.array_equal(sharded.label_codes, flat.label_codes)
+        assert np.array_equal(sharded.embeddings, flat.embeddings)
+        queries = corpus[:20]
+        _, i_flat = flat.search(queries, 11)
+        _, i_sharded = sharded.search(queries, 11)
+        assert np.array_equal(i_flat, i_sharded)
+
+    def test_balanced_assignment_evens_shards(self):
+        _, sharded, _, _ = flat_and_sharded(n_shards=4, assignment="balanced")
+        sizes = sharded.shard_sizes()
+        assert max(sizes) - min(sizes) <= max(sharded.class_counts().values())
+
+    def test_replace_keeps_shard_affinity(self):
+        _, sharded, corpus, rng = flat_and_sharded()
+        home = sharded.shard_of("page-002")
+        sharded.replace_class("page-002", rng.standard_normal((5, corpus.shape[1])))
+        assert sharded.shard_of("page-002") == home
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedReferenceStore(0)
+        with pytest.raises(ValueError):
+            ShardedReferenceStore(4, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedReferenceStore(4, assignment="round-robin")
+        sharded = ShardedReferenceStore(4, n_shards=2)
+        with pytest.raises(RuntimeError):
+            sharded.search(np.zeros((1, 4)), 1)
+        with pytest.raises(ValueError):
+            sharded.add(np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(KeyError):
+            sharded.remove_class("absent")
+        sharded.add(np.zeros((1, 4)), ["a"])
+        with pytest.raises(ValueError):
+            sharded.search(np.zeros((1, 3)), 1)
+
+    def test_openworld_detector_matches_flat_calibration(self):
+        flat, sharded, _, _ = flat_and_sharded()
+        flat_detector = OpenWorldDetector(flat, neighbour=3, percentile=95)
+        sharded_detector = OpenWorldDetector(sharded, neighbour=3, percentile=95)
+        assert sharded_detector.threshold == pytest.approx(flat_detector.threshold)
+
+    def test_copy_on_write_leaves_original_untouched(self):
+        flat, sharded, corpus, rng = flat_and_sharded()
+        before_names = sharded.class_names
+        before_size = len(sharded)
+        fresh = rng.standard_normal((6, corpus.shape[1]))
+
+        replaced = sharded.with_class_replaced("page-000", fresh)
+        removed = sharded.with_class_removed("page-001")
+        added = sharded.with_class_added("brand-new", fresh)
+
+        assert sharded.class_names == before_names and len(sharded) == before_size
+        assert not replaced.has_class("brand-new")
+        assert np.array_equal(replaced.class_embeddings("page-000"), fresh)
+        assert not removed.has_class("page-001")
+        assert added.has_class("brand-new")
+
+        # The updated store still merges exactly like its flat equivalent.
+        twin = ReferenceStore(corpus.shape[1])
+        twin.add(flat.embeddings, list(flat.labels))
+        twin.replace_class("page-000", fresh)
+        _, i_twin = twin.search(corpus[:15], 8)
+        _, i_cow = replaced.search(corpus[:15], 8)
+        assert np.array_equal(i_twin, i_cow)
+
+    def test_cow_shares_untouched_shard_stores(self):
+        _, sharded, corpus, rng = flat_and_sharded()
+        home = sharded.shard_of("page-000")
+        clone = sharded.with_class_replaced("page-000", rng.standard_normal((4, corpus.shape[1])))
+        for shard_id, (old, new) in enumerate(zip(sharded._shards, clone._shards)):
+            if shard_id == home:
+                assert old.store is not new.store
+            else:
+                assert old.store is new.store
+
+    def test_to_reference_store_roundtrip(self):
+        flat, sharded, _, _ = flat_and_sharded()
+        collapsed = sharded.to_reference_store()
+        assert np.array_equal(collapsed.embeddings, flat.embeddings)
+        assert list(collapsed.labels) == list(flat.labels)
+
+    def test_ivf_shards(self):
+        corpus, labels, rng = clustered_corpus(n=500)
+        flat = ReferenceStore(corpus.shape[1])
+        flat.add(corpus, labels)
+        sharded = ShardedReferenceStore.from_reference_store(
+            flat,
+            n_shards=2,
+            index_factory=lambda: CoarseQuantizedIndex(n_cells=6, n_probe=6, min_train_size=16),
+        )
+        queries = corpus[:20]
+        _, i_flat = flat.search(queries, 7)
+        _, i_sharded = sharded.search(queries, 7)
+        # Full-probe IVF shards merge to the exact answer.
+        assert np.array_equal(i_flat, i_sharded)
+
+
+class TestProcessShardExecutor:
+    def test_matches_serial_and_survives_republish(self):
+        executor = ProcessShardExecutor(n_workers=2)
+        try:
+            flat, sharded, corpus, rng = flat_and_sharded(
+                n_shards=2, executor=executor, n=300, dim=6
+            )
+            queries = corpus[:25]
+            _, i_flat = flat.search(queries, 6)
+            _, i_process = sharded.search(queries, 6)
+            assert np.array_equal(i_flat, i_process)
+            # Mutate -> the affected shard republishes, results stay exact.
+            fresh = rng.standard_normal((5, corpus.shape[1]))
+            sharded.replace_class("page-000", fresh)
+            flat.replace_class("page-000", fresh)
+            _, i_flat2 = flat.search(queries, 6)
+            _, i_process2 = sharded.search(queries, 6)
+            assert np.array_equal(i_flat2, i_process2)
+        finally:
+            executor.close()
+
+    def test_closed_executor_rejects_searches(self):
+        executor = ProcessShardExecutor(n_workers=1)
+        executor.close()
+        with pytest.raises(ServingError):
+            executor.search([], np.zeros((1, 4)), 1, "euclidean")
+
+
+def build_manager(n_shards=2, k=15, **kwargs):
+    flat, sharded, corpus, rng = flat_and_sharded(n_shards=n_shards, **kwargs)
+    manager = DeploymentManager(sharded, ClassifierConfig(k=k))
+    return manager, flat, corpus, rng
+
+
+class TestBatchScheduler:
+    def test_inline_batching_matches_direct_predict(self):
+        manager, flat, corpus, _ = build_manager()
+        scheduler = BatchScheduler(manager, max_batch_size=16, cache_size=0)
+        queries = corpus[:40]
+        predictions = scheduler.classify(queries)
+        expected = KNNClassifier(flat, ClassifierConfig(k=15)).predict(queries)
+        assert [p.ranked_labels for p in predictions] == [p.ranked_labels for p in expected]
+        assert scheduler.stats.batches == 3  # 16 + 16 + 8
+        assert scheduler.stats.largest_batch == 16
+        assert scheduler.stats.completed == 40
+
+    def test_cache_serves_duplicates_and_generation_invalidates(self):
+        manager, _, corpus, rng = build_manager()
+        scheduler = BatchScheduler(manager, max_batch_size=8, cache_size=64)
+        query = corpus[0]
+        first = scheduler.submit(query)
+        scheduler.flush()
+        second = scheduler.submit(query)  # exact revisit -> cache hit
+        assert second.done() and second.cached
+        assert second.result().ranked_labels == first.result().ranked_labels
+        assert scheduler.stats.cache_hits == 1
+
+        manager.replace_class("page-000", rng.standard_normal((4, corpus.shape[1])))
+        third = scheduler.submit(query)  # new generation -> cache miss
+        scheduler.flush()
+        assert not third.cached
+        assert scheduler.stats.cache_misses == 2
+
+    def test_background_thread_ages_out_partial_batches(self):
+        manager, _, corpus, _ = build_manager()
+        with BatchScheduler(manager, max_batch_size=1024, max_latency_s=0.01) as scheduler:
+            ticket = scheduler.submit(corpus[0])
+            prediction = ticket.result(timeout=5.0)
+        assert prediction.ranked_labels
+        assert ticket.latency_s is not None and ticket.latency_s < 5.0
+
+    def test_batch_failure_fails_tickets_not_scheduler(self):
+        manager, _, corpus, _ = build_manager()
+        scheduler = BatchScheduler(manager, max_batch_size=8, cache_size=0)
+        bad = scheduler.submit(np.zeros(3))  # wrong dimension
+        scheduler.flush()
+        with pytest.raises(ServingError):
+            bad.result(timeout=1.0)
+        assert scheduler.stats.failed == 1
+        good = scheduler.classify(corpus[:2])
+        assert len(good) == 2
+
+    def test_validation(self):
+        manager, _, _, _ = build_manager()
+        with pytest.raises(ValueError):
+            BatchScheduler(manager, max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(manager, max_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchScheduler(manager, cache_size=-1)
+
+
+class TestDeploymentManager:
+    def test_snapshot_swap_is_atomic_and_cow(self):
+        manager, _, corpus, rng = build_manager()
+        before = manager.snapshot()
+        manager.replace_class("page-000", rng.standard_normal((5, corpus.shape[1])))
+        after = manager.snapshot()
+        assert after.generation == before.generation + 1
+        assert before.store is not after.store
+        # The old snapshot still answers queries (in-flight batches).
+        distances, _ = before.store.search(corpus[:3], 4)
+        assert np.isfinite(distances).all()
+
+    def test_open_world_detector_recalibrates_on_swap(self):
+        flat, sharded, corpus, rng = flat_and_sharded()
+        manager = DeploymentManager(
+            sharded, ClassifierConfig(k=15), open_world=OpenWorldConfig(neighbour=3, percentile=95)
+        )
+        first = manager.snapshot()
+        assert first.detector is not None
+        far = corpus[:4] + 500.0
+        assert first.is_unknown(far).all()
+        manager.remove_class("page-000")
+        second = manager.snapshot()
+        assert second.detector is not None and second.detector is not first.detector
+
+    def test_zero_failed_queries_during_mid_run_replace(self):
+        manager, flat, corpus, rng = build_manager()
+        queries, _ = open_world_mix(corpus, 120, unmonitored_fraction=0.2, seed=3)
+        fresh = rng.standard_normal((6, corpus.shape[1]))
+        generations = []
+
+        def swap():
+            generations.append(manager.generation)
+            manager.replace_class("page-000", fresh)
+            generations.append(manager.generation)
+
+        scheduler = BatchScheduler(manager, max_batch_size=16, max_latency_s=0.001)
+        result = LoadGenerator(queries).replay(scheduler, mid_run=swap)
+        assert result.failed == 0
+        assert all(prediction is not None for prediction in result.predictions)
+        assert generations[1] == generations[0] + 1
+        assert result.report.n_queries == 120
+        assert result.report.throughput_qps > 0
+
+    def test_zero_failed_queries_with_background_thread_and_processes(self):
+        executor = ProcessShardExecutor(n_workers=2)
+        try:
+            manager, _, corpus, rng = build_manager(executor=executor, n=300, dim=6)
+            queries, _ = open_world_mix(corpus, 80, seed=4)
+            fresh = rng.standard_normal((5, corpus.shape[1]))
+            with BatchScheduler(manager, max_batch_size=16, max_latency_s=0.001) as scheduler:
+                result = LoadGenerator(queries).replay(
+                    scheduler, mid_run=lambda: manager.replace_class("page-001", fresh)
+                )
+            assert result.failed == 0
+        finally:
+            executor.close()
+
+    def test_concurrent_swap_and_serving_share_process_executor(self):
+        # The swap recalibrates the open-world detector, whose calibration
+        # searches through the same executor the flusher thread is using —
+        # the executor must serialise the two scatter/gathers.
+        executor = ProcessShardExecutor(n_workers=2)
+        try:
+            flat, sharded, corpus, rng = flat_and_sharded(n_shards=2, executor=executor, n=300, dim=6)
+            manager = DeploymentManager(
+                sharded,
+                ClassifierConfig(k=10),
+                open_world=OpenWorldConfig(neighbour=3, percentile=95),
+            )
+            queries, _ = open_world_mix(corpus, 80, seed=6)
+            fresh = rng.standard_normal((5, corpus.shape[1]))
+            with BatchScheduler(manager, max_batch_size=8, max_latency_s=0.001) as scheduler:
+                result = LoadGenerator(queries).replay(
+                    scheduler, mid_run=lambda: manager.replace_class("page-002", fresh)
+                )
+            assert result.failed == 0
+            assert manager.snapshot().detector is not None
+        finally:
+            executor.close()
+
+    def test_process_executor_evicts_retired_shard_segments(self):
+        executor = ProcessShardExecutor(n_workers=2)
+        try:
+            _, sharded, corpus, rng = flat_and_sharded(n_shards=2, executor=executor, n=200, dim=6)
+            queries = corpus[:5]
+            sharded.search(queries, 3)
+            assert len(executor._published) == 2
+            # Copy-on-write swaps retire one shard uid per update; after the
+            # grace window the retired segments must be unlinked.
+            store = sharded
+            for round_ in range(executor._EVICT_AFTER_CALLS + 2):
+                store = store.with_class_replaced(
+                    "page-000", rng.standard_normal((4, corpus.shape[1]))
+                )
+                store.search(queries, 3)
+            assert len(executor._published) <= 2 + executor._EVICT_AFTER_CALLS
+        finally:
+            executor.close()
+
+    def test_adapt_requires_fingerprinter(self):
+        manager, _, _, _ = build_manager()
+        with pytest.raises(ServingError):
+            manager.adapt([object()])
+        with pytest.raises(ServingError):
+            manager.save("/tmp/never-written")
+
+
+class TestOpenWorldMix:
+    def test_mix_shapes_and_fractions(self):
+        corpus, _, _ = clustered_corpus(n=200)
+        queries, is_unmonitored = open_world_mix(
+            corpus, 100, unmonitored_fraction=0.3, revisit_fraction=0.2, seed=0
+        )
+        assert queries.shape == (100, corpus.shape[1])
+        assert is_unmonitored.sum() == 30
+        # Revisits duplicate earlier monitored queries exactly.
+        monitored = queries[~is_unmonitored]
+        unique = np.unique(monitored, axis=0)
+        assert unique.shape[0] < monitored.shape[0]
+
+    def test_unmonitored_queries_are_outliers(self):
+        corpus, labels, _ = clustered_corpus(n=200)
+        store = ReferenceStore(corpus.shape[1])
+        store.add(corpus, labels)
+        detector = OpenWorldDetector(store, neighbour=3, percentile=95)
+        queries, is_unmonitored = open_world_mix(corpus, 100, outlier_shift=50.0, seed=1)
+        flags = detector.is_unknown(queries)
+        assert flags[is_unmonitored].mean() > 0.95
+        assert flags[~is_unmonitored].mean() < 0.3
+
+    def test_validation(self):
+        corpus, _, _ = clustered_corpus(n=20)
+        with pytest.raises(ValueError):
+            open_world_mix(np.empty((0, 4)), 10)
+        with pytest.raises(ValueError):
+            open_world_mix(corpus, 10, unmonitored_fraction=1.5)
+        with pytest.raises(ValueError):
+            open_world_mix(corpus, 10, revisit_fraction=1.0)
