@@ -1,45 +1,60 @@
-"""Query-engine scaling: exact search is linear in N, IVF is sublinear.
+"""Query-engine scaling: exact is linear in N, IVF sublinear, IVF-PQ compressed.
 
 This is the cost side of the paper's Table 2 story: classification must
 stay cheap as the monitored set grows.  The bench measures per-query k-NN
-time through :class:`~repro.core.index.ExactIndex` and the IVF-style
-:class:`~repro.core.index.CoarseQuantizedIndex` across growing reference
-corpora and asserts that (a) the IVF curve grows sublinearly in N while
-staying close to flat relative to exact search, and (b) approximation does
-not cost accuracy: top-1 agreement with exact search stays >= 0.95 at the
-default ``n_probe``.
+time through :class:`~repro.core.index.ExactIndex`, the IVF-style
+:class:`~repro.core.index.CoarseQuantizedIndex` and the product-quantized
+:class:`~repro.core.index.IVFPQIndex` across growing reference corpora and
+asserts that (a) the IVF curve grows sublinearly in N while staying close
+to flat relative to exact search, (b) approximation does not cost
+accuracy: IVF top-1 agreement with exact search stays >= 0.95 at the
+default ``n_probe`` and IVF-PQ recall@k stays >= 0.95 with its default
+exact re-rank, and (c) compression pays: the IVF-PQ index's resident
+side structures stay several times smaller than the raw float64 matrix.
 
 Run directly with ``pytest benchmarks/bench_index_scaling.py -s`` or via
 ``python -m repro index-bench`` for a standalone table.
 """
 
 from benchmarks.conftest import emit
-from repro.core.index_bench import measure_index_scaling, scaling_table_rows
+from repro.core.index_bench import (
+    SCALING_TABLE_HEADERS,
+    measure_index_scaling,
+    scaling_table_rows,
+)
 from repro.metrics.reports import format_table
 
 SIZES = (2_000, 6_000, 18_000)
 N_PROBE = 8
+K = 50
 
 
 def test_index_scaling(benchmark):
     rows = benchmark.pedantic(
-        lambda: measure_index_scaling(SIZES, dim=32, k=50, n_probe=N_PROBE, n_queries=128, repeats=3),
+        lambda: measure_index_scaling(
+            SIZES,
+            dim=32,
+            k=K,
+            n_probe=N_PROBE,
+            n_queries=128,
+            repeats=3,
+            engines=("exact", "ivf", "ivfpq"),
+            rerank=128,
+        ),
         rounds=1,
         iterations=1,
     )
     emit(
-        "Index scaling — exact vs coarse-quantized query time",
-        format_table(
-            ["N references", "exact ms/query", "IVF ms/query", "speedup", "top-1 agreement", "cells/probe"],
-            scaling_table_rows(rows),
-        ),
+        "Index scaling — exact vs coarse-quantized vs IVF-PQ query time",
+        format_table(SCALING_TABLE_HEADERS, scaling_table_rows(rows)),
     )
 
     for row in rows:
-        benchmark.extra_info[f"exact_ms_at_{row.n_references}"] = row.exact_ms_per_query
-        benchmark.extra_info[f"ivf_ms_at_{row.n_references}"] = row.ivf_ms_per_query
-        # Approximation must not cost accuracy at the default n_probe.
-        assert row.top1_agreement >= 0.95
+        for kind, engine in row.engines.items():
+            benchmark.extra_info[f"{kind}_ms_at_{row.n_references}"] = engine.ms_per_query
+        # Approximation must not cost accuracy at the default knobs.
+        assert row.engines["ivf"].top1_agreement >= 0.95
+        assert row.engines["ivfpq"].recall_at_k >= 0.95
 
     first, last = rows[0], rows[-1]
     growth_in_n = last.n_references / first.n_references
@@ -51,3 +66,7 @@ def test_index_scaling(benchmark):
     assert ivf_growth < exact_growth
     # And at the largest corpus the IVF engine has overtaken brute force.
     assert last.ivf_ms_per_query < last.exact_ms_per_query
+    # The compressed index stays several times smaller than the raw matrix
+    # it replaces (codes + centroids + codebooks vs N x dim float64).
+    largest_pq = last.engines["ivfpq"]
+    assert largest_pq.index_bytes_per_vector * 4 < largest_pq.store_bytes_per_vector

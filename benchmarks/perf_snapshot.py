@@ -1,4 +1,5 @@
-"""Timing snapshot: seed vs optimised hot paths, written to BENCH_1.json.
+"""Timing snapshot: seed vs optimised hot paths (BENCH_1) and the
+query-engine memory/speed comparison (BENCH_3).
 
 Runs the seed implementations (reimplemented inline below, verbatim) and
 the current optimised code **in the same process on the same data**, so the
@@ -7,13 +8,20 @@ Covers the three rewritten hot paths:
 
 * batched k-NN ``predict`` (exact index) at two store sizes,
 * the vectorised LSTM forward+backward at the Table I shape,
-* embedding throughput through the full network.
+* embedding throughput through the full network,
+
+plus the **BENCH_3** engine table: per-query time, recall@k and resident
+bytes-per-vector for exact (float64/float32) vs IVF vs IVF-PQ at
+N in {10k, 100k} — the compressed-index story (PQ codes cut resident index
+memory ~16-32x and the uint8 ADC scan beats the IVF float scan).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out BENCH_1.json]
+        [--out3 BENCH_3.json] [--index-sizes 10000,100000] [--only-index]
 
-Future PRs re-run this to extend the perf trajectory (BENCH_2.json, ...).
+``--only-index`` skips the BENCH_1 sections (used by the CI index-bench
+smoke job, which runs reduced ``--index-sizes``).
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ import numpy as np
 from scipy.spatial.distance import cdist
 
 from repro.config import ClassifierConfig
-from repro.core import CoarseQuantizedIndex, KNNClassifier, ReferenceStore
+from repro.core import CoarseQuantizedIndex, ExactIndex, IVFPQIndex, KNNClassifier, ReferenceStore
 from repro.core.classifier import Prediction
 from repro.core.embedding import EmbeddingModel
 from repro.core.index_bench import clustered_corpus
@@ -225,36 +233,151 @@ def bench_embed(batch=512, steps=40, features=3) -> Dict:
     }
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_1.json")
-    arguments = parser.parse_args()
+def bench_index_engines(
+    sizes=(10_000, 100_000), dim=64, k=10, n_queries=256, repeats=3, seed=0
+) -> Dict:
+    """The BENCH_3 table: exact (f64/f32) vs IVF vs IVF-PQ per corpus size.
 
-    predict = bench_predict()
-    lstm = bench_lstm()
-    embed = bench_embed()
-    snapshot = {
-        "snapshot": "BENCH_1",
+    Every engine answers the same queries; recall@k / top-1 agreement are
+    against the exact float64 ranking.  Bytes-per-vector reports the index's
+    resident side structures and the raw store separately: the IVF-PQ rows
+    with ``rerank == 0`` never touch the raw store after training, so their
+    resident footprint is the index column alone.
+    """
+    rng = np.random.default_rng(seed + 1)
+    results: Dict[str, Dict] = {}
+    for n in sizes:
+        vectors = clustered_corpus(n, dim, seed=seed + 2)
+        vectors32 = vectors.astype(np.float32)
+        queries = vectors[rng.choice(n, size=min(n_queries, n), replace=False)]
+        queries = queries + 0.1 * rng.standard_normal(queries.shape)
+        k_eff = min(k, n)
+
+        ivfpq = IVFPQIndex()  # rerank=64 default
+        engines = {
+            "exact_f64": (ExactIndex(), vectors),
+            "exact_f32": (ExactIndex(), vectors32),
+            "ivf": (CoarseQuantizedIndex(), vectors),
+            "ivfpq": (ivfpq, vectors),
+            "ivfpq_adc_only": (IVFPQIndex(rerank=0), None),
+        }
+        exact_ids = None
+        size_rows: Dict[str, Dict] = {}
+        for name, (engine, search_vectors) in engines.items():
+            train_start = time.perf_counter()
+            if name == "ivfpq_adc_only":
+                # Same trained structures, different search knob: adopt the
+                # already-trained state instead of re-running k-means.
+                engine.load_state(ivfpq.state())
+            else:
+                engine.rebuild(vectors)
+            train_s = time.perf_counter() - train_start
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                engine.search(search_vectors, queries, k_eff)
+                best = min(best, time.perf_counter() - start)
+            _, ids = engine.search(search_vectors, queries, k_eff)
+            if exact_ids is None:
+                exact_ids = ids
+            hits = np.array(
+                [np.intersect1d(ids[q], exact_ids[q]).size for q in range(ids.shape[0])]
+            )
+            store_bytes = 0 if search_vectors is None else search_vectors.nbytes
+            size_rows[name] = {
+                "ms_per_query": 1e3 * best / queries.shape[0],
+                "recall_at_k": float(hits.mean() / k_eff),
+                "top1_agreement": float((ids[:, 0] == exact_ids[:, 0]).mean()),
+                "identical_ranking": bool(np.array_equal(ids, exact_ids)),
+                "index_bytes_per_vector": engine.memory_bytes() / n,
+                "store_bytes_per_vector": store_bytes / n,
+                "train_s": train_s,
+                "k": k_eff,
+            }
+        results[str(n)] = size_rows
+    return results
+
+
+def _bench3_snapshot(engines: Dict, sizes) -> Dict:
+    largest = str(max(sizes))
+    at_largest = engines[largest]
+    return {
+        "snapshot": "BENCH_3",
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
-        "predict": predict,
-        "lstm_fwd_bwd": lstm,
-        "embed_throughput": embed,
+        "engines": engines,
+        "acceptance_at_largest_n": {
+            "n_references": int(largest),
+            "ivfpq_speedup_vs_ivf": at_largest["ivf"]["ms_per_query"]
+            / at_largest["ivfpq"]["ms_per_query"],
+            "index_memory_shrink_vs_exact_f64": at_largest["exact_f64"]["store_bytes_per_vector"]
+            / at_largest["ivfpq"]["index_bytes_per_vector"],
+            "ivfpq_recall_at_k": at_largest["ivfpq"]["recall_at_k"],
+            "ivfpq_top1_agreement": at_largest["ivfpq"]["top1_agreement"],
+        },
     }
-    arguments.out.write_text(json.dumps(snapshot, indent=2) + "\n")
 
-    at_10k = predict["10000"]
-    print(f"predict @ N=10k: seed {at_10k['seed_p50_s']*1e3:.1f} ms -> "
-          f"batched {at_10k['batched_p50_s']*1e3:.1f} ms "
-          f"({at_10k['speedup_batched_vs_seed']:.1f}x), "
-          f"IVF {at_10k['ivf_p50_s']*1e3:.1f} ms ({at_10k['speedup_ivf_vs_seed']:.1f}x)")
-    print(f"LSTM fwd+bwd: seed {lstm['seed_fwd_bwd_s']*1e3:.1f} ms -> "
-          f"{lstm['vectorised_fwd_bwd_s']*1e3:.1f} ms ({lstm['speedup']:.1f}x)")
-    print(f"embed throughput: {embed['traces_per_s']:.0f} traces/s")
-    print(f"wrote {arguments.out}")
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument("--out", type=Path, default=root / "BENCH_1.json")
+    parser.add_argument("--out3", type=Path, default=root / "BENCH_3.json")
+    parser.add_argument(
+        "--index-sizes", default="10000,100000",
+        help="comma-separated corpus sizes for the BENCH_3 engine table",
+    )
+    parser.add_argument(
+        "--only-index", action="store_true",
+        help="skip the BENCH_1 sections and write BENCH_3 only (CI smoke)",
+    )
+    arguments = parser.parse_args()
+
+    if not arguments.only_index:
+        predict = bench_predict()
+        lstm = bench_lstm()
+        embed = bench_embed()
+        snapshot = {
+            "snapshot": "BENCH_1",
+            "platform": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "predict": predict,
+            "lstm_fwd_bwd": lstm,
+            "embed_throughput": embed,
+        }
+        arguments.out.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+        at_10k = predict["10000"]
+        print(f"predict @ N=10k: seed {at_10k['seed_p50_s']*1e3:.1f} ms -> "
+              f"batched {at_10k['batched_p50_s']*1e3:.1f} ms "
+              f"({at_10k['speedup_batched_vs_seed']:.1f}x), "
+              f"IVF {at_10k['ivf_p50_s']*1e3:.1f} ms ({at_10k['speedup_ivf_vs_seed']:.1f}x)")
+        print(f"LSTM fwd+bwd: seed {lstm['seed_fwd_bwd_s']*1e3:.1f} ms -> "
+              f"{lstm['vectorised_fwd_bwd_s']*1e3:.1f} ms ({lstm['speedup']:.1f}x)")
+        print(f"embed throughput: {embed['traces_per_s']:.0f} traces/s")
+        print(f"wrote {arguments.out}")
+
+    sizes = [int(s) for s in arguments.index_sizes.split(",") if s.strip()]
+    engines = bench_index_engines(sizes=sizes)
+    bench3 = _bench3_snapshot(engines, sizes)
+    arguments.out3.write_text(json.dumps(bench3, indent=2) + "\n")
+    for n, rows in engines.items():
+        for name, row in rows.items():
+            print(f"BENCH_3 N={n} {name:14s}: {row['ms_per_query']:.3f} ms/q, "
+                  f"recall@{row['k']} {row['recall_at_k']:.3f}, "
+                  f"index {row['index_bytes_per_vector']:.1f} B/vec, "
+                  f"store {row['store_bytes_per_vector']:.0f} B/vec")
+    accept = bench3["acceptance_at_largest_n"]
+    print(f"BENCH_3 @ N={accept['n_references']}: IVF-PQ {accept['ivfpq_speedup_vs_ivf']:.2f}x vs IVF, "
+          f"index memory {accept['index_memory_shrink_vs_exact_f64']:.1f}x smaller than exact float64, "
+          f"recall@10 {accept['ivfpq_recall_at_k']:.3f}")
+    print(f"wrote {arguments.out3}")
     return 0
 
 

@@ -53,28 +53,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", type=Path, default=None, help="write the regenerated tables to this directory"
     )
     experiment.add_argument(
-        "--index", default="exact", choices=("exact", "ivf"),
-        help="k-NN query engine for every reference store (ivf = sublinear CoarseQuantizedIndex)",
+        "--index", default="exact", choices=("exact", "ivf", "ivfpq"),
+        help="k-NN query engine for every reference store (ivf = sublinear "
+             "CoarseQuantizedIndex, ivfpq = product-quantized IVFPQIndex)",
     )
     experiment.add_argument(
         "--n-cells", type=int, default=None,
-        help="IVF coarse cells (default: ceil(sqrt(N)) at build time)",
+        help="coarse cells (default: ceil(sqrt(N)) for ivf, ceil(9*sqrt(N)) for ivfpq)",
     )
-    experiment.add_argument("--n-probe", type=int, default=8, help="IVF cells probed per query")
+    experiment.add_argument(
+        "--n-probe", type=int, default=None,
+        help="cells probed per query (default: 8 for ivf, 16 for ivfpq)",
+    )
+    experiment.add_argument(
+        "--n-subspaces", type=int, default=8, help="IVF-PQ code subspaces per vector"
+    )
+    experiment.add_argument(
+        "--bits", type=int, default=8, help="IVF-PQ bits per subspace code (1-8)"
+    )
+    experiment.add_argument(
+        "--rerank", type=int, default=64,
+        help="IVF-PQ exact re-rank depth (0 = pure ADC ranking, never touches raw vectors)",
+    )
 
     table3 = subparsers.add_parser("table3", help="print the Table III cost catalogue")
     table3.add_argument("--no-measure", action="store_true", help="catalogue only, skip measured timings")
     table3.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="scale for measured timings")
 
     index_bench = subparsers.add_parser(
-        "index-bench", help="compare exact vs IVF k-NN query time as the store grows"
+        "index-bench",
+        help="compare exact / IVF / IVF-PQ k-NN query time, recall and memory as the store grows",
     )
     index_bench.add_argument(
         "--sizes", default="2000,6000,18000", help="comma-separated reference-store sizes"
     )
+    index_bench.add_argument(
+        "--index", default="exact,ivf,ivfpq",
+        help="comma-separated engines to measure (exact|ivf|ivfpq; exact is always included)",
+    )
     index_bench.add_argument("--dim", type=int, default=32, help="embedding dimension")
     index_bench.add_argument("--k", type=int, default=50, help="neighbours per query")
-    index_bench.add_argument("--n-probe", type=int, default=8, help="IVF cells probed per query")
+    index_bench.add_argument("--n-probe", type=int, default=None, help="IVF cells probed per query")
+    index_bench.add_argument(
+        "--rerank", type=int, default=None, help="IVF-PQ exact re-rank depth override"
+    )
     index_bench.add_argument("--queries", type=int, default=128, help="queries per measurement")
     index_bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
 
@@ -96,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--executor", default="serial", choices=("serial", "process", "both"),
         help="shard scatter: in-process, worker processes (shared memory), or both",
+    )
+    serve_bench.add_argument(
+        "--index", default="exact", choices=("exact", "ivf", "ivfpq"),
+        help="per-shard k-NN engine (ivfpq publishes uint8 codes + codebooks to shared memory)",
+    )
+    serve_bench.add_argument(
+        "--rerank", type=int, default=0,
+        help="IVF-PQ re-rank depth; 0 keeps shards vector-free so segments shrink ~16-32x",
+    )
+    serve_bench.add_argument(
+        "--storage-dtype", default="float64", choices=("float64", "float32"),
+        help="resident dtype of shard embedding buffers (float32 halves segment bytes)",
     )
     serve_bench.add_argument(
         "--assignment", default="hash", choices=("hash", "balanced"), help="class -> shard placement"
@@ -156,7 +190,10 @@ def _run_experiments(
     *,
     index_kind: str = "exact",
     n_cells: Optional[int] = None,
-    n_probe: int = 8,
+    n_probe: Optional[int] = None,
+    n_subspaces: int = 8,
+    bits: int = 8,
+    rerank: int = 64,
 ) -> List[str]:
     # Imported lazily so `repro info` stays instant.
     from repro.experiments import (
@@ -170,7 +207,13 @@ def _run_experiments(
     )
 
     context = ExperimentContext.build(
-        get_scale(scale_name), index_kind=index_kind, n_cells=n_cells, n_probe=n_probe
+        get_scale(scale_name),
+        index_kind=index_kind,
+        n_cells=n_cells,
+        n_probe=n_probe,
+        n_subspaces=n_subspaces,
+        bits=bits,
+        rerank=rerank,
     )
     runners: Dict[str, Callable[[], List[str]]] = {
         "exp1": lambda: [run_experiment1(context).as_table()],
@@ -206,7 +249,12 @@ def _table3(no_measure: bool, scale_name: str) -> List[str]:
 
 
 def _index_bench(arguments) -> List[str]:
-    from repro.core.index_bench import measure_index_scaling, scaling_table_rows
+    from repro.core.index_bench import (
+        INDEX_BENCH_ENGINES,
+        SCALING_TABLE_HEADERS,
+        measure_index_scaling,
+        scaling_table_rows,
+    )
 
     try:
         sizes = [int(size) for size in arguments.sizes.split(",") if size.strip()]
@@ -214,8 +262,14 @@ def _index_bench(arguments) -> List[str]:
         raise SystemExit(f"--sizes must be comma-separated integers, got {arguments.sizes!r}")
     if not sizes or any(size <= 1 for size in sizes):
         raise SystemExit(f"--sizes needs at least one size > 1, got {arguments.sizes!r}")
-    if arguments.n_probe <= 0:
+    if arguments.n_probe is not None and arguments.n_probe <= 0:
         raise SystemExit("--n-probe must be positive")
+    engines = [kind.strip() for kind in arguments.index.split(",") if kind.strip()]
+    unknown = [kind for kind in engines if kind not in INDEX_BENCH_ENGINES]
+    if unknown:
+        raise SystemExit(
+            f"--index got unknown engine(s) {unknown}; expected from {INDEX_BENCH_ENGINES}"
+        )
     rows = measure_index_scaling(
         sizes,
         dim=arguments.dim,
@@ -223,12 +277,14 @@ def _index_bench(arguments) -> List[str]:
         n_probe=arguments.n_probe,
         n_queries=arguments.queries,
         repeats=arguments.repeats,
+        engines=engines,
+        rerank=arguments.rerank,
     )
     return [
         format_table(
-            ["N references", "exact ms/query", "IVF ms/query", "speedup", "top-1 agreement", "cells/probe"],
+            SCALING_TABLE_HEADERS,
             scaling_table_rows(rows),
-            title="k-NN query engine scaling (exact vs coarse-quantized)",
+            title="k-NN query engine scaling (exact vs coarse-quantized vs IVF-PQ)",
         )
     ]
 
@@ -258,6 +314,9 @@ def _serve_bench(arguments) -> List[str]:
         revisit_fraction=arguments.revisit_fraction,
         executor=arguments.executor,
         assignment=arguments.assignment,
+        index_kind=arguments.index,
+        rerank=arguments.rerank,
+        storage_dtype=arguments.storage_dtype,
         seed=arguments.seed,
         out=arguments.out,
     )
@@ -281,6 +340,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             index_kind=arguments.index,
             n_cells=arguments.n_cells,
             n_probe=arguments.n_probe,
+            n_subspaces=arguments.n_subspaces,
+            bits=arguments.bits,
+            rerank=arguments.rerank,
         )
         for block in blocks:
             print(block)

@@ -19,7 +19,9 @@ from repro.core.embedding import EmbeddingModel
 from repro.core.index import (
     CoarseQuantizedIndex,
     ExactIndex,
+    IVFPQIndex,
     NearestNeighbourIndex,
+    ProductQuantizer,
     index_from_spec,
     top_k_by_distance,
 )
@@ -40,6 +42,8 @@ from repro.core.deployment import (
 __all__ = [
     "CoarseQuantizedIndex",
     "ExactIndex",
+    "IVFPQIndex",
+    "ProductQuantizer",
     "NearestNeighbourIndex",
     "index_from_spec",
     "top_k_by_distance",

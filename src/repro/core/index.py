@@ -13,11 +13,24 @@ the :class:`~repro.core.reference_store.ReferenceStore` queries through:
   updatable** — ``add``/``remove`` keep assignments current without
   re-running k-means — so the paper's retraining-free adaptation loop keeps
   its cost profile.
+* :class:`IVFPQIndex` — the same coarse cells, but cell members are stored
+  as **product-quantized residuals**: each reference is ``n_subspaces``
+  uint8 codes into per-subspace k-means codebooks trained on the residual
+  ``x - centroid``.  Queries scan codes through asymmetric distance
+  computation (per-query lookup tables), which replaces the float GEMM over
+  raw vectors with uint8 table gathers and shrinks the per-vector index
+  memory ~16-32x.  An optional exact re-rank of the ``rerank`` best ADC
+  candidates against the raw vectors restores exact ``(distance, id)``
+  rankings over that candidate set, so with a full probe and ``rerank``
+  leaving enough margin over ``k`` to cover the ADC error band (the
+  default 64 at ``k <= 10``) results match :class:`ExactIndex`
+  bit-for-bit.
 
 Indexes never copy the reference vectors: the store owns the (amortised)
 embedding matrix and passes it to ``search``; an index only maintains its
-own side structures (centroids, cell assignments).  Ids are row numbers in
-the store's matrix, and ``remove`` renumbers them after the store compacts.
+own side structures (centroids, cell assignments, PQ codes).  Ids are row
+numbers in the store's matrix, and ``remove`` renumbers them after the
+store compacts.
 
 All searches return neighbours ordered by ``(distance, id)`` ascending,
 which is exactly the order of a stable argsort over the full distance row —
@@ -154,6 +167,33 @@ class NearestNeighbourIndex:
         """JSON-serialisable description, for deployment persistence."""
         raise NotImplementedError
 
+    def state(self) -> Dict[str, np.ndarray]:
+        """Trained side structures as named arrays (empty if stateless).
+
+        Together with :meth:`spec` this fully reconstructs the index without
+        retraining: deployments persist the arrays next to the embeddings
+        and shared-memory workers attach them instead of re-running k-means.
+        """
+        return {}
+
+    def load_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state` arrays into a fresh index built from spec."""
+        if state:
+            raise ValueError(f"{type(self).__name__} holds no trained state")
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the index's own side structures."""
+        return 0
+
+    @property
+    def needs_vectors(self) -> bool:
+        """Whether ``search`` must be handed the raw embedding matrix.
+
+        ``False`` lets the serving layer publish only :meth:`state` (codes +
+        codebooks) into shared memory instead of the raw float matrix.
+        """
+        return True
+
 
 class ExactIndex(NearestNeighbourIndex):
     """Brute-force search; linear in N but exact and metric-agnostic."""
@@ -188,37 +228,107 @@ class ExactIndex(NearestNeighbourIndex):
         return {"kind": "exact", "metric": self.metric}
 
 
+def _kmeans_pp_seed(
+    vectors: np.ndarray, n_cells: int, metric: str, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: D^2 sampling keeps initial centres spread out.
+
+    Random initialisation on clustered data routinely drops several seeds
+    into one dense cluster, leaving skewed cells that IVF probing then pays
+    for on every query.  Seeding runs on a subsample (classic practice — the
+    seeds only need to cover the density, not every point), so its cost
+    stays ~``n_cells`` small distance passes.
+    """
+    n = vectors.shape[0]
+    sample_size = min(n, max(n_cells * 32, 1024))
+    sample = vectors if sample_size == n else vectors[rng.choice(n, size=sample_size, replace=False)]
+    centroids = np.empty((n_cells, vectors.shape[1]), dtype=vectors.dtype)
+    centroids[0] = sample[rng.integers(sample.shape[0])]
+    # Squared distance to the nearest chosen seed (euclidean rows already
+    # come back squared from the metric helper; square the others).
+    closest = _metric_distances(sample, centroids[:1], metric)[:, 0]
+    if metric != "euclidean":
+        closest = closest**2
+    np.maximum(closest, 0.0, out=closest)
+    for position in range(1, n_cells):
+        total = float(closest.sum())
+        if not total > 0.0:  # all mass covered; fall back to uniform picks
+            centroids[position] = sample[rng.integers(sample.shape[0])]
+            continue
+        pick = int(np.searchsorted(np.cumsum(closest), rng.uniform(0.0, total)))
+        pick = min(pick, sample.shape[0] - 1)
+        centroids[position] = sample[pick]
+        fresh = _metric_distances(sample, centroids[position : position + 1], metric)[:, 0]
+        if metric != "euclidean":
+            fresh = fresh**2
+        np.maximum(fresh, 0.0, out=fresh)
+        np.minimum(closest, fresh, out=closest)
+    return centroids
+
+
 def _kmeans(
-    vectors: np.ndarray, n_cells: int, *, metric: str = "euclidean", n_iter: int = 10, seed: int = 0
+    vectors: np.ndarray,
+    n_cells: int,
+    *,
+    metric: str = "euclidean",
+    n_iter: int = 10,
+    seed: int = 0,
+    init: str = "kmeans++",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Plain Lloyd's k-means under ``metric``; returns ``(centroids, assignments)``.
 
     Deliberately small: the coarse quantizer only needs rough cells, not a
-    converged clustering, and this keeps the index dependency-free.  Cell
-    updates use the metric's natural centre: the mean for euclidean and
-    cosine (the mean points in the mean direction, which is all cosine
-    assignment looks at), the coordinate-wise median for cityblock (the L1
-    minimiser).
+    converged clustering, and this keeps the index dependency-free.  Seeds
+    come from k-means++ D^2 sampling (``init="random"`` restores uniform
+    picks, kept for balance comparisons); empty cells are re-seeded on the
+    point farthest from its centroid during Lloyd updates.  Cell updates use
+    the metric's natural centre: the mean for euclidean and cosine (the mean
+    points in the mean direction, which is all cosine assignment looks at),
+    the coordinate-wise median for cityblock (the L1 minimiser).
     """
     n = vectors.shape[0]
     rng = np.random.default_rng(seed)
-    centroids = vectors[rng.choice(n, size=n_cells, replace=False)].copy()
+    if init == "kmeans++":
+        centroids = _kmeans_pp_seed(vectors, n_cells, metric, rng).copy()
+    elif init == "random":
+        centroids = vectors[rng.choice(n, size=n_cells, replace=False)].copy()
+    else:
+        raise ValueError(f"unknown k-means init {init!r}; expected 'kmeans++' or 'random'")
     assignments = np.zeros(n, dtype=np.int64)
-    centre = np.median if metric == "cityblock" else np.mean
     for _ in range(n_iter):
         distances = _metric_distances(vectors, centroids, metric)
         assignments = np.argmin(distances, axis=1)
-        for cell in range(n_cells):
-            members = assignments == cell
-            if members.any():
-                centroids[cell] = centre(vectors[members], axis=0)
-                if metric == "cosine" and not np.linalg.norm(centroids[cell]) > 0.0:
-                    # Cancelled-out mean has no direction; keep a member.
-                    centroids[cell] = vectors[members][0]
-            else:
-                # Re-seed an empty cell on the point farthest from its centroid.
-                spread = np.take_along_axis(distances, assignments[:, None], axis=1)[:, 0]
-                centroids[cell] = vectors[int(np.argmax(spread))]
+        if metric == "cityblock":
+            # Coordinate-wise median (the L1 minimiser); per-cell loop is
+            # fine at the small cell counts this metric is used with.
+            for cell in range(n_cells):
+                members = assignments == cell
+                if members.any():
+                    centroids[cell] = np.median(vectors[members], axis=0)
+        else:
+            # Mean update without a per-cell loop: group rows by cell with
+            # one stable sort and sum each contiguous run via reduceat, so
+            # the update stays O(N log N) even at thousands of cells.
+            order = np.argsort(assignments, kind="stable")
+            sorted_cells = assignments[order]
+            starts = np.searchsorted(sorted_cells, np.arange(n_cells))
+            counts = np.diff(np.append(starts, n))
+            occupied = counts > 0
+            sums = np.add.reduceat(vectors[order], starts[occupied], axis=0)
+            centroids[occupied] = sums / counts[occupied, None]
+            if metric == "cosine":
+                # Cancelled-out means have no direction; keep a member.
+                degenerate = occupied & ~(np.linalg.norm(centroids.T, axis=0) > 0.0)
+                for cell in np.flatnonzero(degenerate):
+                    centroids[cell] = vectors[assignments == cell][0]
+        empty = np.flatnonzero(
+            np.bincount(assignments, minlength=n_cells) == 0
+        )
+        if empty.size:
+            # Re-seed empty cells on the points farthest from their centroid.
+            spread = np.take_along_axis(distances, assignments[:, None], axis=1)[:, 0]
+            farthest = np.argsort(spread)[::-1]
+            centroids[empty] = vectors[farthest[: empty.size]]
     assignments = np.argmin(_metric_distances(vectors, centroids, metric), axis=1)
     return centroids, assignments
 
@@ -430,6 +540,598 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
             "seed": self.seed,
         }
 
+    def state(self) -> Dict[str, np.ndarray]:
+        if not self.trained:
+            return {}
+        return {"centroids": self._centroids, "assignments": self._assignments}
+
+    def load_state(self, state: Dict[str, np.ndarray]) -> None:
+        if not state:
+            self._centroids = None
+            self._assignments = np.empty(0, dtype=np.int64)
+            self._cells = None
+            return
+        if set(state) != {"centroids", "assignments"}:
+            # e.g. an IVF-PQ archive loaded into an IVF index: the extra
+            # (or missing) arrays mean this state belongs to another kind;
+            # refuse so the caller falls back to a clean rebuild.
+            raise ValueError(
+                f"state keys {sorted(state)} do not match a CoarseQuantizedIndex"
+            )
+        self._centroids = np.asarray(state["centroids"], dtype=np.float64)
+        self._assignments = np.asarray(state["assignments"], dtype=np.int64)
+        self._cells = None
+
+    def memory_bytes(self) -> int:
+        if not self.trained:
+            return 0
+        return int(self._centroids.nbytes + self._assignments.nbytes)
+
+
+class ProductQuantizer:
+    """Per-subspace k-means codebooks over residual vectors, uint8 codes.
+
+    The embedding dimension is split into ``n_subspaces`` contiguous slices
+    (sizes differ by at most one when it does not divide evenly) and each
+    slice gets its own ``2**bits``-entry codebook trained with k-means++ on
+    the residual sub-vectors.  A reference is then ``n_subspaces`` uint8
+    codes — 8 bytes instead of 512 for a float64 64-dim embedding — and
+    distances against a query decompose into per-subspace table lookups.
+    """
+
+    def __init__(
+        self,
+        n_subspaces: int = 8,
+        bits: int = 8,
+        *,
+        train_iters: int = 10,
+        seed: int = 0,
+        max_train_points: int = 32768,
+    ) -> None:
+        if n_subspaces <= 0:
+            raise ValueError("n_subspaces must be positive")
+        if not 1 <= bits <= 8:
+            raise ValueError("bits must be in [1, 8] (codes are stored as uint8)")
+        self.n_subspaces = int(n_subspaces)
+        self.bits = int(bits)
+        self.train_iters = int(train_iters)
+        self.seed = int(seed)
+        self.max_train_points = int(max_train_points)
+        self._codebooks: Optional[np.ndarray] = None  # (m, k_sub, max_sub_dim)
+        self._sub_dims: Optional[np.ndarray] = None
+        self._splits: Optional[np.ndarray] = None  # subspace boundaries, len m+1
+
+    @property
+    def trained(self) -> bool:
+        return self._codebooks is not None
+
+    @property
+    def n_centroids(self) -> int:
+        """Codebook entries per subspace (<= 2**bits for tiny train sets)."""
+        if self._codebooks is None:
+            raise RuntimeError("the product quantizer has not been trained")
+        return self._codebooks.shape[1]
+
+    def _boundaries(self, dim: int) -> np.ndarray:
+        if self.n_subspaces > dim:
+            raise ValueError(
+                f"n_subspaces={self.n_subspaces} exceeds the embedding dimension {dim}"
+            )
+        sizes = np.full(self.n_subspaces, dim // self.n_subspaces, dtype=np.int64)
+        sizes[: dim % self.n_subspaces] += 1
+        return np.concatenate([[0], np.cumsum(sizes)])
+
+    def fit(self, vectors: np.ndarray, *, rng: Optional[np.random.Generator] = None) -> None:
+        """Train one codebook per subspace on (a subsample of) ``vectors``."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        n, dim = vectors.shape
+        if n == 0:
+            raise ValueError("cannot train a product quantizer on no vectors")
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        if n > self.max_train_points:
+            vectors = vectors[rng.choice(n, size=self.max_train_points, replace=False)]
+            n = vectors.shape[0]
+        self._splits = self._boundaries(dim)
+        self._sub_dims = np.diff(self._splits)
+        k_sub = min(2**self.bits, n)
+        max_sub = int(self._sub_dims.max())
+        # One dense (m, k_sub, max_sub_dim) block; ragged tails stay zero so
+        # the whole thing round-trips through a single npz array.
+        self._codebooks = np.zeros((self.n_subspaces, k_sub, max_sub), dtype=np.float64)
+        for j in range(self.n_subspaces):
+            sub = vectors[:, self._splits[j] : self._splits[j + 1]]
+            centroids, _ = _kmeans(
+                sub, k_sub, metric="euclidean", n_iter=self.train_iters, seed=self.seed + j
+            )
+            self._codebooks[j, :, : self._sub_dims[j]] = centroids
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-codebook-entry codes, shape ``(n, n_subspaces)`` uint8."""
+        if self._codebooks is None:
+            raise RuntimeError("the product quantizer has not been trained")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        codes = np.empty((vectors.shape[0], self.n_subspaces), dtype=np.uint8)
+        for j in range(self.n_subspaces):
+            sub = vectors[:, self._splits[j] : self._splits[j + 1]]
+            book = self._codebooks[j, :, : self._sub_dims[j]]
+            codes[:, j] = np.argmin(squared_euclidean_distances(sub, book), axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Approximate vectors back from codes (codebook entry per slice)."""
+        if self._codebooks is None:
+            raise RuntimeError("the product quantizer has not been trained")
+        codes = np.asarray(codes)
+        out = np.empty((codes.shape[0], int(self._splits[-1])), dtype=np.float64)
+        for j in range(self.n_subspaces):
+            book = self._codebooks[j, :, : self._sub_dims[j]]
+            out[:, self._splits[j] : self._splits[j + 1]] = book[codes[:, j]]
+        return out
+
+    def query_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query inner products with every codebook entry, ``(n, m, k_sub)``.
+
+        This is the only per-query cost of ADC that touches the embedding
+        dimension; everything cell-dependent is precomputed at train time.
+        """
+        if self._codebooks is None:
+            raise RuntimeError("the product quantizer has not been trained")
+        queries = np.asarray(queries, dtype=np.float64)
+        tables = np.empty((queries.shape[0], self.n_subspaces, self.n_centroids))
+        for j in range(self.n_subspaces):
+            sub = queries[:, self._splits[j] : self._splits[j + 1]]
+            tables[:, j, :] = sub @ self._codebooks[j, :, : self._sub_dims[j]].T
+        return tables
+
+    def memory_bytes(self) -> int:
+        return int(self._codebooks.nbytes) if self._codebooks is not None else 0
+
+
+class IVFPQIndex(NearestNeighbourIndex):
+    """IVF coarse cells whose members are product-quantized residuals.
+
+    Search is asymmetric distance computation (ADC) over the probed cells'
+    code lists.  With ``x ~ c + e`` (coarse centroid plus decoded residual)
+    the squared distance decomposes as::
+
+        d2(q, x) = |q - c|^2 + sum_j [ |e_j|^2 + 2 c_j.e_j ] - 2 sum_j q_j.e_j
+
+    The middle term depends only on the *reference row* (its cell and codes
+    are fixed), so it collapses to one precomputed float per reference
+    (``member_const``); the last term is one small GEMM per query batch
+    (:meth:`ProductQuantizer.query_tables`); scanning the probed candidates
+    is then ``m`` uint8 table gathers per member — flat across every probed
+    cell at once, no per-cell inner loop — instead of a float GEMM over raw
+    vectors.  ``rerank > 0`` re-scores the
+    ``max(k, rerank)`` best ADC candidates against the raw vectors, which
+    restores exact ``(distance, id)`` ranking *over that candidate set*
+    (tie-break semantics included): results match :class:`ExactIndex`
+    bit-for-bit exactly when the true top-k sit inside the re-ranked pool
+    — guaranteed by margin rather than by construction, so keep ``rerank``
+    several times ``k`` (with ``n_probe >= n_cells`` and the default
+    ``rerank=64`` at ``k <= 10``, the agreement is exact on clustered
+    corpora; see the tests).  With ``rerank == 0`` the index never touches raw vectors
+    after training, which is what lets the serving layer publish only codes
+    and codebooks (~16-32x smaller) into shared memory.
+
+    ``add`` assigns new vectors to their nearest existing centroid and
+    encodes their residuals with the trained codebooks; ``remove`` compacts
+    the code buffers.  Codes and assignments live in amortised-doubling
+    buffers mirroring the reference store's growth scheme, so adaptation
+    churn stays O(changed rows).
+    """
+
+    _COARSE_TRAIN_CAP = 131072  # k-means sample cap; assignment stays exact
+
+    def __init__(
+        self,
+        n_cells: Optional[int] = None,
+        n_probe: int = 16,
+        *,
+        n_subspaces: int = 8,
+        bits: int = 8,
+        rerank: int = 64,
+        metric: str = "euclidean",
+        min_train_size: int = 256,
+        train_iters: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if metric != "euclidean":
+            raise ValueError("IVFPQIndex supports only the euclidean metric (ADC is an L2 construct)")
+        if n_cells is not None and n_cells <= 0:
+            raise ValueError("n_cells must be positive")
+        if n_probe <= 0:
+            raise ValueError("n_probe must be positive")
+        if rerank < 0:
+            raise ValueError("rerank must be >= 0 (0 disables exact re-ranking)")
+        self.metric = metric
+        self.n_cells = n_cells
+        self.n_probe = int(n_probe)
+        self.rerank = int(rerank)
+        self.min_train_size = int(min_train_size)
+        self.train_iters = int(train_iters)
+        self.seed = int(seed)
+        self.pq = ProductQuantizer(
+            n_subspaces=n_subspaces, bits=bits, train_iters=train_iters, seed=seed
+        )
+        self._centroids: Optional[np.ndarray] = None
+        self._assign_buffer: np.ndarray = np.empty(0, dtype=np.int32)
+        self._code_buffer: np.ndarray = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
+        # Per-reference constant of the ADC decomposition: |e|^2 + 2 c.e.
+        self._const_buffer: np.ndarray = np.empty(0, dtype=np.float32)
+        self._n = 0
+        self._cells: Optional[list] = None
+
+    # ---------------------------------------------------------------- state
+    @property
+    def trained(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The live ``(N, n_subspaces)`` uint8 code rows (a read-only view)."""
+        view = self._code_buffer[: self._n]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def needs_vectors(self) -> bool:
+        # Trained and not re-ranking: the whole search runs on codes, so
+        # serving can ship codes + codebooks only (~16-32x smaller).
+        return not self.trained or self.rerank > 0
+
+    def _resolve_n_cells(self, n: int) -> int:
+        if self.n_cells is not None:
+            return min(self.n_cells, n)
+        # Finer cells than the IVF default (sqrt(N)): the uint8 scan makes
+        # probing cheap per candidate and the per-query LUT cost is
+        # cell-independent, so smaller cells buy both smaller residuals
+        # (better codes) and fewer candidates per probe.
+        return max(1, min(n, int(np.ceil(9.0 * np.sqrt(n)))))
+
+    def _cell_lists(self) -> list:
+        if self._cells is None:
+            assignments = self._assign_buffer[: self._n]
+            order = np.argsort(assignments, kind="stable")
+            sorted_cells = assignments[order]
+            boundaries = np.searchsorted(sorted_cells, np.arange(self._centroids.shape[0] + 1))
+            self._cells = [
+                order[boundaries[c] : boundaries[c + 1]] for c in range(self._centroids.shape[0])
+            ]
+        return self._cells
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._n + extra
+        capacity = self._assign_buffer.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(32, capacity)
+        while new_capacity < needed:
+            new_capacity *= 2
+        assignments = np.empty(new_capacity, dtype=np.int32)
+        assignments[: self._n] = self._assign_buffer[: self._n]
+        self._assign_buffer = assignments
+        codes = np.empty((new_capacity, self._code_buffer.shape[1]), dtype=np.uint8)
+        codes[: self._n] = self._code_buffer[: self._n]
+        self._code_buffer = codes
+        consts = np.empty(new_capacity, dtype=np.float32)
+        consts[: self._n] = self._const_buffer[: self._n]
+        self._const_buffer = consts
+
+    def _assign_to_centroids(self, vectors: np.ndarray, chunk_rows: int = 4096) -> np.ndarray:
+        """Nearest-centroid assignment, chunked so the (rows, n_cells)
+        distance block stays cache-sized at large N."""
+        out = np.empty(vectors.shape[0], dtype=np.int64)
+        for start in range(0, vectors.shape[0], chunk_rows):
+            block = vectors[start : start + chunk_rows]
+            out[start : start + block.shape[0]] = np.argmin(
+                squared_euclidean_distances(block, self._centroids), axis=1
+            )
+        return out
+
+    def _member_consts(self, codes: np.ndarray, assignments: np.ndarray) -> np.ndarray:
+        """``|e|^2 + 2 c.e`` per row from decoded residuals (float32)."""
+        decoded = self.pq.decode(codes)
+        consts = np.einsum("ij,ij->i", decoded, decoded)
+        consts += 2.0 * np.einsum("ij,ij->i", decoded, self._centroids[assignments])
+        return consts.astype(np.float32)
+
+    # ------------------------------------------------------------- mutation
+    def rebuild(self, vectors: np.ndarray) -> None:
+        n = vectors.shape[0]
+        if n < self.min_train_size:
+            self._centroids = None
+            self._assign_buffer = np.empty(0, dtype=np.int32)
+            self._code_buffer = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
+            self._const_buffer = np.empty(0, dtype=np.float32)
+            self._n = 0
+            self._cells = None
+            return
+        vectors = np.asarray(vectors, dtype=np.float64)
+        n_cells = self._resolve_n_cells(n)
+        if n > self._COARSE_TRAIN_CAP:
+            # Train cells on a sample (they only need to cover the density);
+            # every reference still gets an exact assignment below.
+            rng = np.random.default_rng(self.seed)
+            sample = vectors[rng.choice(n, size=self._COARSE_TRAIN_CAP, replace=False)]
+            self._centroids, _ = _kmeans(
+                sample, n_cells, metric="euclidean", n_iter=self.train_iters, seed=self.seed
+            )
+            assignments = self._assign_to_centroids(vectors)
+        else:
+            self._centroids, assignments = _kmeans(
+                vectors, n_cells, metric="euclidean", n_iter=self.train_iters, seed=self.seed
+            )
+        residuals = vectors - self._centroids[assignments]
+        self.pq.fit(residuals, rng=np.random.default_rng(self.seed + 1))
+        codes = self.pq.encode(residuals)
+        self._assign_buffer = assignments.astype(np.int32)
+        self._code_buffer = codes
+        self._const_buffer = self._member_consts(codes, assignments)
+        self._n = n
+        self._cells = None
+
+    def refit(self, vectors: np.ndarray) -> None:
+        """Explicitly re-train cells and codebooks (optional maintenance)."""
+        self.rebuild(vectors)
+
+    def add(self, vectors: np.ndarray, n_new: int) -> None:
+        n = vectors.shape[0]
+        if not self.trained:
+            if n >= self.min_train_size:
+                self.rebuild(vectors)
+            return
+        new_rows = np.asarray(vectors[n - n_new :], dtype=np.float64)
+        assignments = np.argmin(
+            squared_euclidean_distances(new_rows, self._centroids), axis=1
+        )
+        codes = self.pq.encode(new_rows - self._centroids[assignments])
+        self._reserve(n_new)
+        self._assign_buffer[self._n : self._n + n_new] = assignments
+        self._code_buffer[self._n : self._n + n_new] = codes
+        self._const_buffer[self._n : self._n + n_new] = self._member_consts(codes, assignments)
+        self._n += n_new
+        self._cells = None
+
+    def remove(self, kept_mask: np.ndarray) -> None:
+        if not self.trained:
+            return
+        kept = int(np.asarray(kept_mask).sum())
+        self._assign_buffer[:kept] = self._assign_buffer[: self._n][kept_mask]
+        self._code_buffer[:kept] = self._code_buffer[: self._n][kept_mask]
+        self._const_buffer[:kept] = self._const_buffer[: self._n][kept_mask]
+        self._n = kept
+        self._cells = None
+
+    # --------------------------------------------------------------- search
+    def _adc_select(
+        self,
+        coarse_d2: np.ndarray,
+        probe: np.ndarray,
+        lut: np.ndarray,
+        n_select: int,
+    ) -> Tuple[list, list]:
+        """ADC top-``n_select`` per query over the probed cells' code lists.
+
+        One flat pass over every (query, probed cell) member: candidate ids,
+        their ADC distances and the per-query segmentation all come from
+        whole-array operations; only the final ``argpartition`` runs per
+        query (on its own small candidate segment), so there is no per-cell
+        inner loop and no padded candidate matrix.  Returns per-query
+        ``(ids, adc_distances)`` lists ordered by ``(adc, id)``.
+        """
+        n_chunk = probe.shape[0]
+        cells = self._cell_lists()
+        cell_sizes = np.array([len(cell) for cell in cells], dtype=np.int64)
+        m = self.pq.n_subspaces
+        k_sub = self.pq.n_centroids
+
+        flat_queries = np.repeat(np.arange(n_chunk), probe.shape[1])
+        flat_cells = probe.ravel()
+        flat_sizes = cell_sizes[flat_cells]
+        total = int(flat_sizes.sum())
+        if total == 0:
+            return [np.empty(0, dtype=np.int64)] * n_chunk, [np.empty(0)] * n_chunk
+        cand_ids = np.concatenate([cells[cell] for cell in flat_cells])
+        rows = np.repeat(flat_queries, flat_sizes)
+
+        # ADC: coarse |q-c|^2 + member const - 2 sum_j LUT[q, j, code_j].
+        adc = np.repeat(
+            coarse_d2[flat_queries, flat_cells].astype(np.float32), flat_sizes
+        )
+        adc += self._const_buffer[cand_ids]
+        idx = self._code_buffer[cand_ids].astype(np.int32)
+        idx += np.arange(m, dtype=np.int32)[None, :] * k_sub
+        idx += (rows * (m * k_sub)).astype(np.int32)[:, None]
+        adc -= 2.0 * lut.ravel().take(idx).sum(axis=1, dtype=np.float32)
+
+        # Candidates are query-major, so each query owns one contiguous
+        # segment; select within it.
+        per_query = flat_sizes.reshape(n_chunk, -1).sum(axis=1)
+        bounds = np.concatenate([[0], np.cumsum(per_query)])
+        ids_out: list = []
+        adc_out: list = []
+        for q in range(n_chunk):
+            seg_d = adc[bounds[q] : bounds[q + 1]]
+            seg_i = cand_ids[bounds[q] : bounds[q + 1]]
+            if seg_d.size > n_select:
+                part = np.argpartition(seg_d, n_select - 1)[:n_select]
+                seg_d = seg_d[part]
+                seg_i = seg_i[part]
+            order = np.lexsort((seg_i, seg_d))
+            ids_out.append(seg_i[order])
+            adc_out.append(seg_d[order])
+        return ids_out, adc_out
+
+    def search(
+        self,
+        vectors: Optional[np.ndarray],
+        queries: np.ndarray,
+        k: int,
+        *,
+        chunk_size: int = 1024,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.trained:
+            if vectors is None:
+                raise ValueError("an untrained IVFPQIndex cannot search without raw vectors")
+            return ExactIndex(self.metric).search(vectors, queries, k)
+        if self.rerank > 0 and vectors is None:
+            raise ValueError("rerank > 0 requires the raw vectors; pass them or set rerank=0")
+        n = self._n
+        if n == 0:
+            raise ValueError("cannot search an empty index")
+        k = min(int(k), n)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n_cells = self._centroids.shape[0]
+        n_probe = min(self.n_probe, n_cells)
+        n_select = max(k, self.rerank) if self.rerank > 0 else k
+
+        out_d = np.empty((queries.shape[0], k))
+        out_i = np.empty((queries.shape[0], k), dtype=np.int64)
+        for start in range(0, queries.shape[0], chunk_size):
+            chunk = queries[start : start + chunk_size]
+            coarse_d2 = squared_euclidean_distances(chunk, self._centroids)
+            if n_probe >= n_cells:
+                probe = np.broadcast_to(np.arange(n_cells), coarse_d2.shape).copy()
+            else:
+                probe = np.argpartition(coarse_d2, n_probe - 1, axis=1)[:, :n_probe]
+            lut = self.pq.query_tables(chunk).astype(np.float32)
+            cand_lists, adc_lists = self._adc_select(coarse_d2, probe, lut, n_select)
+
+            # Queries whose probed cells hold fewer than k members re-scan
+            # with every cell probed (no raw vectors needed), like the IVF
+            # index's exact fallback but staying inside the codes.
+            if n_probe < n_cells:
+                short = [q for q in range(chunk.shape[0]) if cand_lists[q].size < k]
+                if short:
+                    full_probe = np.broadcast_to(
+                        np.arange(n_cells), (len(short), n_cells)
+                    ).copy()
+                    f_cands, f_adcs = self._adc_select(
+                        coarse_d2[short], full_probe, lut[short], n_select
+                    )
+                    for position, q in enumerate(short):
+                        cand_lists[q] = f_cands[position]
+                        adc_lists[q] = f_adcs[position]
+
+            if self.rerank > 0:
+                # Exact re-rank: true squared distances for the ADC top
+                # candidates, then (distance, id) order over them.
+                widths = np.array([ids.size for ids in cand_lists], dtype=np.int64)
+                width = int(widths.max())
+                cand = np.zeros((chunk.shape[0], width), dtype=np.int64)
+                valid = np.arange(width)[None, :] < widths[:, None]
+                for q, ids in enumerate(cand_lists):
+                    cand[q, : ids.size] = ids
+                cand_vectors = np.asarray(vectors)[cand]
+                inner = np.einsum("qd,qrd->qr", chunk, cand_vectors)
+                # Candidate norms come from the gathered block — never an
+                # O(N) pass over the full store per search call.
+                cand_sq = np.einsum("qrd,qrd->qr", cand_vectors, cand_vectors)
+                exact_d2 = (
+                    np.einsum("ij,ij->i", chunk, chunk)[:, None] + cand_sq - 2.0 * inner
+                )
+                exact_d2[~valid] = np.inf
+                rd, ri = top_k_by_distance(exact_d2, k)
+                chunk_i = np.take_along_axis(cand, ri, axis=1)
+                chunk_d = _sqrt_clamped(rd)
+                # (distance, id) order over the selected k (top_k broke ties
+                # by candidate column, not id).
+                tie_order = np.lexsort((chunk_i, chunk_d), axis=1)
+                chunk_d = np.take_along_axis(chunk_d, tie_order, axis=1)
+                chunk_i = np.take_along_axis(chunk_i, tie_order, axis=1)
+            else:
+                chunk_d = np.empty((chunk.shape[0], k))
+                chunk_i = np.empty((chunk.shape[0], k), dtype=np.int64)
+                for q in range(chunk.shape[0]):
+                    chunk_i[q] = cand_lists[q][:k]
+                    chunk_d[q] = adc_lists[q][:k]
+                chunk_d = _sqrt_clamped(np.maximum(chunk_d, 0.0))
+            out_d[start : start + chunk.shape[0]] = chunk_d
+            out_i[start : start + chunk.shape[0]] = chunk_i
+        return out_d, out_i
+
+    # ---------------------------------------------------------- persistence
+    def spec(self) -> Dict[str, object]:
+        return {
+            "kind": "ivfpq",
+            "metric": self.metric,
+            "n_cells": self.n_cells,
+            "n_probe": self.n_probe,
+            "n_subspaces": self.pq.n_subspaces,
+            "bits": self.pq.bits,
+            "rerank": self.rerank,
+            "min_train_size": self.min_train_size,
+            "train_iters": self.train_iters,
+            "seed": self.seed,
+        }
+
+    def state(self) -> Dict[str, np.ndarray]:
+        if not self.trained:
+            return {}
+        return {
+            "centroids": self._centroids,
+            "assignments": self._assign_buffer[: self._n],
+            "codes": self._code_buffer[: self._n],
+            "member_consts": self._const_buffer[: self._n],
+            "codebooks": self.pq._codebooks,
+        }
+
+    def load_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Adopt trained structures without re-running k-means.
+
+        Arrays are adopted as-is (views into a shared-memory segment are
+        fine: search never writes; a later ``add`` re-allocates through the
+        amortised-doubling reserve before writing).
+        """
+        if not state:
+            self._centroids = None
+            self._assign_buffer = np.empty(0, dtype=np.int32)
+            self._code_buffer = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
+            self._const_buffer = np.empty(0, dtype=np.float32)
+            self._n = 0
+            self._cells = None
+            return
+        expected = {"centroids", "assignments", "codes", "member_consts", "codebooks"}
+        if set(state) != expected:
+            raise ValueError(f"state keys {sorted(state)} do not match an IVFPQIndex")
+        codes = np.asarray(state["codes"], dtype=np.uint8)
+        codebooks = np.asarray(state["codebooks"], dtype=np.float64)
+        if codes.ndim != 2 or codes.shape[1] != self.pq.n_subspaces:
+            raise ValueError(
+                f"state codes have {codes.shape[-1] if codes.ndim == 2 else '?'} subspaces, "
+                f"this index is configured for {self.pq.n_subspaces}"
+            )
+        if codebooks.shape[0] != self.pq.n_subspaces or codebooks.shape[1] > 2**self.pq.bits:
+            raise ValueError(
+                "state codebooks do not match this index's n_subspaces/bits configuration"
+            )
+        self._centroids = np.asarray(state["centroids"], dtype=np.float64)
+        self._assign_buffer = np.asarray(state["assignments"], dtype=np.int32)
+        self._code_buffer = codes
+        self._const_buffer = np.asarray(state["member_consts"], dtype=np.float32)
+        self._n = self._code_buffer.shape[0]
+        if self._assign_buffer.shape[0] != self._n or self._const_buffer.shape[0] != self._n:
+            raise ValueError(
+                "inconsistent IVFPQ state: codes, assignments and member_consts disagree on N"
+            )
+        self._cells = None
+        pq = self.pq
+        pq._codebooks = codebooks
+        pq._splits = pq._boundaries(self._centroids.shape[1])
+        pq._sub_dims = np.diff(pq._splits)
+
+    def memory_bytes(self) -> int:
+        if not self.trained:
+            return 0
+        return int(
+            self._code_buffer[: self._n].nbytes
+            + self._assign_buffer[: self._n].nbytes
+            + self._const_buffer[: self._n].nbytes
+            + self._centroids.nbytes
+            + self.pq.memory_bytes()
+        )
+
 
 def index_from_spec(spec: Optional[Dict[str, object]]) -> NearestNeighbourIndex:
     """Re-create an index from its :meth:`NearestNeighbourIndex.spec` dict."""
@@ -443,6 +1145,19 @@ def index_from_spec(spec: Optional[Dict[str, object]]) -> NearestNeighbourIndex:
         return CoarseQuantizedIndex(
             n_cells=int(n_cells) if n_cells is not None else None,
             n_probe=int(spec.get("n_probe", 8)),
+            metric=str(spec.get("metric", "euclidean")),
+            min_train_size=int(spec.get("min_train_size", 256)),
+            train_iters=int(spec.get("train_iters", 10)),
+            seed=int(spec.get("seed", 0)),
+        )
+    if kind == "ivfpq":
+        n_cells = spec.get("n_cells")
+        return IVFPQIndex(
+            n_cells=int(n_cells) if n_cells is not None else None,
+            n_probe=int(spec.get("n_probe", 16)),
+            n_subspaces=int(spec.get("n_subspaces", 8)),
+            bits=int(spec.get("bits", 8)),
+            rerank=int(spec.get("rerank", 64)),
             metric=str(spec.get("metric", "euclidean")),
             min_train_size=int(spec.get("min_train_size", 256)),
             train_iters=int(spec.get("train_iters", 10)),

@@ -1,40 +1,70 @@
-"""Exact-vs-IVF query-time scaling measurement (the Table 2 cost story).
+"""Query-engine scaling measurement (the Table 2 cost story, extended).
 
 Shared by ``repro index-bench`` and ``benchmarks/bench_index_scaling.py``:
 build clustered synthetic embedding corpora of growing size, answer the
-same k-NN queries through :class:`~repro.core.index.ExactIndex` and
-:class:`~repro.core.index.CoarseQuantizedIndex`, and report per-query time
-plus top-1 agreement.  The IVF curve growing sublinearly while the exact
-curve grows linearly is the property the classifier inherits.
+same k-NN queries through the selected engines —
+:class:`~repro.core.index.ExactIndex`, the IVF-style
+:class:`~repro.core.index.CoarseQuantizedIndex` and the product-quantized
+:class:`~repro.core.index.IVFPQIndex` — and report per-query time,
+recall@k / top-1 agreement against the exact ranking, and resident
+bytes-per-vector (index side structures vs the raw embedding matrix).  The
+IVF curve growing sublinearly while the exact curve grows linearly is the
+property the classifier inherits; IVF-PQ adds the memory story on top.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.index import CoarseQuantizedIndex, ExactIndex
+from repro.core.index import CoarseQuantizedIndex, ExactIndex, IVFPQIndex
+
+INDEX_BENCH_ENGINES = ("exact", "ivf", "ivfpq")
+
+
+@dataclass
+class EngineMeasurement:
+    """One engine's numbers at one corpus size."""
+
+    kind: str
+    ms_per_query: float
+    recall_at_k: float
+    top1_agreement: float
+    index_bytes_per_vector: float
+    store_bytes_per_vector: float
+    n_cells: int = 0
+    n_probe: int = 0
 
 
 @dataclass
 class ScalingRow:
-    """One corpus size in the exact-vs-IVF comparison."""
+    """One corpus size in the engine comparison."""
 
     n_references: int
-    exact_ms_per_query: float
-    ivf_ms_per_query: float
-    top1_agreement: float
-    n_cells: int
-    n_probe: int
+    k: int
+    engines: Dict[str, EngineMeasurement] = field(default_factory=dict)
+
+    def speedup(self, kind: str) -> float:
+        """Speedup of ``kind`` over the exact engine at this size."""
+        exact = self.engines["exact"].ms_per_query
+        other = self.engines[kind].ms_per_query
+        return float("inf") if other == 0 else exact / other
+
+    # Backwards-compatible conveniences for the original exact-vs-IVF table.
+    @property
+    def exact_ms_per_query(self) -> float:
+        return self.engines["exact"].ms_per_query
 
     @property
-    def speedup(self) -> float:
-        if self.ivf_ms_per_query == 0:
-            return float("inf")
-        return self.exact_ms_per_query / self.ivf_ms_per_query
+    def ivf_ms_per_query(self) -> float:
+        return self.engines["ivf"].ms_per_query
+
+    @property
+    def top1_agreement(self) -> float:
+        return self.engines["ivf"].top1_agreement
 
 
 def clustered_corpus(
@@ -57,57 +87,113 @@ def _time_search(index, vectors: np.ndarray, queries: np.ndarray, k: int, repeat
     return best
 
 
+def _build_engine(kind: str, n: int, n_probe: Optional[int], rerank: Optional[int]):
+    if kind == "exact":
+        return ExactIndex()
+    if kind == "ivf":
+        return CoarseQuantizedIndex(
+            n_probe=n_probe if n_probe is not None else 8, min_train_size=min(256, n)
+        )
+    if kind == "ivfpq":
+        kwargs = {"min_train_size": min(256, n)}
+        if rerank is not None:
+            kwargs["rerank"] = rerank
+        return IVFPQIndex(**kwargs)  # engine defaults: 9*sqrt(N) cells, 16 probes
+    raise ValueError(f"unknown engine {kind!r}; expected one of {INDEX_BENCH_ENGINES}")
+
+
 def measure_index_scaling(
     sizes: Sequence[int],
     *,
     dim: int = 32,
     k: int = 50,
-    n_probe: int = 8,
+    n_probe: Optional[int] = None,
     n_queries: int = 128,
     repeats: int = 3,
     seed: int = 0,
+    engines: Sequence[str] = INDEX_BENCH_ENGINES,
+    rerank: Optional[int] = None,
 ) -> List[ScalingRow]:
-    """Per-query search time of exact vs IVF search at each corpus size."""
+    """Per-query search time + accuracy/memory of each engine per corpus size.
+
+    ``n_probe`` applies to the IVF engine (IVF-PQ keeps its own finer-cell
+    defaults unless ``rerank`` is given to override the re-rank depth).
+    The exact engine is always measured — it is the accuracy baseline.
+    """
     rows: List[ScalingRow] = []
     rng = np.random.default_rng(seed + 1)
+    engines = list(dict.fromkeys(["exact", *engines]))
     for n in sizes:
         vectors = clustered_corpus(n, dim, seed=seed)
         queries = vectors[rng.choice(n, size=min(n_queries, n), replace=False)]
         queries = queries + 0.1 * rng.standard_normal(queries.shape)
+        k_eff = min(k, n)
+        row = ScalingRow(n_references=int(n), k=k_eff)
 
-        exact = ExactIndex()
-        ivf = CoarseQuantizedIndex(n_probe=n_probe, min_train_size=min(256, n))
-        ivf.rebuild(vectors)
-
-        exact_s = _time_search(exact, vectors, queries, k, repeats)
-        ivf_s = _time_search(ivf, vectors, queries, k, repeats)
-        _, exact_ids = exact.search(vectors, queries, 1)
-        _, ivf_ids = ivf.search(vectors, queries, 1)
-        agreement = float((exact_ids[:, 0] == ivf_ids[:, 0]).mean())
-        n_cells = ivf._centroids.shape[0] if ivf.trained else 0
-        rows.append(
-            ScalingRow(
-                n_references=int(n),
-                exact_ms_per_query=1e3 * exact_s / queries.shape[0],
-                ivf_ms_per_query=1e3 * ivf_s / queries.shape[0],
+        exact_ids: Optional[np.ndarray] = None
+        for kind in engines:
+            engine = _build_engine(kind, n, n_probe, rerank)
+            engine.rebuild(vectors)
+            elapsed = _time_search(engine, vectors, queries, k_eff, repeats)
+            _, ids = engine.search(vectors, queries, k_eff)
+            if kind == "exact":
+                exact_ids = ids
+                recall = 1.0
+                agreement = 1.0
+            else:
+                hits = np.array(
+                    [
+                        np.intersect1d(ids[q], exact_ids[q]).size
+                        for q in range(ids.shape[0])
+                    ]
+                )
+                recall = float(hits.mean() / k_eff)
+                agreement = float((ids[:, 0] == exact_ids[:, 0]).mean())
+            cells = getattr(engine, "_centroids", None)
+            row.engines[kind] = EngineMeasurement(
+                kind=kind,
+                ms_per_query=1e3 * elapsed / queries.shape[0],
+                recall_at_k=recall,
                 top1_agreement=agreement,
-                n_cells=n_cells,
-                n_probe=min(n_probe, n_cells) if n_cells else n_probe,
+                index_bytes_per_vector=engine.memory_bytes() / n,
+                store_bytes_per_vector=vectors.nbytes / n,
+                n_cells=0 if cells is None else cells.shape[0],
+                n_probe=getattr(engine, "n_probe", 0),
             )
-        )
+        rows.append(row)
     return rows
 
 
 def scaling_table_rows(rows: Sequence[ScalingRow]) -> List[List[str]]:
-    """Rows for :func:`repro.metrics.reports.format_table`."""
-    return [
-        [
-            str(row.n_references),
-            f"{row.exact_ms_per_query:.3f}",
-            f"{row.ivf_ms_per_query:.3f}",
-            f"{row.speedup:.1f}x",
-            f"{row.top1_agreement:.3f}",
-            f"{row.n_cells}/{row.n_probe}",
-        ]
-        for row in rows
-    ]
+    """Rows for :func:`repro.metrics.reports.format_table` — one line per
+    (corpus size, engine)."""
+    out: List[List[str]] = []
+    for row in rows:
+        for kind, engine in row.engines.items():
+            out.append(
+                [
+                    str(row.n_references),
+                    kind,
+                    f"{engine.ms_per_query:.3f}",
+                    f"{row.speedup(kind):.1f}x",
+                    f"{engine.recall_at_k:.3f}",
+                    f"{engine.top1_agreement:.3f}",
+                    f"{engine.index_bytes_per_vector:.1f}",
+                    f"{engine.store_bytes_per_vector:.0f}",
+                    f"{engine.n_cells}/{engine.n_probe}" if engine.n_cells else "-",
+                ]
+            )
+    return out
+
+
+SCALING_TABLE_HEADERS = [
+    "N references",
+    "engine",
+    "ms/query",
+    "speedup",
+    "recall@k",
+    "top-1 agree",
+    "index B/vec",
+    "store B/vec",
+    "cells/probe",
+]

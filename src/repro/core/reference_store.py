@@ -99,14 +99,36 @@ def validate_reference_batch(
     return embeddings, labels
 
 
-class ReferenceStore:
-    """Labelled embedding vectors used as k-NN reference points."""
+STORAGE_DTYPES = ("float64", "float32")
 
-    def __init__(self, embedding_dim: int, index: Optional[NearestNeighbourIndex] = None) -> None:
+
+class ReferenceStore:
+    """Labelled embedding vectors used as k-NN reference points.
+
+    ``storage_dtype`` picks the resident dtype of the embedding buffer:
+    ``"float64"`` (the default, bit-compatible with the seed pipeline) or
+    ``"float32"``, which halves resident memory and shared-memory segment
+    size; distance computations still run in float64 (NumPy promotes), so
+    float32 results agree with the float64 path to ~1e-7 relative error.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        index: Optional[NearestNeighbourIndex] = None,
+        *,
+        storage_dtype: str = "float64",
+    ) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
+        storage_dtype = np.dtype(storage_dtype).name
+        if storage_dtype not in STORAGE_DTYPES:
+            raise ValueError(
+                f"unsupported storage_dtype {storage_dtype!r}; expected one of {STORAGE_DTYPES}"
+            )
         self.embedding_dim = int(embedding_dim)
-        self._buffer: np.ndarray = np.empty((0, embedding_dim), dtype=np.float64)
+        self.storage_dtype = storage_dtype
+        self._buffer: np.ndarray = np.empty((0, embedding_dim), dtype=storage_dtype)
         self._size: int = 0
         self._codes: np.ndarray = np.empty(0, dtype=np.int64)
         self._encoding = LabelEncoding()
@@ -175,7 +197,7 @@ class ReferenceStore:
         new_capacity = max(_INITIAL_CAPACITY, capacity)
         while new_capacity < needed:
             new_capacity *= 2
-        buffer = np.empty((new_capacity, self.embedding_dim), dtype=np.float64)
+        buffer = np.empty((new_capacity, self.embedding_dim), dtype=self.storage_dtype)
         buffer[: self._size] = self._buffer[: self._size]
         self._buffer = buffer
         codes = np.empty(new_capacity, dtype=np.int64)
@@ -226,6 +248,10 @@ class ReferenceStore:
             raise KeyError(f"no references with label {label!r}")
         return self._buffer[: self._size][self._codes[: self._size] == code]
 
+    def memory_bytes(self) -> int:
+        """Resident bytes: live embedding rows plus index side structures."""
+        return int(self._buffer[: self._size].nbytes) + int(self._index.memory_bytes())
+
     def clone(self) -> "ReferenceStore":
         """Deep copy, *including the trained index state*.
 
@@ -233,7 +259,9 @@ class ReferenceStore:
         copy-on-write shard swap clones the touched shard this way, keeping
         adaptation retraining-free even for IVF-indexed shards.
         """
-        fresh = ReferenceStore(self.embedding_dim, index=copy.deepcopy(self._index))
+        fresh = ReferenceStore(
+            self.embedding_dim, index=copy.deepcopy(self._index), storage_dtype=self.storage_dtype
+        )
         fresh._buffer = self._buffer[: self._size].copy()
         fresh._codes = self._codes[: self._size].copy()
         fresh._size = self._size
@@ -271,27 +299,74 @@ class ReferenceStore:
         self._index.rebuild(self.embeddings)
 
     # ------------------------------------------------------------- persistence
+    _INDEX_STATE_PREFIX = "index_state__"
+
     def save(self, path: PathLike) -> Path:
+        """Persist embeddings, labels, the storage dtype *and* the trained
+        index state (e.g. IVF-PQ codebooks + codes), so :meth:`load` can
+        restore the index without re-running k-means."""
         path = Path(path)
         if path.suffix != ".npz":
             path = path.with_suffix(".npz")
         path.parent.mkdir(parents=True, exist_ok=True)
+        state = {
+            f"{self._INDEX_STATE_PREFIX}{name}": array
+            for name, array in self._index.state().items()
+        }
         np.savez_compressed(
             path,
             embeddings=self.embeddings,
             labels=self.labels,
             embedding_dim=np.array(self.embedding_dim),
+            storage_dtype=np.array(self.storage_dtype),
+            **state,
         )
         return path
 
+    def _fill(self, embeddings: np.ndarray, labels: List[str]) -> None:
+        """Bulk-populate an empty store without notifying the index (the
+        loader then either adopts persisted index state or rebuilds once)."""
+        n_new = embeddings.shape[0]
+        self._reserve(n_new)
+        self._buffer[:n_new] = embeddings
+        self._codes[:n_new] = self._encoding.encode(labels)
+        self._size = n_new
+
     @classmethod
-    def load(cls, path: PathLike, index: Optional[NearestNeighbourIndex] = None) -> "ReferenceStore":
+    def load(
+        cls,
+        path: PathLike,
+        index: Optional[NearestNeighbourIndex] = None,
+        *,
+        storage_dtype: Optional[str] = None,
+    ) -> "ReferenceStore":
         path = Path(path)
         if not path.exists():
             raise FileNotFoundError(f"reference store archive not found: {path}")
         with np.load(path, allow_pickle=True) as archive:
-            store = cls(int(archive["embedding_dim"]), index=index)
+            if storage_dtype is None:
+                storage_dtype = (
+                    str(archive["storage_dtype"]) if "storage_dtype" in archive.files else "float64"
+                )
+            store = cls(int(archive["embedding_dim"]), index=index, storage_dtype=storage_dtype)
             labels = [str(label) for label in archive["labels"]]
+            state = {
+                name[len(cls._INDEX_STATE_PREFIX) :]: archive[name]
+                for name in archive.files
+                if name.startswith(cls._INDEX_STATE_PREFIX)
+            }
             if len(labels):
-                store.add(archive["embeddings"], labels)
+                embeddings, labels = validate_reference_batch(
+                    archive["embeddings"], labels, store.embedding_dim
+                )
+                store._fill(embeddings, labels)
+                adopted = False
+                if state:
+                    try:
+                        store._index.load_state(state)
+                        adopted = True
+                    except (KeyError, ValueError):
+                        adopted = False  # mismatched index; retrain below
+                if not adopted:
+                    store._index.rebuild(store.embeddings)
         return store

@@ -24,7 +24,12 @@ from repro.config import (
     get_scale,
 )
 from repro.core.fingerprinter import AdaptiveFingerprinter
-from repro.core.index import CoarseQuantizedIndex, ExactIndex, NearestNeighbourIndex
+from repro.core.index import (
+    CoarseQuantizedIndex,
+    ExactIndex,
+    IVFPQIndex,
+    NearestNeighbourIndex,
+)
 from repro.core.trainer import TrainingHistory
 from repro.traces import SequenceExtractor, TraceDataset, collect_dataset, four_way_split, FourWaySplit
 from repro.tls.version import TLSVersion
@@ -65,27 +70,45 @@ def ci_training_config(scale: ExperimentScale, **overrides) -> TrainingConfig:
     return TrainingConfig(**defaults)
 
 
-INDEX_KINDS = ("exact", "ivf")
+INDEX_KINDS = ("exact", "ivf", "ivfpq")
 
 
 def experiment_index_factory(
     index_kind: str = "exact",
     *,
     n_cells: Optional[int] = None,
-    n_probe: int = 8,
+    n_probe: Optional[int] = None,
     metric: str = "euclidean",
+    n_subspaces: int = 8,
+    bits: int = 8,
+    rerank: int = 64,
 ) -> Callable[[], NearestNeighbourIndex]:
     """Index factory for the experiment runners (``--index`` on the CLI).
 
     ``"exact"`` is the default brute-force engine; ``"ivf"`` builds the
     sublinear :class:`CoarseQuantizedIndex` so paper-scale runs (thousands
-    of monitored classes, 100 samples each) keep classification cheap.
+    of monitored classes, 100 samples each) keep classification cheap;
+    ``"ivfpq"`` builds the product-quantized :class:`IVFPQIndex` whose
+    uint8 codes shrink resident reference memory ~16-32x on top of that
+    (``n_subspaces``/``bits`` size the codes, ``rerank`` exact-rescores the
+    top ADC candidates).
     """
     if index_kind not in INDEX_KINDS:
         raise ValueError(f"unknown index kind {index_kind!r}; expected one of {INDEX_KINDS}")
     if index_kind == "exact":
         return lambda: ExactIndex(metric=metric)
-    return lambda: CoarseQuantizedIndex(n_cells=n_cells, n_probe=n_probe, metric=metric)
+    if index_kind == "ivfpq":
+        probe = n_probe if n_probe is not None else 16
+        return lambda: IVFPQIndex(
+            n_cells=n_cells,
+            n_probe=probe,
+            n_subspaces=n_subspaces,
+            bits=bits,
+            rerank=rerank,
+            metric=metric,
+        )
+    probe = n_probe if n_probe is not None else 8
+    return lambda: CoarseQuantizedIndex(n_cells=n_cells, n_probe=probe, metric=metric)
 
 
 @dataclass
@@ -111,13 +134,18 @@ class ExperimentContext:
         sequence_length: int = SEQUENCE_LENGTH,
         index_kind: str = "exact",
         n_cells: Optional[int] = None,
-        n_probe: int = 8,
+        n_probe: Optional[int] = None,
+        n_subspaces: int = 8,
+        bits: int = 8,
+        rerank: int = 64,
     ) -> "ExperimentContext":
         """Build datasets, the Figure-5 split and the provisioned model.
 
         ``index_kind``/``n_cells``/``n_probe`` pick the k-NN query engine
         every reference store of the shared fingerprinter uses, so the CLI
-        experiment runners can run paper-scale sweeps on the IVF index.
+        experiment runners can run paper-scale sweeps on the IVF index;
+        ``n_subspaces``/``bits``/``rerank`` size the IVF-PQ codes when
+        ``index_kind == "ivfpq"``.
         """
         if isinstance(scale, str):
             scale = get_scale(scale)
@@ -171,7 +199,14 @@ class ExperimentContext:
             classifier_config=ClassifierConfig(k=scale.knn_k),
             extractor=extractor,
             seed=0,
-            index_factory=experiment_index_factory(index_kind, n_cells=n_cells, n_probe=n_probe),
+            index_factory=experiment_index_factory(
+                index_kind,
+                n_cells=n_cells,
+                n_probe=n_probe,
+                n_subspaces=n_subspaces,
+                bits=bits,
+                rerank=rerank,
+            ),
         )
         history = fingerprinter.provision(wiki_split.set_a)
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.config import ClassifierConfig
 from repro.core.classifier import KNNClassifier
+from repro.core.index import CoarseQuantizedIndex, ExactIndex, IVFPQIndex
 from repro.core.index_bench import clustered_corpus
 from repro.core.reference_store import ReferenceStore
 from repro.serving.loadgen import LoadGenerator, open_world_mix
@@ -82,6 +83,17 @@ def _replay(
     return result, scheduler.stats
 
 
+def _shard_index_factory(index_kind: str, rerank: int):
+    """Per-shard k-NN engine for the bench (engine defaults otherwise)."""
+    if index_kind == "exact":
+        return lambda: ExactIndex()
+    if index_kind == "ivf":
+        return lambda: CoarseQuantizedIndex()
+    if index_kind == "ivfpq":
+        return lambda: IVFPQIndex(rerank=rerank)
+    raise ValueError(f"index_kind must be one of 'exact', 'ivf', 'ivfpq', got {index_kind!r}")
+
+
 def run_serving_bench(
     *,
     n_references: int = 6000,
@@ -97,10 +109,21 @@ def run_serving_bench(
     revisit_fraction: float = 0.1,
     executor: str = "serial",
     assignment: str = "hash",
+    index_kind: str = "exact",
+    rerank: int = 0,
+    storage_dtype: str = "float64",
     seed: int = 0,
     out: Optional[Path] = None,
 ) -> Dict:
-    """Run the serving bench; returns (and optionally writes) the snapshot."""
+    """Run the serving bench; returns (and optionally writes) the snapshot.
+
+    ``index_kind``/``rerank``/``storage_dtype`` pick what the shards hold
+    and publish: a float32 store halves shared-memory segments, an IVF-PQ
+    index with ``rerank == 0`` publishes only uint8 codes + codebooks
+    (~16-32x smaller at scale; predictions are then approximate — the
+    snapshot records agreement with the exact baseline instead of asserting
+    it).
+    """
     if executor not in ("serial", "process", "both"):
         raise ValueError("executor must be one of 'serial', 'process', 'both'")
     if n_shards < 2:
@@ -109,6 +132,7 @@ def run_serving_bench(
     corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
     flat = ReferenceStore(dim)
     flat.add(corpus, labels)
+    index_factory = _shard_index_factory(index_kind, rerank)
     config = ClassifierConfig(k=k)
     queries, is_unmonitored = open_world_mix(
         corpus,
@@ -139,7 +163,12 @@ def run_serving_bench(
         try:
             manager = DeploymentManager(
                 ShardedReferenceStore.from_reference_store(
-                    flat, n_shards=n_shards, assignment=assignment, executor=shard_executor
+                    flat,
+                    n_shards=n_shards,
+                    assignment=assignment,
+                    executor=shard_executor,
+                    index_factory=index_factory,
+                    storage_dtype=storage_dtype,
                 ),
                 config,
             )
@@ -172,7 +201,12 @@ def run_serving_bench(
             # class mid-replay; zero queries may fail.
             adapt_manager = DeploymentManager(
                 ShardedReferenceStore.from_reference_store(
-                    flat, n_shards=n_shards, assignment=assignment, executor=shard_executor
+                    flat,
+                    n_shards=n_shards,
+                    assignment=assignment,
+                    executor=shard_executor,
+                    index_factory=index_factory,
+                    storage_dtype=storage_dtype,
                 ),
                 config,
             )
@@ -196,6 +230,11 @@ def run_serving_bench(
                     f"{adapt_result.failed} queries failed during the mid-run replace_class "
                     f"swap on the {mode} executor; zero-downtime adaptation is broken"
                 )
+            shm_bytes = (
+                sorted(shard_executor.published_bytes().values())
+                if isinstance(shard_executor, ProcessShardExecutor)
+                else None
+            )
             sections[mode] = {
                 "report": result.report.as_dict(),
                 "scheduler": stats.as_dict(),
@@ -204,6 +243,8 @@ def run_serving_bench(
                     "cache_hit_rate": warm_hits / warm_lookups if warm_lookups else 0.0,
                 },
                 "shard_sizes": manager.store.shard_sizes(),
+                "shard_memory_bytes": manager.store.shard_memory_bytes(),
+                "shm_segment_bytes": shm_bytes,
                 "identical_to_exact_baseline": identical,
                 "adaptation": {
                     "swap_ms": swap_ms.get(mode),
@@ -235,7 +276,11 @@ def run_serving_bench(
             "max_batch_size": max_batch_size,
             "max_latency_s": max_latency_s,
             "assignment": assignment,
+            "index": index_kind,
+            "rerank": rerank,
+            "storage_dtype": storage_dtype,
         },
+        "baseline_float64_shard_bytes": int(flat.embeddings.nbytes) // n_shards,
         "baseline_exact_single_process": {
             "throughput_qps": baseline["throughput_qps"],
             "ms_per_query": baseline["ms_per_query"],
@@ -262,7 +307,8 @@ def format_summary(snapshot: Dict) -> List[str]:
     lines.append(
         f"serving bench: N={workload['n_references']} refs, {workload['n_classes']} classes, "
         f"{workload['n_queries']} queries ({workload['n_unmonitored']} open-world), "
-        f"{workload['n_shards']} shards, batch<= {workload['max_batch_size']}"
+        f"{workload['n_shards']} shards, batch<= {workload['max_batch_size']}, "
+        f"index={workload.get('index', 'exact')}, dtype={workload.get('storage_dtype', 'float64')}"
     )
     base = snapshot["baseline_exact_single_process"]
     lines.append(
@@ -289,4 +335,20 @@ def format_summary(snapshot: Dict) -> List[str]:
             f"    mid-run replace_class('{snapshot['adaptation']['replaced_class']}'): "
             f"swap {adaptation['swap_ms']:.1f} ms, failed queries: {adaptation['failed_queries']}"
         )
+        resident = section.get("shard_memory_bytes")
+        if resident:
+            lines.append(
+                f"    resident store+index per shard: {', '.join(f'{b/1024:.0f} KiB' for b in resident)}"
+            )
+        segments = section.get("shm_segment_bytes")
+        if segments:
+            baseline = snapshot.get("baseline_float64_shard_bytes")
+            ratio = (
+                f" ({baseline / max(segments):.1f}x smaller than raw float64)"
+                if baseline
+                else ""
+            )
+            lines.append(
+                f"    shm segment per shard: {', '.join(f'{b/1024:.0f} KiB' for b in segments)}{ratio}"
+            )
     return lines

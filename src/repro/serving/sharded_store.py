@@ -25,8 +25,10 @@ Shard scatter runs through a pluggable executor:
 :class:`InProcessShardExecutor` answers serially in the calling process
 (deterministic, zero overhead — the default), while
 :class:`ProcessShardExecutor` fans shards out to worker processes that
-attach the shard embedding matrices through read-mostly POSIX shared-memory
-segments, republished only when a shard actually changes.
+attach each shard's payload — trained index state (e.g. IVF-PQ codes +
+codebooks) plus the embedding matrix only when the index needs raw
+vectors — through read-mostly POSIX shared-memory segments, republished
+only when a shard actually changes.
 """
 
 from __future__ import annotations
@@ -81,14 +83,84 @@ class _Shard:
 
 # --------------------------------------------------------------------- executors
 def _search_shard_vectors(
-    vectors: np.ndarray, index: NearestNeighbourIndex, queries: np.ndarray, k: int, metric: str
+    vectors: Optional[np.ndarray],
+    index: NearestNeighbourIndex,
+    queries: np.ndarray,
+    k: int,
+    metric: str,
+    n_rows: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Shard-local search with the same metric dispatch as ReferenceStore."""
-    k = min(int(k), vectors.shape[0])
+    """Shard-local search with the same metric dispatch as ReferenceStore.
+
+    ``vectors`` may be ``None`` when the shard was published as compressed
+    index state only (an IVF-PQ shard with ``rerank == 0``); such shards can
+    only answer their index's own metric.
+    """
+    if n_rows is None:
+        n_rows = vectors.shape[0]
+    k = min(int(k), n_rows)
     if metric == index.metric:
         return index.search(vectors, queries, k)
+    if vectors is None:
+        raise ServingError(
+            f"shard was published without raw vectors and cannot answer metric {metric!r}"
+        )
     distances = cdist(queries, vectors, metric=metric)
     return top_k_by_distance(distances, k)
+
+
+_STATE_PREFIX = "state__"
+
+
+def _shard_payload(store: ReferenceStore) -> Dict[str, np.ndarray]:
+    """Arrays a shard publishes into its shared-memory segment.
+
+    Always the trained index state (so workers never re-run k-means); the
+    raw embedding matrix — in the store's storage dtype, so a float32 store
+    publishes half the bytes — only when the index still needs it.  A
+    trained IVF-PQ shard with ``rerank == 0`` therefore ships only uint8
+    codes + codebooks: ~16-32x smaller segments, and republish after an
+    adaptation swap is proportionally cheaper.
+    """
+    arrays = {
+        f"{_STATE_PREFIX}{name}": np.ascontiguousarray(array)
+        for name, array in store.index.state().items()
+    }
+    if store.index.needs_vectors:
+        arrays["vectors"] = store.embeddings
+    return arrays
+
+
+def _pack_arrays(
+    arrays: Dict[str, np.ndarray],
+) -> Tuple[shared_memory.SharedMemory, List[Tuple[str, str, Tuple[int, ...], int]]]:
+    """Concatenate named arrays into one shared-memory segment.
+
+    Returns the segment plus a picklable meta list of
+    ``(name, dtype, shape, offset)`` a worker uses to reconstruct views.
+    """
+    metas: List[Tuple[str, str, Tuple[int, ...], int]] = []
+    contiguous: List[np.ndarray] = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = (offset + 63) & ~63  # 64-byte alignment per array
+        metas.append((name, array.dtype.str, array.shape, offset))
+        contiguous.append(array)
+        offset += array.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    for (name, dtype, shape, start), array in zip(metas, contiguous):
+        np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)[...] = array
+    return segment, metas
+
+
+def _unpack_arrays(
+    segment: shared_memory.SharedMemory, metas: List[Tuple[str, str, Tuple[int, ...], int]]
+) -> Dict[str, np.ndarray]:
+    return {
+        name: np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+        for name, dtype, shape, offset in metas
+    }
 
 
 def _untrack_shared_memory(segment: shared_memory.SharedMemory) -> None:
@@ -107,18 +179,22 @@ def _untrack_shared_memory(segment: shared_memory.SharedMemory) -> None:
 
 
 def _shard_worker(requests, responses) -> None:
-    """Worker loop: answer shard searches against shared-memory embeddings.
+    """Worker loop: answer shard searches against shared-memory payloads.
 
-    Attachments (and the index rebuilt over them) are cached per shard uid
+    Attachments (and the index restored over them) are cached per shard uid
     and refreshed only when the request carries a newer shard version, so a
-    steady-state request ships nothing but the query block.
+    steady-state request ships nothing but the query block.  The published
+    payload carries the trained index state, so a worker adopts centroids /
+    codebooks / codes directly instead of re-running k-means per version.
     """
-    cache: Dict[int, Tuple[int, shared_memory.SharedMemory, np.ndarray, NearestNeighbourIndex]] = {}
+    cache: Dict[
+        int, Tuple[int, shared_memory.SharedMemory, Optional[np.ndarray], NearestNeighbourIndex, int]
+    ] = {}
     while True:
         task = requests.get()
         if task is None:
             break
-        request_id, uid, version, shm_name, shape, index_spec, queries, k, metric = task
+        request_id, uid, version, shm_name, metas, n_rows, index_spec, queries, k, metric = task
         try:
             entry = cache.get(uid)
             if entry is None or entry[0] != version:
@@ -126,16 +202,25 @@ def _shard_worker(requests, responses) -> None:
                     entry[1].close()
                 segment = shared_memory.SharedMemory(name=shm_name)
                 _untrack_shared_memory(segment)
-                vectors = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+                arrays = _unpack_arrays(segment, metas)
+                vectors = arrays.get("vectors")
+                state = {
+                    name[len(_STATE_PREFIX) :]: array
+                    for name, array in arrays.items()
+                    if name.startswith(_STATE_PREFIX)
+                }
                 index = index_from_spec(index_spec)
-                index.rebuild(vectors)
-                cache[uid] = (version, segment, vectors, index)
-            _, _, vectors, index = cache[uid]
-            distances, ids = _search_shard_vectors(vectors, index, queries, k, metric)
+                if state:
+                    index.load_state(state)
+                elif vectors is not None:
+                    index.rebuild(vectors)
+                cache[uid] = (version, segment, vectors, index, n_rows)
+            _, _, vectors, index, n_rows = cache[uid]
+            distances, ids = _search_shard_vectors(vectors, index, queries, k, metric, n_rows)
             responses.put((request_id, distances, ids, None))
         except Exception as error:  # keep the worker alive; surface the failure
             responses.put((request_id, None, None, f"{type(error).__name__}: {error}"))
-    for _, segment, _, _ in cache.values():
+    for _, segment, _, _, _ in cache.values():
         segment.close()
 
 
@@ -158,14 +243,19 @@ class InProcessShardExecutor:
 class ProcessShardExecutor:
     """Scatter shard searches across worker processes.
 
-    Each shard's embedding matrix is published at most once per shard
-    version into a shared-memory segment; workers attach read-only and keep
-    the attachment (plus a rebuilt index) cached until the version moves.
+    Each shard's payload — its trained index state, plus the embedding
+    matrix (in the store's storage dtype) only when the index still needs
+    raw vectors — is published at most once per shard version into a
+    shared-memory segment; workers attach read-only and keep the
+    attachment (plus the restored index) cached until the version moves.
     Adaptation therefore republishes only the shard it touched — the
-    copy-on-write story end to end.
+    copy-on-write story end to end.  A trained IVF-PQ shard with
+    ``rerank == 0`` ships only uint8 codes + codebooks, so its segment is
+    ~16-32x smaller than the raw float64 matrix at scale.
 
-    Workers rebuild the shard's index from its spec, so an IVF shard pays
-    one k-means per (worker, version); the exact index is free to rebuild.
+    Workers adopt the published index state directly (no per-worker
+    k-means); only a stateless index (exact, or an untrained quantizer)
+    falls back to rebuilding from the published vectors.
 
     ``search`` is serialised with a lock: the scatter shares one response
     queue, so two overlapping calls (e.g. the batch flusher thread and an
@@ -195,7 +285,7 @@ class ProcessShardExecutor:
         ]
         for worker in self._workers:
             worker.start()
-        self._published: Dict[int, Tuple[int, shared_memory.SharedMemory, Tuple[int, ...]]] = {}
+        self._published: Dict[int, Tuple[int, shared_memory.SharedMemory, list]] = {}
         self._last_used: Dict[int, int] = {}
         self._search_calls = 0
         self._request_counter = 0
@@ -203,20 +293,23 @@ class ProcessShardExecutor:
         self._closed = False
 
     # ------------------------------------------------------------- publication
-    def _publish(self, shard: _Shard) -> Tuple[str, Tuple[int, ...]]:
+    def _publish(self, shard: _Shard) -> Tuple[str, list]:
         entry = self._published.get(shard.uid)
         if entry is not None and entry[0] == shard.version:
             return entry[1].name, entry[2]
-        vectors = shard.store.embeddings
-        segment = shared_memory.SharedMemory(create=True, size=max(1, vectors.nbytes))
-        np.ndarray(vectors.shape, dtype=np.float64, buffer=segment.buf)[:] = vectors
+        segment, metas = _pack_arrays(_shard_payload(shard.store))
         if entry is not None:
             # Workers already attached keep the old mapping alive; unlinking
             # only removes the name, which nobody will attach again.
             entry[1].close()
             entry[1].unlink()
-        self._published[shard.uid] = (shard.version, segment, vectors.shape)
-        return segment.name, vectors.shape
+        self._published[shard.uid] = (shard.version, segment, metas)
+        return segment.name, metas
+
+    def published_bytes(self) -> Dict[int, int]:
+        """Shared-memory segment size per published shard uid (monitoring:
+        this is what the PQ/float32 publication path shrinks)."""
+        return {uid: entry[1].size for uid, entry in self._published.items()}
 
     def _evict_stale(self) -> None:
         """Unlink segments of shards that stopped being queried (called with
@@ -245,7 +338,7 @@ class ProcessShardExecutor:
             self._search_calls += 1
             pending: Dict[int, int] = {}
             for position, shard in enumerate(shards):
-                name, shape = self._publish(shard)
+                name, metas = self._publish(shard)
                 self._last_used[shard.uid] = self._search_calls
                 request_id = self._request_counter
                 self._request_counter += 1
@@ -254,7 +347,8 @@ class ProcessShardExecutor:
                     shard.uid,
                     shard.version,
                     name,
-                    shape,
+                    metas,
+                    len(shard.store),
                     shard.store.index.spec(),
                     queries,
                     k,
@@ -337,6 +431,7 @@ class ShardedReferenceStore:
         assignment: str = "hash",
         index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
         executor: Optional[object] = None,
+        storage_dtype: str = "float64",
     ) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
@@ -349,13 +444,20 @@ class ShardedReferenceStore:
         self.embedding_dim = int(embedding_dim)
         self.n_shards = int(n_shards)
         self.assignment = assignment
+        self.storage_dtype = np.dtype(storage_dtype).name
         self.index_factory: Callable[[], NearestNeighbourIndex] = (
             index_factory if index_factory is not None else lambda: index_from_spec(None)
         )
         self._executor = executor if executor is not None else InProcessShardExecutor()
         self._shards: List[_Shard] = [
-            _Shard(ReferenceStore(self.embedding_dim, index=self.index_factory()),
-                   np.empty(0, dtype=np.int64))
+            _Shard(
+                ReferenceStore(
+                    self.embedding_dim,
+                    index=self.index_factory(),
+                    storage_dtype=self.storage_dtype,
+                ),
+                np.empty(0, dtype=np.int64),
+            )
             for _ in range(self.n_shards)
         ]
         self._class_shard: Dict[str, int] = {}
@@ -376,8 +478,12 @@ class ShardedReferenceStore:
         assignment: str = "hash",
         index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
         executor: Optional[object] = None,
+        storage_dtype: Optional[str] = None,
     ) -> "ShardedReferenceStore":
-        """Shard an existing flat store (global ids == its current row ids)."""
+        """Shard an existing flat store (global ids == its current row ids).
+
+        The flat store's storage dtype carries over unless overridden.
+        """
         if index_factory is None:
             spec = store.index.spec()
             index_factory = lambda: index_from_spec(spec)  # noqa: E731
@@ -387,6 +493,9 @@ class ShardedReferenceStore:
             assignment=assignment,
             index_factory=index_factory,
             executor=executor,
+            storage_dtype=storage_dtype
+            if storage_dtype is not None
+            else getattr(store, "storage_dtype", "float64"),
         )
         if len(store):
             sharded.add(store.embeddings, list(store.labels))
@@ -431,12 +540,16 @@ class ShardedReferenceStore:
     @property
     def embeddings(self) -> np.ndarray:
         """The (N, dim) matrix in *global* row order (gathered; O(N) copy)."""
-        out = np.empty((self._size, self.embedding_dim), dtype=np.float64)
+        out = np.empty((self._size, self.embedding_dim), dtype=self.storage_dtype)
         for shard in self._shards:
             if len(shard.store):
                 out[shard.global_ids] = shard.store.embeddings
         out.flags.writeable = False
         return out
+
+    def memory_bytes(self) -> int:
+        """Resident bytes across shards (buffers + index side structures)."""
+        return sum(shard.store.memory_bytes() for shard in self._shards)
 
     def class_counts(self) -> Dict[str, int]:
         return {
@@ -452,6 +565,10 @@ class ShardedReferenceStore:
 
     def shard_sizes(self) -> List[int]:
         return [len(shard.store) for shard in self._shards]
+
+    def shard_memory_bytes(self) -> List[int]:
+        """Resident bytes per shard (embedding buffer + index structures)."""
+        return [shard.store.memory_bytes() for shard in self._shards]
 
     def _place(self, label: str, sizes: Sequence[int]) -> int:
         """Pick a shard for a class not placed yet (the single policy site)."""
@@ -559,6 +676,7 @@ class ShardedReferenceStore:
         clone.embedding_dim = self.embedding_dim
         clone.n_shards = self.n_shards
         clone.assignment = self.assignment
+        clone.storage_dtype = self.storage_dtype
         clone.index_factory = self.index_factory
         clone._executor = self._executor
         clone._class_shard = dict(self._class_shard)
@@ -645,7 +763,9 @@ class ShardedReferenceStore:
     ) -> ReferenceStore:
         """Collapse back into a flat store (same global row order)."""
         flat = ReferenceStore(
-            self.embedding_dim, index=index if index is not None else self.index_factory()
+            self.embedding_dim,
+            index=index if index is not None else self.index_factory(),
+            storage_dtype=self.storage_dtype,
         )
         embeddings, labels = self.flatten()
         if len(labels):

@@ -1,0 +1,343 @@
+"""Product quantization: codebooks, the IVF-PQ engine, float32 stores.
+
+Covers the compressed-index contract end to end at the core layer:
+ADC + exact re-rank agreement with :class:`ExactIndex`, recall lower
+bounds without re-rank, add/remove keeping codes consistent with the
+store buffer, spec/state persistence round-trips (flat store archives),
+the float32 storage path, and the k-means++ seeding shared by both
+quantizers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import (
+    CoarseQuantizedIndex,
+    ExactIndex,
+    IVFPQIndex,
+    ProductQuantizer,
+    _kmeans,
+    index_from_spec,
+)
+from repro.core.index_bench import clustered_corpus
+from repro.core.reference_store import ReferenceStore
+
+
+def corpus(n=3000, dim=24, seed=1):
+    return clustered_corpus(n, dim, n_clusters=max(8, n // 50), seed=seed)
+
+
+def queries_near(vectors, n_queries=64, seed=2, noise=0.1):
+    rng = np.random.default_rng(seed)
+    picks = vectors[rng.choice(vectors.shape[0], n_queries, replace=False)]
+    return picks + noise * rng.standard_normal(picks.shape)
+
+
+def recall(ids, exact_ids):
+    k = ids.shape[1]
+    return np.mean(
+        [np.intersect1d(ids[q], exact_ids[q]).size / k for q in range(ids.shape[0])]
+    )
+
+
+class TestProductQuantizer:
+    def test_decode_is_closer_than_shuffled_codes(self):
+        vectors = corpus(2000, 24)
+        pq = ProductQuantizer(n_subspaces=6, bits=6, seed=0)
+        pq.fit(vectors)
+        codes = pq.encode(vectors)
+        decoded = pq.decode(codes)
+        err = np.linalg.norm(vectors - decoded, axis=1).mean()
+        rng = np.random.default_rng(0)
+        shuffled = pq.decode(codes[rng.permutation(codes.shape[0])])
+        err_shuffled = np.linalg.norm(vectors - shuffled, axis=1).mean()
+        assert err < 0.5 * err_shuffled  # codes carry real geometry
+
+    def test_uneven_subspace_split(self):
+        vectors = corpus(600, 13)  # 13 dims across 4 subspaces -> 4,3,3,3
+        pq = ProductQuantizer(n_subspaces=4, bits=4)
+        pq.fit(vectors)
+        assert pq._sub_dims.tolist() == [4, 3, 3, 3]
+        decoded = pq.decode(pq.encode(vectors))
+        assert decoded.shape == vectors.shape
+
+    def test_codes_are_uint8_and_bounded(self):
+        vectors = corpus(800, 16)
+        pq = ProductQuantizer(n_subspaces=4, bits=5)
+        pq.fit(vectors)
+        codes = pq.encode(vectors)
+        assert codes.dtype == np.uint8
+        assert codes.max() < 2**5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(n_subspaces=0)
+        with pytest.raises(ValueError):
+            ProductQuantizer(bits=9)
+        with pytest.raises(ValueError):
+            ProductQuantizer(bits=0)
+        pq = ProductQuantizer(n_subspaces=40)
+        with pytest.raises(ValueError):
+            pq.fit(corpus(500, 16))  # more subspaces than dimensions
+        with pytest.raises(RuntimeError):
+            ProductQuantizer().encode(corpus(10, 16))
+
+
+class TestIVFPQIndex:
+    def test_full_probe_rerank_matches_exact_bitwise(self):
+        vectors = corpus(4000, 24)
+        q = queries_near(vectors)
+        pq = IVFPQIndex(n_cells=16, n_probe=16, rerank=64, min_train_size=16)
+        pq.rebuild(vectors)
+        d_pq, i_pq = pq.search(vectors, q, 10)
+        d_ex, i_ex = ExactIndex().search(vectors, q, 10)
+        # Every cell probed and rerank (64) well above k: the true top-10
+        # sit inside the re-ranked pool, so the returned ranking is the
+        # exact ranking (ids bit-for-bit; distances to fp rounding).
+        assert np.array_equal(i_pq, i_ex)
+        assert np.allclose(d_pq, d_ex)
+
+    def test_partial_probe_recall_with_rerank(self):
+        vectors = corpus(4000, 24)
+        q = queries_near(vectors)
+        pq = IVFPQIndex(min_train_size=16)  # engine defaults, rerank=64
+        pq.rebuild(vectors)
+        _, i_pq = pq.search(vectors, q, 10)
+        _, i_ex = ExactIndex().search(vectors, q, 10)
+        assert recall(i_pq, i_ex) >= 0.95
+
+    def test_adc_only_recall_lower_bound(self):
+        vectors = corpus(4000, 24)
+        q = queries_near(vectors)
+        pq = IVFPQIndex(rerank=0, min_train_size=16)
+        pq.rebuild(vectors)
+        _, i_pq = pq.search(None, q, 10)  # never touches raw vectors
+        _, i_ex = ExactIndex().search(vectors, q, 10)
+        assert recall(i_pq, i_ex) >= 0.6
+
+    def test_rerank_without_vectors_raises(self):
+        vectors = corpus(1000, 16)
+        pq = IVFPQIndex(rerank=8, min_train_size=16)
+        pq.rebuild(vectors)
+        with pytest.raises(ValueError):
+            pq.search(None, vectors[:3], 5)
+
+    def test_untrained_falls_back_to_exact(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.standard_normal((60, 8))
+        pq = IVFPQIndex(min_train_size=256)
+        pq.rebuild(vectors)
+        assert not pq.trained
+        d1, i1 = pq.search(vectors, vectors[:5], 4)
+        d2, i2 = ExactIndex().search(vectors, vectors[:5], 4)
+        assert np.array_equal(i1, i2) and np.array_equal(d1, d2)
+        with pytest.raises(ValueError):
+            pq.search(None, vectors[:5], 4)
+
+    def test_add_encodes_with_existing_codebooks(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(n_cells=32, min_train_size=16)
+        pq.rebuild(vectors)
+        centroids = pq._centroids.copy()
+        extra = corpus(200, 16, seed=9)
+        grown = np.concatenate([vectors, extra])
+        pq.add(grown, 200)
+        # Retraining-free: centroids and codebooks untouched, codes appended.
+        assert np.array_equal(pq._centroids, centroids)
+        assert pq._n == 2200
+        assigned = pq._assign_buffer[2000:2200]
+        expected = pq.pq.encode(extra - centroids[assigned])
+        assert np.array_equal(pq.codes[2000:2200], expected)
+
+    def test_remove_compacts_codes_consistently(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(n_cells=32, min_train_size=16)
+        pq.rebuild(vectors)
+        before_codes = pq.codes.copy()
+        before_consts = pq._const_buffer[:2000].copy()
+        kept_mask = np.ones(2000, dtype=bool)
+        kept_mask[300:700] = False
+        pq.remove(kept_mask)
+        assert pq._n == 1600
+        assert np.array_equal(pq.codes, before_codes[kept_mask])
+        assert np.array_equal(pq._const_buffer[:1600], before_consts[kept_mask])
+        kept = vectors[kept_mask]
+        _, ids = pq.search(kept, kept[:4], 1)
+        assert np.array_equal(ids[:, 0], np.arange(4))
+
+    def test_spec_roundtrip(self):
+        pq = IVFPQIndex(n_cells=11, n_probe=3, n_subspaces=4, bits=6, rerank=17, seed=5)
+        clone = index_from_spec(pq.spec())
+        assert isinstance(clone, IVFPQIndex)
+        assert clone.spec() == pq.spec()
+
+    def test_state_roundtrip_search_identical(self):
+        vectors = corpus(2500, 16)
+        pq = IVFPQIndex(min_train_size=16)
+        pq.rebuild(vectors)
+        q = queries_near(vectors, 32)
+        d1, i1 = pq.search(vectors, q, 8)
+        clone = index_from_spec(pq.spec())
+        clone.load_state({k: v.copy() for k, v in pq.state().items()})
+        d2, i2 = clone.search(vectors, q, 8)
+        assert np.array_equal(i1, i2) and np.array_equal(d1, d2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IVFPQIndex(metric="cosine")
+        with pytest.raises(ValueError):
+            IVFPQIndex(n_cells=0)
+        with pytest.raises(ValueError):
+            IVFPQIndex(n_probe=0)
+        with pytest.raises(ValueError):
+            IVFPQIndex(rerank=-1)
+
+    def test_inconsistent_state_rejected(self):
+        vectors = corpus(600, 8)
+        pq = IVFPQIndex(min_train_size=16)
+        pq.rebuild(vectors)
+        state = {k: v.copy() for k, v in pq.state().items()}
+        state["assignments"] = state["assignments"][:-5]  # codes/assignments disagree
+        with pytest.raises(ValueError):
+            index_from_spec(pq.spec()).load_state(state)
+
+
+class TestStoreArchivePersistence:
+    def test_save_load_restores_codebooks_without_retrain(self, tmp_path):
+        vectors = corpus(2000, 16)
+        labels = [f"c{i % 25}" for i in range(2000)]
+        store = ReferenceStore(16, index=IVFPQIndex(min_train_size=16))
+        store.add(vectors, labels)
+        q = queries_near(vectors, 32)
+        d1, i1 = store.search(q, 7)
+        path = store.save(tmp_path / "refs.npz")
+
+        restored = ReferenceStore.load(path, index=index_from_spec(store.index.spec()))
+        # The trained state was adopted, not re-learned.
+        assert np.array_equal(restored.index._centroids, store.index._centroids)
+        assert np.array_equal(restored.index.codes, store.index.codes)
+        d2, i2 = restored.search(q, 7)
+        assert np.array_equal(i1, i2) and np.array_equal(d1, d2)
+        assert list(restored.labels) == labels
+
+    def test_load_with_mismatched_index_retrains(self, tmp_path):
+        vectors = corpus(1200, 16)
+        store = ReferenceStore(16, index=IVFPQIndex(min_train_size=16))
+        store.add(vectors, ["x"] * 1200)
+        path = store.save(tmp_path / "refs.npz")
+        # Loading the same archive into an IVF index must reject the PQ
+        # state and rebuild cleanly — with its *own* cell resolution
+        # (ceil(sqrt(N))), not the finer IVF-PQ cell layout.
+        restored = ReferenceStore.load(path, index=CoarseQuantizedIndex(min_train_size=16))
+        assert restored.index.trained
+        assert restored.index._centroids.shape[0] == int(np.ceil(np.sqrt(1200)))
+        d, i = restored.search(vectors[:3], 4)
+        assert d.shape == (3, 4)
+
+    def test_load_with_different_pq_shape_retrains(self, tmp_path):
+        vectors = corpus(1200, 16)
+        store = ReferenceStore(16, index=IVFPQIndex(n_subspaces=8, min_train_size=16))
+        store.add(vectors, ["x"] * 1200)
+        path = store.save(tmp_path / "refs8.npz")
+        # Same kind, different code geometry: the stale state must be
+        # rejected at load time and the index retrained with its own shape.
+        restored = ReferenceStore.load(
+            path, index=IVFPQIndex(n_subspaces=4, min_train_size=16)
+        )
+        assert restored.index.trained
+        assert restored.index.codes.shape[1] == 4
+        d, i = restored.search(vectors[:3], 4)
+        assert d.shape == (3, 4)
+
+    def test_save_load_roundtrip_after_churn(self, tmp_path):
+        vectors = corpus(2000, 16)
+        labels = [f"c{i % 20}" for i in range(2000)]
+        store = ReferenceStore(16, index=IVFPQIndex(min_train_size=16))
+        store.add(vectors, labels)
+        rng = np.random.default_rng(4)
+        store.remove_class("c3")
+        store.replace_class("c5", rng.standard_normal((40, 16)) + vectors[:40])
+        store.add(rng.standard_normal((30, 16)) + vectors[:30], ["brand-new"] * 30)
+        q = queries_near(vectors, 32)
+        d1, i1 = store.search(q, 9)
+        restored = ReferenceStore.load(
+            store.save(tmp_path / "churned.npz"), index=index_from_spec(store.index.spec())
+        )
+        d2, i2 = restored.search(q, 9)
+        assert np.array_equal(i1, i2) and np.array_equal(d1, d2)
+
+
+class TestFloat32Store:
+    def test_buffer_and_view_dtype(self):
+        store = ReferenceStore(8, storage_dtype="float32")
+        store.add(np.ones((3, 8)), ["a", "b", "a"])
+        assert store.embeddings.dtype == np.float32
+        assert store.storage_dtype == "float32"
+        assert store.memory_bytes() == 3 * 8 * 4
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            ReferenceStore(8, storage_dtype="float16")
+
+    def test_search_matches_float64_within_tolerance(self):
+        vectors = corpus(1500, 16)
+        labels = [f"c{i % 10}" for i in range(1500)]
+        f64 = ReferenceStore(16)
+        f32 = ReferenceStore(16, storage_dtype="float32")
+        f64.add(vectors, labels)
+        f32.add(vectors, labels)
+        q = queries_near(vectors, 48)
+        d64, i64 = f64.search(q, 10)
+        d32, i32 = f32.search(q, 10)
+        assert np.allclose(d64, d32, rtol=1e-4, atol=1e-3)
+        # On continuous data the ranking survives the precision drop.
+        assert (i64 == i32).mean() > 0.99
+
+    def test_clone_and_save_preserve_dtype(self, tmp_path):
+        store = ReferenceStore(8, storage_dtype="float32")
+        store.add(np.ones((4, 8)), ["a"] * 4)
+        assert store.clone().storage_dtype == "float32"
+        restored = ReferenceStore.load(store.save(tmp_path / "f32.npz"))
+        assert restored.storage_dtype == "float32"
+        assert restored.embeddings.dtype == np.float32
+
+    def test_ivfpq_over_float32_store(self):
+        vectors = corpus(2000, 16)
+        labels = [f"c{i % 20}" for i in range(2000)]
+        store = ReferenceStore(16, index=IVFPQIndex(min_train_size=16), storage_dtype="float32")
+        store.add(vectors, labels)
+        exact = ReferenceStore(16)
+        exact.add(vectors, labels)
+        q = queries_near(vectors, 32)
+        _, i_pq = store.search(q, 10)
+        _, i_ex = exact.search(q, 10)
+        assert recall(i_pq, i_ex) >= 0.95
+
+
+class TestKMeansPlusPlusSeeding:
+    def test_cells_less_skewed_than_random_init(self):
+        # Clustered corpus: random seeding routinely drops several seeds in
+        # one dense cluster, leaving skewed cells; k-means++ spreads them.
+        def skew(init, seed):
+            vectors = clustered_corpus(2000, 12, n_clusters=16, seed=seed)
+            _, assignments = _kmeans(vectors, 16, n_iter=4, seed=seed, init=init)
+            counts = np.bincount(assignments, minlength=16)
+            return counts.std() / counts.mean()
+
+        seeds = range(3)
+        skew_pp = np.mean([skew("kmeans++", s) for s in seeds])
+        skew_random = np.mean([skew("random", s) for s in seeds])
+        assert skew_pp < skew_random
+
+    def test_unknown_init_rejected(self):
+        with pytest.raises(ValueError):
+            _kmeans(np.zeros((10, 2)), 2, init="magic")
+
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine", "cityblock"])
+    def test_seeding_works_per_metric(self, metric):
+        rng = np.random.default_rng(6)
+        vectors = rng.standard_normal((300, 6)) + 2.0
+        centroids, assignments = _kmeans(vectors, 8, metric=metric, n_iter=3, seed=0)
+        assert centroids.shape == (8, 6)
+        assert assignments.shape == (300,)
+        assert np.bincount(assignments, minlength=8).sum() == 300

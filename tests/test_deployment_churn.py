@@ -17,6 +17,7 @@ from repro.core import (
     AdaptiveFingerprinter,
     CoarseQuantizedIndex,
     DeploymentError,
+    IVFPQIndex,
     OpenWorldDetector,
     load_deployment,
     save_deployment,
@@ -116,6 +117,45 @@ class TestRoundTripUnderChurn:
         assert restored.reference_store.index.spec() == spec
         observations = [sequences.T for sequences in test.data[:4]]
         for a, b in zip(ivf.fingerprint_many(observations), restored.fingerprint_many(observations)):
+            assert a.ranked_labels == b.ranked_labels
+
+    def test_ivfpq_codebooks_roundtrip_without_retrain(self, trained, tmp_path):
+        original, reference, test = trained
+        pq = AdaptiveFingerprinter(
+            n_sequences=3,
+            sequence_length=20,
+            hyperparameters=original.model.hyperparameters,
+            classifier_config=ClassifierConfig(k=8),
+            extractor=original.extractor,
+            seed=7,
+            index_factory=lambda: IVFPQIndex(
+                n_cells=4, n_probe=4, n_subspaces=4, rerank=32, min_train_size=8
+            ),
+        )
+        original.model.save(tmp_path / "weights.npz")
+        pq.model.load(tmp_path / "weights.npz")
+        pq.mark_provisioned()
+        pq.initialize(reference)
+        spec = pq.reference_store.index.spec()
+        assert spec["kind"] == "ivfpq"
+        assert pq.reference_store.index.trained
+
+        directory = tmp_path / "deployment-ivfpq"
+        save_deployment(pq, directory)
+        restored = load_deployment(directory)
+        assert restored.reference_store.index.spec() == spec
+        # Codebooks, codes and centroids were adopted from the archive, not
+        # re-learned (k-means is seeded, but adoption must be exact).
+        assert np.array_equal(
+            restored.reference_store.index._centroids, pq.reference_store.index._centroids
+        )
+        assert np.array_equal(restored.reference_store.index.codes, pq.reference_store.index.codes)
+
+        churn(restored, test)
+        churn(pq, test)
+        assert restored.reference_store.index.spec() == spec
+        observations = [sequences.T for sequences in test.data[:4]]
+        for a, b in zip(pq.fingerprint_many(observations), restored.fingerprint_many(observations)):
             assert a.ranked_labels == b.ranked_labels
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.config import ClassifierConfig
 from repro.core import KNNClassifier, OpenWorldDetector, ReferenceStore
-from repro.core.index import CoarseQuantizedIndex
+from repro.core.index import CoarseQuantizedIndex, IVFPQIndex
 from repro.serving import (
     BatchScheduler,
     DeploymentManager,
@@ -173,6 +173,49 @@ class TestShardedReferenceStore:
         # Full-probe IVF shards merge to the exact answer.
         assert np.array_equal(i_flat, i_sharded)
 
+    def test_ivfpq_shards_under_churn_match_exact(self):
+        # Full probe + a rerank pool well above k makes each IVF-PQ shard
+        # exact on this corpus, so the merged result must stay
+        # bit-identical to the flat exact store through an adaptation
+        # round.
+        corpus, labels, rng = clustered_corpus(n=900, dim=12)
+        flat = ReferenceStore(corpus.shape[1])
+        flat.add(corpus, labels)
+        sharded = ShardedReferenceStore.from_reference_store(
+            flat,
+            n_shards=2,
+            index_factory=lambda: IVFPQIndex(
+                n_cells=8, n_probe=8, n_subspaces=4, rerank=64, min_train_size=16
+            ),
+        )
+        queries = corpus[:25] + 0.05 * rng.standard_normal((25, corpus.shape[1]))
+        _, i_flat = flat.search(queries, 9)
+        _, i_sharded = sharded.search(queries, 9)
+        assert np.array_equal(i_flat, i_sharded)
+
+        fresh = corpus[:6] + 0.02 * rng.standard_normal((6, corpus.shape[1]))
+        for store in (flat, sharded):
+            store.replace_class("page-003", fresh)
+            store.remove_class("page-007")
+            store.add(fresh + 1.0, ["page-new"] * 6)
+        _, i_flat2 = flat.search(queries, 9)
+        _, i_sharded2 = sharded.search(queries, 9)
+        assert np.array_equal(i_flat2, i_sharded2)
+
+    def test_float32_storage_dtype_carries_over(self):
+        corpus, labels, _ = clustered_corpus(n=400, dim=8)
+        flat = ReferenceStore(corpus.shape[1], storage_dtype="float32")
+        flat.add(corpus, labels)
+        sharded = ShardedReferenceStore.from_reference_store(flat, n_shards=2)
+        assert sharded.storage_dtype == "float32"
+        assert sharded.embeddings.dtype == np.float32
+        assert all(
+            shard.store.storage_dtype == "float32" for shard in sharded._shards
+        )
+        clone = sharded.with_class_replaced("page-000", corpus[:4])
+        assert clone.storage_dtype == "float32"
+        assert clone.to_reference_store().storage_dtype == "float32"
+
 
 class TestProcessShardExecutor:
     def test_matches_serial_and_survives_republish(self):
@@ -200,6 +243,62 @@ class TestProcessShardExecutor:
         executor.close()
         with pytest.raises(ServingError):
             executor.search([], np.zeros((1, 4)), 1, "euclidean")
+
+    def test_ivfpq_shards_publish_codes_not_vectors(self):
+        # A trained rerank=0 IVF-PQ shard ships only codes + codebooks into
+        # shared memory: the segment must be several times smaller than the
+        # raw float64 matrix, and searches must still work (and agree with
+        # the serial executor) after an adaptation republish.
+        executor = ProcessShardExecutor(n_workers=2)
+        try:
+            corpus, labels, rng = clustered_corpus(n=2000, dim=16)
+            flat = ReferenceStore(corpus.shape[1])
+            flat.add(corpus, labels)
+            factory = lambda: IVFPQIndex(  # noqa: E731
+                n_cells=12, n_probe=6, n_subspaces=4, rerank=0, min_train_size=16
+            )
+            sharded = ShardedReferenceStore.from_reference_store(
+                flat, n_shards=2, index_factory=factory, executor=executor
+            )
+            serial = ShardedReferenceStore.from_reference_store(
+                flat, n_shards=2, index_factory=factory
+            )
+            queries = corpus[:30]
+            d_proc, i_proc = sharded.search(queries, 8)
+            d_serial, i_serial = serial.search(queries, 8)
+            assert np.array_equal(i_proc, i_serial)
+            assert np.allclose(d_proc, d_serial, rtol=1e-4, atol=1e-3)
+
+            raw_bytes_per_shard = flat.embeddings.nbytes / 2
+            for segment_bytes in executor.published_bytes().values():
+                assert segment_bytes < raw_bytes_per_shard / 2
+
+            fresh = corpus[:10] + 0.01 * rng.standard_normal((10, corpus.shape[1]))
+            for store in (sharded, serial):
+                store.replace_class("page-001", fresh)
+            d2_proc, i2_proc = sharded.search(queries, 8)
+            d2_serial, i2_serial = serial.search(queries, 8)
+            assert np.array_equal(i2_proc, i2_serial)
+        finally:
+            executor.close()
+
+    def test_float32_vectors_halve_segments(self):
+        executor = ProcessShardExecutor(n_workers=1)
+        try:
+            corpus, labels, _ = clustered_corpus(n=800, dim=16)
+            flat64 = ReferenceStore(corpus.shape[1])
+            flat64.add(corpus, labels)
+            sharded = ShardedReferenceStore.from_reference_store(
+                flat64, n_shards=2, executor=executor, storage_dtype="float32"
+            )
+            _, i32 = sharded.search(corpus[:20], 6)
+            _, i64 = flat64.search(corpus[:20], 6)
+            assert (i32 == i64).mean() > 0.99
+            raw_bytes_per_shard = flat64.embeddings.nbytes / 2
+            for segment_bytes in executor.published_bytes().values():
+                assert segment_bytes <= raw_bytes_per_shard / 2 + 1024
+        finally:
+            executor.close()
 
 
 def build_manager(n_shards=2, k=15, **kwargs):
