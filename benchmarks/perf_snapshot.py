@@ -1,5 +1,6 @@
-"""Timing snapshot: seed vs optimised hot paths (BENCH_1) and the
-query-engine memory/speed comparison (BENCH_3).
+"""Timing snapshot: seed vs optimised hot paths (BENCH_1), the
+query-engine memory/speed comparison (BENCH_3), and the network serving
+replica-scaling table (BENCH_4).
 
 Runs the seed implementations (reimplemented inline below, verbatim) and
 the current optimised code **in the same process on the same data**, so the
@@ -15,13 +16,21 @@ bytes-per-vector for exact (float64/float32) vs IVF vs IVF-PQ at
 N in {10k, 100k} — the compressed-index story (PQ codes cut resident index
 memory ~16-32x and the uint8 ADC scan beats the IVF float scan).
 
+The **BENCH_4** table replays one open-world Zipf-mix stream through the
+asyncio TCP front-end at replica counts 1/2/4 (read replicas behind a
+least-loaded router) and records queries/s and p50/p99 latency over the
+socket vs straight into the scheduler, plus full-ranking agreement with
+the exact single-process baseline.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out BENCH_1.json]
-        [--out3 BENCH_3.json] [--index-sizes 10000,100000] [--only-index]
+        [--out3 BENCH_3.json] [--out4 BENCH_4.json]
+        [--index-sizes 10000,100000] [--only-index] [--only-frontend]
+        [--frontend-references 6000] [--frontend-queries 2000]
 
-``--only-index`` skips the BENCH_1 sections (used by the CI index-bench
-smoke job, which runs reduced ``--index-sizes``).
+``--only-index`` / ``--only-frontend`` skip the other sections (used by
+the CI smoke jobs, which run reduced sizes).
 """
 
 from __future__ import annotations
@@ -321,11 +330,36 @@ def _bench3_snapshot(engines: Dict, sizes) -> Dict:
     }
 
 
+def bench_frontend(
+    out: Path,
+    *,
+    n_references: int = 6000,
+    n_classes: int = 120,
+    n_queries: int = 2000,
+    replica_counts=(1, 2, 4),
+) -> Dict:
+    """BENCH_4: queries/s vs read replicas, socket vs in-process."""
+    from repro.serving.bench import format_frontend_summary, run_frontend_bench
+
+    snapshot = run_frontend_bench(
+        n_references=n_references,
+        n_classes=n_classes,
+        n_queries=n_queries,
+        replica_counts=tuple(replica_counts),
+        out=out,
+    )
+    for line in format_frontend_summary(snapshot):
+        print(line)
+    print(f"wrote {out}")
+    return snapshot
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     root = Path(__file__).resolve().parent.parent
     parser.add_argument("--out", type=Path, default=root / "BENCH_1.json")
     parser.add_argument("--out3", type=Path, default=root / "BENCH_3.json")
+    parser.add_argument("--out4", type=Path, default=root / "BENCH_4.json")
     parser.add_argument(
         "--index-sizes", default="10000,100000",
         help="comma-separated corpus sizes for the BENCH_3 engine table",
@@ -334,7 +368,37 @@ def main() -> int:
         "--only-index", action="store_true",
         help="skip the BENCH_1 sections and write BENCH_3 only (CI smoke)",
     )
+    parser.add_argument(
+        "--only-frontend", action="store_true",
+        help="write BENCH_4 (network serving replica scaling) only (CI smoke)",
+    )
+    parser.add_argument(
+        "--frontend-references", type=int, default=6000,
+        help="reference corpus size for the BENCH_4 replay",
+    )
+    parser.add_argument(
+        "--frontend-classes", type=int, default=120,
+        help="monitored classes for the BENCH_4 replay",
+    )
+    parser.add_argument(
+        "--frontend-queries", type=int, default=2000,
+        help="queries replayed per replica count in BENCH_4",
+    )
+    parser.add_argument(
+        "--frontend-replicas", default="1,2,4",
+        help="comma-separated replica counts for the BENCH_4 table",
+    )
     arguments = parser.parse_args()
+
+    if arguments.only_frontend:
+        bench_frontend(
+            arguments.out4,
+            n_references=arguments.frontend_references,
+            n_classes=arguments.frontend_classes,
+            n_queries=arguments.frontend_queries,
+            replica_counts=[int(r) for r in arguments.frontend_replicas.split(",") if r.strip()],
+        )
+        return 0
 
     if not arguments.only_index:
         predict = bench_predict()

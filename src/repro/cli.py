@@ -8,6 +8,8 @@ The subcommands cover the common workflows::
     python -m repro table3 --no-measure
     python -m repro index-bench              # exact-vs-IVF scaling table
     python -m repro serve-bench              # serving layer -> BENCH_2.json
+    python -m repro serve-bench --transport tcp --replicas 4   # -> BENCH_4.json
+    python -m repro serve --port 7010        # TCP serving front-end
 
 The ``experiment`` subcommand builds the shared
 :class:`~repro.experiments.setup.ExperimentContext` once and runs the
@@ -23,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -100,9 +103,49 @@ def build_parser() -> argparse.ArgumentParser:
     index_bench.add_argument("--queries", type=int, default=128, help="queries per measurement")
     index_bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the TCP serving front-end over a synthetic deployment",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=7010, help="TCP port (0 = ephemeral)")
+    serve.add_argument("--references", type=int, default=6000, help="reference corpus size")
+    serve.add_argument("--classes", type=int, default=120, help="monitored classes")
+    serve.add_argument("--dim", type=int, default=32, help="embedding dimension")
+    serve.add_argument("--k", type=int, default=50, help="neighbours per query")
+    serve.add_argument("--shards", type=int, default=2, help="reference-store shards (>= 2)")
+    serve.add_argument(
+        "--replicas", type=int, default=1, help="read replicas behind the router (>= 1)"
+    )
+    serve.add_argument(
+        "--router", default="least_loaded", choices=("round_robin", "least_loaded"),
+        help="replica routing policy",
+    )
+    serve.add_argument(
+        "--executor", default="serial", choices=("serial", "process"),
+        help="replica backend: calling-thread scan or worker processes (shared memory)",
+    )
+    serve.add_argument(
+        "--index", default="exact", choices=("exact", "ivf", "ivfpq"), help="per-shard k-NN engine"
+    )
+    serve.add_argument("--rerank", type=int, default=0, help="IVF-PQ re-rank depth")
+    serve.add_argument(
+        "--storage-dtype", default="float64", choices=("float64", "float32"),
+        help="resident dtype of shard embedding buffers",
+    )
+    serve.add_argument("--batch-size", type=int, default=64, help="micro-batch size cap")
+    serve.add_argument(
+        "--max-latency-ms", type=float, default=2.0, help="micro-batch age-out latency budget"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, help="LRU result-cache entries (0 disables)"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="synthetic corpus seed")
+
     serve_bench = subparsers.add_parser(
         "serve-bench",
-        help="replay an open-world mix through the sharded serving layer -> BENCH_2.json",
+        help="replay an open-world mix through the sharded serving layer "
+             "-> BENCH_2.json (in-process) or BENCH_4.json (--transport tcp)",
     )
     serve_bench.add_argument("--references", type=int, default=6000, help="reference corpus size")
     serve_bench.add_argument("--classes", type=int, default=120, help="monitored classes")
@@ -114,10 +157,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--max-latency-ms", type=float, default=2.0, help="micro-batch age-out latency budget"
     )
-    serve_bench.add_argument("--cache-size", type=int, default=4096, help="LRU result-cache entries (0 disables)")
     serve_bench.add_argument(
-        "--executor", default="serial", choices=("serial", "process", "both"),
-        help="shard scatter: in-process, worker processes (shared memory), or both",
+        "--cache-size", type=int, default=None,
+        help="LRU result-cache entries; 0 disables. Defaults: 4096 inproc, 0 for "
+             "tcp (cache hits would bypass the replicas the tcp bench measures)",
+    )
+    serve_bench.add_argument(
+        "--executor", default=None, choices=("serial", "process", "both"),
+        help="shard scatter: in-process, worker processes (shared memory), or both. "
+             "Defaults: serial for inproc; process for tcp (serial replicas "
+             "serialise on the GIL and cannot show read scaling)",
+    )
+    serve_bench.add_argument(
+        "--transport", default="inproc", choices=("inproc", "tcp"),
+        help="inproc = scheduler replay -> BENCH_2.json; tcp = replay over the "
+             "socket front-end with replica scaling -> BENCH_4.json",
+    )
+    serve_bench.add_argument(
+        "--replicas", type=int, default=4,
+        help="max read replicas for --transport tcp (measures 1,2,...,N doubling)",
+    )
+    serve_bench.add_argument(
+        "--router", default="least_loaded", choices=("round_robin", "least_loaded"),
+        help="replica routing policy for --transport tcp",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=8, help="concurrent TCP client connections (tcp transport)"
+    )
+    serve_bench.add_argument(
+        "--request-batch-size", type=int, default=32,
+        help="queries per client request frame (tcp transport)",
+    )
+    serve_bench.add_argument(
+        "--class-mix", default=None, choices=("uniform", "zipf"),
+        help="monitored class popularity (default: uniform inproc, zipf tcp)",
+    )
+    serve_bench.add_argument(
+        "--zipf-s", type=float, default=1.2, help="Zipf exponent for --class-mix zipf"
     )
     serve_bench.add_argument(
         "--index", default="exact", choices=("exact", "ivf", "ivfpq"),
@@ -142,7 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument("--seed", type=int, default=0, help="workload seed")
     serve_bench.add_argument(
-        "--out", type=Path, default=Path("BENCH_2.json"), help="where to write the JSON snapshot"
+        "--out", type=Path, default=None,
+        help="where to write the JSON snapshot (default: BENCH_2.json, or BENCH_4.json for tcp)",
     )
     serve_bench.add_argument(
         "--smoke", action="store_true",
@@ -289,8 +366,79 @@ def _index_bench(arguments) -> List[str]:
     ]
 
 
+def _serve(arguments) -> int:
+    from repro.config import ClassifierConfig
+    from repro.core.index_bench import clustered_corpus
+    from repro.core.reference_store import ReferenceStore
+    from repro.serving import (
+        BatchScheduler,
+        DeploymentManager,
+        FrontendServer,
+        ReplicaSet,
+        ShardedReferenceStore,
+    )
+    from repro.serving.bench import _shard_index_factory
+
+    if arguments.shards < 2:
+        raise SystemExit("--shards must be >= 2")
+    if arguments.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    corpus = clustered_corpus(
+        arguments.references, arguments.dim, n_clusters=arguments.classes, seed=arguments.seed
+    )
+    labels = [f"page-{i % arguments.classes:04d}" for i in range(arguments.references)]
+    flat = ReferenceStore(arguments.dim)
+    flat.add(corpus, labels)
+    replica_set = (
+        ReplicaSet.in_process(arguments.replicas, router=arguments.router)
+        if arguments.executor == "serial"
+        else ReplicaSet.processes(
+            arguments.replicas, n_workers=arguments.shards, router=arguments.router
+        )
+    )
+    manager = DeploymentManager(
+        ShardedReferenceStore.from_reference_store(
+            flat,
+            n_shards=arguments.shards,
+            executor=replica_set,
+            index_factory=_shard_index_factory(arguments.index, arguments.rerank),
+            storage_dtype=arguments.storage_dtype,
+        ),
+        ClassifierConfig(k=arguments.k),
+    )
+    scheduler = BatchScheduler(
+        manager,
+        max_batch_size=arguments.batch_size,
+        max_latency_s=arguments.max_latency_ms / 1e3,
+        cache_size=arguments.cache_size,
+        n_executors=arguments.replicas,
+    )
+    server = FrontendServer(
+        scheduler, manager=manager, host=arguments.host, port=arguments.port
+    )
+    with scheduler, server:
+        print(
+            f"serving {len(flat)} references / {arguments.classes} classes on "
+            f"{server.host}:{server.port} ({arguments.shards} shards, "
+            f"{arguments.replicas} {arguments.executor} replica(s), "
+            f"index={arguments.index}); Ctrl-C to stop"
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("stopping")
+    manager.close()
+    return 0
+
+
 def _serve_bench(arguments) -> List[str]:
-    from repro.serving.bench import format_summary, run_serving_bench
+    from repro.serving.bench import (
+        format_frontend_summary,
+        format_summary,
+        run_frontend_bench,
+        run_serving_bench,
+    )
 
     if arguments.shards < 2:
         raise SystemExit("--shards must be >= 2 (the merge path is the point of the bench)")
@@ -304,23 +452,62 @@ def _serve_bench(arguments) -> List[str]:
             k=arguments.k,
             n_queries=arguments.queries,
         )
+    if arguments.transport == "tcp":
+        executor = arguments.executor if arguments.executor is not None else "process"
+        if executor == "both":
+            raise SystemExit("--transport tcp takes --executor serial or process")
+        if arguments.replicas < 1:
+            raise SystemExit("--replicas must be >= 1")
+        out = arguments.out if arguments.out is not None else Path("BENCH_4.json")
+        replica_counts = [1]
+        while replica_counts[-1] * 2 <= arguments.replicas:
+            replica_counts.append(replica_counts[-1] * 2)
+        if replica_counts[-1] != arguments.replicas:
+            replica_counts.append(arguments.replicas)
+        snapshot = run_frontend_bench(
+            **preset,
+            n_shards=arguments.shards,
+            replica_counts=tuple(replica_counts),
+            executor=executor,
+            router=arguments.router,
+            max_batch_size=arguments.batch_size,
+            max_latency_s=arguments.max_latency_ms / 1e3,
+            cache_size=arguments.cache_size if arguments.cache_size is not None else 0,
+            n_clients=arguments.clients,
+            request_batch_size=arguments.request_batch_size,
+            unmonitored_fraction=arguments.unmonitored_fraction,
+            revisit_fraction=arguments.revisit_fraction,
+            class_mix=arguments.class_mix if arguments.class_mix is not None else "zipf",
+            zipf_s=arguments.zipf_s,
+            assignment=arguments.assignment,
+            index_kind=arguments.index,
+            rerank=arguments.rerank,
+            storage_dtype=arguments.storage_dtype,
+            seed=arguments.seed,
+            out=out,
+        )
+        return format_frontend_summary(snapshot) + [f"wrote {out}"]
+    out = arguments.out if arguments.out is not None else Path("BENCH_2.json")
+    executor = arguments.executor if arguments.executor is not None else "serial"
     snapshot = run_serving_bench(
         **preset,
         n_shards=arguments.shards,
         max_batch_size=arguments.batch_size,
         max_latency_s=arguments.max_latency_ms / 1e3,
-        cache_size=arguments.cache_size,
+        cache_size=arguments.cache_size if arguments.cache_size is not None else 4096,
         unmonitored_fraction=arguments.unmonitored_fraction,
         revisit_fraction=arguments.revisit_fraction,
-        executor=arguments.executor,
+        executor=executor,
         assignment=arguments.assignment,
         index_kind=arguments.index,
         rerank=arguments.rerank,
         storage_dtype=arguments.storage_dtype,
+        class_mix=arguments.class_mix if arguments.class_mix is not None else "uniform",
+        zipf_s=arguments.zipf_s,
         seed=arguments.seed,
-        out=arguments.out,
+        out=out,
     )
-    return format_summary(snapshot) + [f"wrote {arguments.out}"]
+    return format_summary(snapshot) + [f"wrote {out}"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -358,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(block)
             print()
         return 0
+    if arguments.command == "serve":
+        return _serve(arguments)
     if arguments.command == "serve-bench":
         for line in _serve_bench(arguments):
             print(line)

@@ -17,16 +17,36 @@ mode (an adversary monitoring pages for months, adapting as they change):
   serving never blocks on (or tears under) a retraining-free update, and
   warm restarts reuse ``save_deployment``/``load_deployment``.
 * :class:`~repro.serving.loadgen.LoadGenerator` — replays open-world trace
-  mixes and reports throughput and p50/p99 latency
-  (``repro serve-bench`` -> ``BENCH_2.json``).
+  mixes (uniform or hot-class Zipf) and reports throughput and p50/p99
+  latency (``repro serve-bench`` -> ``BENCH_2.json``).
+* :class:`~repro.serving.frontend.FrontendServer` +
+  :mod:`repro.serving.protocol` — the asyncio TCP front-end: length-prefixed
+  binary frames (packed float32 query batches, JSON control messages) into
+  the scheduler, structured error frames for every malformed input
+  (``repro serve`` / ``repro serve-bench --transport tcp`` ->
+  ``BENCH_4.json``).
+* :class:`~repro.serving.sharded_store.ReplicaSet` — R read replicas of the
+  shard scatter behind a round-robin/least-loaded router; process replicas
+  attach one shared publication of the (PQ-compressed) index segments.
 """
 
-from repro.serving.loadgen import LatencyReport, LoadGenerator, ReplayResult, open_world_mix
+from repro.serving.frontend import FrontendServer, FrontendStats
+from repro.serving.loadgen import (
+    LatencyReport,
+    LoadGenerator,
+    NetworkLoadGenerator,
+    NetworkReplayResult,
+    ReplayResult,
+    open_world_mix,
+)
 from repro.serving.manager import DeploymentManager, OpenWorldConfig, ServingSnapshot
+from repro.serving.protocol import FrontendClient, ProtocolError
 from repro.serving.scheduler import BatchScheduler, QueryTicket, SchedulerStats
 from repro.serving.sharded_store import (
     InProcessShardExecutor,
     ProcessShardExecutor,
+    ReplicaSet,
+    SegmentPublisher,
     ServingError,
     ShardedReferenceStore,
 )
@@ -34,14 +54,22 @@ from repro.serving.sharded_store import (
 __all__ = [
     "BatchScheduler",
     "DeploymentManager",
+    "FrontendClient",
+    "FrontendServer",
+    "FrontendStats",
     "InProcessShardExecutor",
     "LatencyReport",
     "LoadGenerator",
+    "NetworkLoadGenerator",
+    "NetworkReplayResult",
     "OpenWorldConfig",
     "ProcessShardExecutor",
+    "ProtocolError",
     "QueryTicket",
     "ReplayResult",
+    "ReplicaSet",
     "SchedulerStats",
+    "SegmentPublisher",
     "ServingError",
     "ServingSnapshot",
     "ShardedReferenceStore",

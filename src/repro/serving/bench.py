@@ -20,10 +20,11 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,12 +33,14 @@ from repro.core.classifier import KNNClassifier
 from repro.core.index import CoarseQuantizedIndex, ExactIndex, IVFPQIndex
 from repro.core.index_bench import clustered_corpus
 from repro.core.reference_store import ReferenceStore
-from repro.serving.loadgen import LoadGenerator, open_world_mix
+from repro.serving.frontend import FrontendServer
+from repro.serving.loadgen import LoadGenerator, NetworkLoadGenerator, open_world_mix
 from repro.serving.manager import DeploymentManager
 from repro.serving.scheduler import BatchScheduler
 from repro.serving.sharded_store import (
     InProcessShardExecutor,
     ProcessShardExecutor,
+    ReplicaSet,
     ServingError,
     ShardedReferenceStore,
 )
@@ -112,6 +115,8 @@ def run_serving_bench(
     index_kind: str = "exact",
     rerank: int = 0,
     storage_dtype: str = "float64",
+    class_mix: str = "uniform",
+    zipf_s: float = 1.2,
     seed: int = 0,
     out: Optional[Path] = None,
 ) -> Dict:
@@ -139,6 +144,9 @@ def run_serving_bench(
         n_queries,
         unmonitored_fraction=unmonitored_fraction,
         revisit_fraction=revisit_fraction,
+        class_mix=class_mix,
+        zipf_s=zipf_s,
+        reference_labels=labels if class_mix == "zipf" else None,
         seed=seed + 1,
     )
 
@@ -279,6 +287,8 @@ def run_serving_bench(
             "index": index_kind,
             "rerank": rerank,
             "storage_dtype": storage_dtype,
+            "class_mix": class_mix,
+            "zipf_s": zipf_s if class_mix == "zipf" else None,
         },
         "baseline_float64_shard_bytes": int(flat.embeddings.nbytes) // n_shards,
         "baseline_exact_single_process": {
@@ -351,4 +361,252 @@ def format_summary(snapshot: Dict) -> List[str]:
             lines.append(
                 f"    shm segment per shard: {', '.join(f'{b/1024:.0f} KiB' for b in segments)}{ratio}"
             )
+    return lines
+
+
+# ---------------------------------------------------------------- BENCH_4: tcp
+def _replica_executor(executor: str, n_replicas: int, n_shards: int, router: str):
+    if executor == "serial":
+        return ReplicaSet.in_process(n_replicas, router=router)
+    return ReplicaSet.processes(n_replicas, n_workers=n_shards, router=router)
+
+
+def run_frontend_bench(
+    *,
+    n_references: int = 6000,
+    n_classes: int = 120,
+    dim: int = 32,
+    k: int = 50,
+    n_queries: int = 2000,
+    n_shards: int = 2,
+    replica_counts: Tuple[int, ...] = (1, 2, 4),
+    executor: str = "process",
+    router: str = "least_loaded",
+    max_batch_size: int = 64,
+    max_latency_s: float = 0.002,
+    cache_size: int = 0,
+    n_clients: int = 8,
+    request_batch_size: int = 32,
+    unmonitored_fraction: float = 0.2,
+    revisit_fraction: float = 0.0,
+    class_mix: str = "zipf",
+    zipf_s: float = 1.2,
+    assignment: str = "hash",
+    index_kind: str = "exact",
+    rerank: int = 0,
+    storage_dtype: str = "float64",
+    seed: int = 0,
+    out: Optional[Path] = None,
+) -> Dict:
+    """The BENCH_4 measurement: the serving layer over its TCP front-end.
+
+    For each replica count R the same open-world stream (hot-class Zipf mix
+    by default) replays twice against a fresh deployment whose shard
+    scatter runs through a :class:`ReplicaSet` of R replicas:
+
+    * **in-process** — straight into the scheduler, the BENCH_2 path; this
+      is the latency floor the socket hop is compared against.
+    * **network** — ``n_clients`` concurrent TCP connections through
+      :class:`FrontendServer`, per-request latency measured client-side.
+
+    ``executor="process"`` (the default) backs each replica with worker
+    processes attaching one shared publication — the configuration whose
+    throughput actually scales with R; ``"serial"`` replicas scan in the
+    calling thread and mostly serialise on the GIL (useful as a
+    correctness smoke, not a scaling measurement).  The scheduler runs
+    ``n_executors=R`` so concurrent batches actually
+    reach different replicas, and every network prediction's *full* ranking
+    is compared to the single-process exact baseline — replication and the
+    wire format must not cost a single bit of agreement (recorded as
+    ``identical_to_exact_baseline``; approximate configs such as ivfpq
+    ``rerank=0`` record agreement instead of asserting it).
+
+    The result cache defaults *off* here: BENCH_4 measures scatter/replica
+    scaling, and cache hits would let repeated queries bypass the replicas.
+    """
+    if executor not in ("serial", "process"):
+        raise ValueError("executor must be 'serial' or 'process'")
+    replica_counts = tuple(sorted(set(int(count) for count in replica_counts)))
+    if not replica_counts or replica_counts[0] < 1:
+        raise ValueError("replica_counts must be positive integers")
+
+    corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
+    flat = ReferenceStore(dim)
+    flat.add(corpus, labels)
+    index_factory = _shard_index_factory(index_kind, rerank)
+    config = ClassifierConfig(k=k)
+    queries, is_unmonitored = open_world_mix(
+        corpus,
+        n_queries,
+        unmonitored_fraction=unmonitored_fraction,
+        revisit_fraction=revisit_fraction,
+        class_mix=class_mix,
+        zipf_s=zipf_s,
+        reference_labels=labels if class_mix == "zipf" else None,
+        seed=seed + 1,
+    )
+    baseline = _baseline(flat, config, queries)
+    baseline_labels: List[List[str]] = [p.ranked_labels for p in baseline["predictions"]]
+    top_n = max(len(ranked) for ranked in baseline_labels)
+
+    sections: Dict[str, Dict] = {}
+    for n_replicas in replica_counts:
+        replica_set = _replica_executor(executor, n_replicas, n_shards, router)
+        manager = DeploymentManager(
+            ShardedReferenceStore.from_reference_store(
+                flat,
+                n_shards=n_shards,
+                assignment=assignment,
+                executor=replica_set,
+                index_factory=index_factory,
+                storage_dtype=storage_dtype,
+            ),
+            config,
+        )
+        scheduler = BatchScheduler(
+            manager,
+            max_batch_size=max_batch_size,
+            max_latency_s=max_latency_s,
+            cache_size=cache_size,
+            n_executors=n_replicas,
+        )
+        try:
+            with scheduler:
+                # Warm up before measuring: worker processes fork, attach
+                # the published segments and fault their pages on the first
+                # scatter — without this the replicas=1 section pays all of
+                # it and fakes a scaling win for the later sections.
+                LoadGenerator(queries[: 4 * max_batch_size]).replay(scheduler)
+                in_process = LoadGenerator(queries).replay(scheduler)
+                with FrontendServer(scheduler, manager=manager) as server:
+                    loadgen = NetworkLoadGenerator(
+                        queries, request_batch_size=request_batch_size, top_n=top_n
+                    )
+                    NetworkLoadGenerator(
+                        queries[: 4 * max_batch_size],
+                        request_batch_size=request_batch_size,
+                        top_n=top_n,
+                    ).replay(server.host, server.port, n_clients=n_clients)
+                    network = loadgen.replay(server.host, server.port, n_clients=n_clients)
+            identical = network.failed == 0 and all(
+                entry is not None and entry[0] == expected
+                for entry, expected in zip(network.predictions, baseline_labels)
+            )
+            shm_bytes = sorted(replica_set.published_bytes().values()) or None
+            sections[str(n_replicas)] = {
+                "n_replicas": n_replicas,
+                "router": router,
+                "in_process": in_process.report.as_dict(),
+                "network": network.report.as_dict(),
+                "routed_counts": replica_set.routed_counts(),
+                "identical_to_exact_baseline": identical,
+                "failed_queries": network.failed + in_process.failed,
+                "shm_segment_bytes": shm_bytes,
+            }
+        finally:
+            manager.close()
+
+    one = sections[str(replica_counts[0])]["network"]["throughput_qps"]
+    cpu_count = os.cpu_count() or 1
+    snapshot = {
+        "snapshot": "BENCH_4",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": cpu_count,
+        },
+        "workload": {
+            "n_references": n_references,
+            "n_classes": n_classes,
+            "dim": dim,
+            "k": k,
+            "n_queries": n_queries,
+            "n_unmonitored": int(is_unmonitored.sum()),
+            "n_shards": n_shards,
+            "executor": executor,
+            "router": router,
+            "replica_counts": list(replica_counts),
+            "max_batch_size": max_batch_size,
+            "max_latency_s": max_latency_s,
+            "cache_size": cache_size,
+            "n_clients": n_clients,
+            "request_batch_size": request_batch_size,
+            "unmonitored_fraction": unmonitored_fraction,
+            "revisit_fraction": revisit_fraction,
+            "class_mix": class_mix,
+            "zipf_s": zipf_s if class_mix == "zipf" else None,
+            "assignment": assignment,
+            "index": index_kind,
+            "rerank": rerank,
+            "storage_dtype": storage_dtype,
+            "transport": "tcp",
+        },
+        "baseline_exact_single_process": {
+            "throughput_qps": baseline["throughput_qps"],
+            "ms_per_query": baseline["ms_per_query"],
+        },
+        "replicas": sections,
+        "scaling": {
+            str(count): sections[str(count)]["network"]["throughput_qps"] / one
+            for count in replica_counts
+        },
+        # Replication is read scaling across cores/hosts; a measurement box
+        # with fewer cores than replicas caps the observable speedup at ~1x
+        # (every replica timeshares the same silicon).  Recorded so the
+        # snapshot says which regime it measured.
+        "scaling_limited_by_cpu_count": cpu_count < max(replica_counts) * (n_shards + 1),
+        "identical_to_exact_baseline": {
+            name: section["identical_to_exact_baseline"] for name, section in sections.items()
+        },
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot
+
+
+def format_frontend_summary(snapshot: Dict) -> List[str]:
+    """Human-readable lines for ``repro serve-bench --transport tcp``."""
+    workload = snapshot["workload"]
+    lines = [
+        f"frontend bench (tcp): N={workload['n_references']} refs, "
+        f"{workload['n_classes']} classes, {workload['n_queries']} queries "
+        f"({workload['n_unmonitored']} open-world, {workload['class_mix']} mix), "
+        f"{workload['n_shards']} shards, executor={workload['executor']}, "
+        f"router={workload['router']}, {workload['n_clients']} clients, "
+        f"index={workload['index']}"
+    ]
+    base = snapshot["baseline_exact_single_process"]
+    lines.append(
+        f"  baseline (single-process exact): {base['throughput_qps']:.0f} q/s, "
+        f"{base['ms_per_query']:.3f} ms/query"
+    )
+    for name in sorted(snapshot["replicas"], key=int):
+        section = snapshot["replicas"][name]
+        in_process = section["in_process"]
+        network = section["network"]
+        lines.append(
+            f"  replicas={name}: network {network['throughput_qps']:.0f} q/s "
+            f"(p50 {network['p50_ms']:.2f} ms, p99 {network['p99_ms']:.2f} ms, "
+            f"{snapshot['scaling'][name]:.2f}x vs 1 replica) | "
+            f"in-process {in_process['throughput_qps']:.0f} q/s "
+            f"(p50 {in_process['p50_ms']:.2f} ms), "
+            f"routed {section['routed_counts']}, "
+            f"identical to baseline: {section['identical_to_exact_baseline']}, "
+            f"failed: {section['failed_queries']}"
+        )
+        segments = section.get("shm_segment_bytes")
+        if segments:
+            lines.append(
+                f"    shared shm segments: {', '.join(f'{b/1024:.0f} KiB' for b in segments)} "
+                f"(one publication for all {name} replicas)"
+            )
+    if snapshot.get("scaling_limited_by_cpu_count"):
+        lines.append(
+            f"  note: only {snapshot['platform']['cpu_count']} CPU core(s) visible — "
+            f"replicas timeshare the same silicon, so queries/s cannot scale here; "
+            f"run on >= replicas x (shards+1) cores to see read scaling"
+        )
     return lines

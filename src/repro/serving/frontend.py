@@ -1,0 +1,362 @@
+"""Asyncio TCP front-end: the network face of the serving subsystem.
+
+:class:`FrontendServer` accepts length-prefixed frames
+(:mod:`repro.serving.protocol`), feeds query batches to a
+:class:`~repro.serving.scheduler.BatchScheduler` and answers with ranked
+predictions.  The event loop only ever parses frames and writes responses;
+classification — which blocks on scheduler tickets — runs on a thread pool,
+so one slow batch never stalls the accept loop or the other connections.
+With the scheduler running ``n_executors > 1`` and the sharded store
+scattering through a :class:`~repro.serving.sharded_store.ReplicaSet`,
+concurrent connections fan out across read replicas.
+
+The failure contract is the one the fuzz suite enforces: *every* bad input
+— truncated frames, hostile length prefixes, garbage payloads, wrong
+dimensions, NaN embeddings, invalid JSON — is answered with a structured
+``ERROR`` frame (or, when the stream can no longer be re-synchronised, the
+error frame followed by a clean close).  The server process never dies on
+client input and a failed connection never leaks its handler task.
+
+The server runs embedded (``async with FrontendServer(...)``), or from a
+background thread via :meth:`start_in_thread`/:meth:`stop` for blocking
+callers (the CLI, benches and tests), or as a process via
+``repro serve --port``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving import protocol
+from repro.serving.protocol import ProtocolError
+from repro.serving.scheduler import BatchScheduler
+from repro.serving.sharded_store import ServingError
+
+_RESULT_TIMEOUT_S = 60.0
+
+
+@dataclass
+class FrontendStats:
+    """Counters the front-end reports through ``stats`` control requests."""
+
+    connections: int = 0
+    open_connections: int = 0
+    frames: int = 0
+    queries: int = 0
+    errors: int = 0
+    errors_by_code: Dict[str, int] = field(default_factory=dict)
+
+    def count_error(self, code: str) -> None:
+        self.errors += 1
+        self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
+
+    def as_dict(self) -> Dict:
+        return {
+            "connections": self.connections,
+            "open_connections": self.open_connections,
+            "frames": self.frames,
+            "queries": self.queries,
+            "errors": self.errors,
+            "errors_by_code": dict(self.errors_by_code),
+        }
+
+
+class FrontendServer:
+    """Serve classification over TCP on top of a batch scheduler.
+
+    ``scheduler`` handles queries; ``manager`` (optional, a
+    :class:`~repro.serving.manager.DeploymentManager`) additionally enables
+    the ``info``/``rebalance`` control operations that need the live store.
+    """
+
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        *,
+        manager=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_handler_threads: int = 8,
+        result_timeout_s: float = _RESULT_TIMEOUT_S,
+    ) -> None:
+        if n_handler_threads <= 0:
+            raise ValueError("n_handler_threads must be positive")
+        self.scheduler = scheduler
+        self.manager = manager
+        self.host = host
+        self.port = int(port)  # 0 = ephemeral; rewritten once bound
+        self.result_timeout_s = float(result_timeout_s)
+        self.stats = FrontendStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=n_handler_threads, thread_name_prefix="frontend-classify"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ address
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    # ------------------------------------------------------------- async server
+    async def start(self) -> "FrontendServer":
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (from any thread) is called."""
+        if self._server is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "FrontendServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self._shutdown()
+        self._executor.shutdown(wait=False)
+
+    # --------------------------------------------------------- threaded runner
+    def start_in_thread(self, *, timeout_s: float = 10.0) -> "FrontendServer":
+        """Run the server on a dedicated event-loop thread; returns once bound."""
+        if self._thread is not None:
+            return self
+
+        def runner() -> None:
+            try:
+                asyncio.run(self.serve_forever())
+            except BaseException as error:  # surface bind failures to the caller
+                self._startup_error = error
+                self._started.set()
+
+        self._thread = threading.Thread(target=runner, name="serving-frontend", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise ServingError("the front-end server did not start in time")
+        if self._startup_error is not None:
+            raise ServingError(f"the front-end server failed to start: {self._startup_error!r}")
+        return self
+
+    def stop(self) -> None:
+        """Stop the server (thread-safe); joins the loop thread if one exists."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._executor.shutdown(wait=False)
+
+    def __enter__(self) -> "FrontendServer":
+        return self.start_in_thread()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        self.stats.open_connections += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutting down with this connection open
+        finally:
+            self.stats.open_connections -= 1
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                header = await reader.readexactly(protocol.HEADER.size)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # clean close or truncated mid-frame: nothing to answer
+            try:
+                frame_type, length = protocol.parse_header(header)
+            except ProtocolError as error:
+                if error.recoverable:
+                    # Unknown frame type with intact framing: drain the
+                    # declared payload so the stream stays in sync, answer
+                    # the error, keep serving.
+                    _, _, length = protocol.HEADER.unpack(header)
+                    try:
+                        if length:
+                            await reader.readexactly(length)
+                    except (asyncio.IncompleteReadError, ConnectionError):
+                        return
+                    await self._send_error(writer, error)
+                    continue
+                # Framing is broken (bad magic / hostile length): answer
+                # once, then close — we cannot find the next frame.
+                await self._send_error(writer, error)
+                return
+            try:
+                payload = await reader.readexactly(length) if length else b""
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            self.stats.frames += 1
+            try:
+                response = await self._dispatch(frame_type, payload)
+            except ProtocolError as error:
+                await self._send_error(writer, error)
+                if not error.recoverable:
+                    return
+                continue
+            except Exception as error:  # classification/control failure
+                await self._send_error(
+                    writer, ProtocolError("server-error", f"{type(error).__name__}: {error}")
+                )
+                continue
+            writer.write(response)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return
+
+    async def _send_error(self, writer: asyncio.StreamWriter, error: ProtocolError) -> None:
+        self.stats.count_error(error.code)
+        try:
+            writer.write(
+                protocol.encode_error(error.code, str(error), recoverable=error.recoverable)
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # ---------------------------------------------------------------- dispatch
+    async def _dispatch(self, frame_type: int, payload: bytes) -> bytes:
+        if frame_type == protocol.QUERY:
+            return await self._handle_query(payload)
+        if frame_type == protocol.CONTROL:
+            body = protocol.decode_json(payload)
+            # Off the event loop like queries: a rebalance deep-copies
+            # shard stores and contends on the swap lock — run inline it
+            # would stall every other connection for the duration.
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._executor, self._handle_control, body)
+        raise ProtocolError(
+            "bad-frame-type", f"clients may only send QUERY or CONTROL frames, got {frame_type}"
+        )
+
+    async def _handle_query(self, payload: bytes) -> bytes:
+        batch, top_n = protocol.decode_query(payload)
+        store = self._store()
+        if store is not None and batch.shape[1] != store.embedding_dim:
+            raise ProtocolError(
+                "bad-dim",
+                f"queries have dimension {batch.shape[1]}, "
+                f"the deployment serves dimension {store.embedding_dim}",
+            )
+        if not np.isfinite(batch).all():
+            raise ProtocolError(
+                "bad-values", "query embeddings contain NaN/inf values; refusing to classify"
+            )
+        loop = asyncio.get_running_loop()
+        generation, ranked = await loop.run_in_executor(
+            self._executor, self._classify_block, batch, top_n
+        )
+        self.stats.queries += batch.shape[0]
+        return protocol.encode_result(generation, ranked)
+
+    def _classify_block(
+        self, batch: np.ndarray, top_n: int
+    ) -> Tuple[int, List[Tuple[List[str], List[float]]]]:
+        """Blocking classification of one frame's batch (thread-pool side)."""
+        tickets = [self.scheduler.submit(embedding) for embedding in batch]
+        if not self.scheduler.running:
+            self.scheduler.flush()
+        ranked: List[Tuple[List[str], List[float]]] = []
+        for ticket in tickets:
+            try:
+                prediction = ticket.result(self.result_timeout_s)
+            except ServingError as error:
+                raise ProtocolError("query-failed", str(error)) from error
+            ranked.append((prediction.ranked_labels[:top_n], prediction.scores[:top_n]))
+        # The generation that actually served the batch (an adaptation swap
+        # can land between submit and execute).  A batch straddling a swap
+        # reports the newest snapshot that served any of its queries.
+        generations = [ticket.generation for ticket in tickets if ticket.generation is not None]
+        generation = max(generations) if generations else self.scheduler.source.snapshot().generation
+        return generation, ranked
+
+    def _store(self):
+        if self.manager is not None:
+            return self.manager.store
+        return None
+
+    def _handle_control(self, body: Dict) -> bytes:
+        op = body.get("op")
+        if op == "ping":
+            return protocol.encode_json(protocol.CONTROL, {"ok": True})
+        if op == "stats":
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "frontend": self.stats.as_dict(),
+                    "scheduler": self.scheduler.stats.as_dict(),
+                },
+            )
+        if op == "info":
+            store = self._store()
+            info: Dict = {"ok": True}
+            if self.manager is not None and store is not None:
+                info.update(
+                    generation=self.manager.generation,
+                    n_references=len(store),
+                    n_classes=store.n_classes,
+                    embedding_dim=store.embedding_dim,
+                    n_shards=store.n_shards,
+                    shard_sizes=store.shard_sizes(),
+                )
+                replicas = getattr(store.executor, "n_replicas", None)
+                if replicas is not None:
+                    info["n_replicas"] = replicas
+            return protocol.encode_json(protocol.CONTROL, info)
+        if op == "rebalance":
+            if self.manager is None:
+                raise ProtocolError("bad-control", "no deployment manager attached; cannot rebalance")
+            threshold = body.get("threshold", 0.25)
+            if not isinstance(threshold, (int, float)) or not 0.0 <= float(threshold):
+                raise ProtocolError("bad-control", f"invalid rebalance threshold {threshold!r}")
+            moves = self.manager.rebalance(threshold=float(threshold))
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "moved": [[label, int(src), int(dst)] for label, src, dst in moves],
+                    "shard_sizes": self.manager.store.shard_sizes(),
+                    "generation": self.manager.generation,
+                },
+            )
+        raise ProtocolError("bad-control", f"unknown control op {op!r}")

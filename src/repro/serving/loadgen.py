@@ -13,15 +13,48 @@ percentiles.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.classifier import Prediction
+from repro.serving.protocol import FrontendClient, ProtocolError
 from repro.serving.scheduler import BatchScheduler, QueryTicket
 from repro.serving.sharded_store import ServingError
+
+CLASS_MIXES = ("uniform", "zipf")
+
+
+def _zipf_rows(
+    reference_labels: Sequence[str],
+    n_rows: int,
+    zipf_s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Reference-row sample with Zipf-distributed *class* popularity.
+
+    Real victim traffic is head-heavy: a few monitored pages absorb most
+    loads.  Classes are ranked in first-occurrence order and class ``r``
+    (1-based) is drawn with probability ∝ ``r**-zipf_s``; the row within
+    the class is uniform.  This is the hot-class traffic that makes shard
+    skew (and therefore :meth:`ShardedReferenceStore.rebalance`) and
+    least-loaded replica routing observable in the serve bench.
+    """
+    labels = np.asarray(list(reference_labels), dtype=object)
+    classes = list(dict.fromkeys(labels.tolist()))
+    ranks = np.arange(1, len(classes) + 1, dtype=np.float64)
+    weights = ranks**-zipf_s
+    weights /= weights.sum()
+    rows_by_class = [np.flatnonzero(labels == name) for name in classes]
+    chosen = rng.choice(len(classes), size=n_rows, p=weights)
+    offsets = rng.random(n_rows)
+    return np.array(
+        [rows_by_class[c][int(offset * rows_by_class[c].size)] for c, offset in zip(chosen, offsets)],
+        dtype=np.int64,
+    )
 
 
 def open_world_mix(
@@ -32,6 +65,9 @@ def open_world_mix(
     noise_scale: float = 0.1,
     outlier_shift: float = 25.0,
     revisit_fraction: float = 0.0,
+    class_mix: str = "uniform",
+    zipf_s: float = 1.2,
+    reference_labels: Optional[Sequence[str]] = None,
     seed: int = 0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Synthesise ``(queries, is_unmonitored)`` for an open-world replay.
@@ -42,6 +78,12 @@ def open_world_mix(
     a random direction (a page no reference lies near).  A
     ``revisit_fraction`` of the monitored queries are exact duplicates of
     earlier ones — the cache-friendly victim who reloads a page.
+
+    ``class_mix`` picks which monitored pages get visited: ``"uniform"``
+    samples reference rows uniformly, ``"zipf"`` (requires
+    ``reference_labels``, one per reference row) makes class popularity
+    follow a Zipf law with exponent ``zipf_s`` — the realistic hot-class
+    traffic for rebalancing and replica-routing experiments.
     """
     references = np.atleast_2d(np.asarray(reference_embeddings, dtype=np.float64))
     if references.shape[0] == 0:
@@ -50,11 +92,25 @@ def open_world_mix(
         raise ValueError("unmonitored_fraction must be in [0, 1]")
     if not 0.0 <= revisit_fraction < 1.0:
         raise ValueError("revisit_fraction must be in [0, 1)")
+    if class_mix not in CLASS_MIXES:
+        raise ValueError(f"unknown class_mix {class_mix!r}; expected one of {CLASS_MIXES}")
+    if class_mix == "zipf":
+        if zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        if reference_labels is None:
+            raise ValueError("class_mix='zipf' needs reference_labels (one per reference row)")
+        if len(reference_labels) != references.shape[0]:
+            raise ValueError(
+                f"got {len(reference_labels)} reference_labels for {references.shape[0]} references"
+            )
     rng = np.random.default_rng(seed)
     n_unmonitored = int(round(n_queries * unmonitored_fraction))
     n_monitored = n_queries - n_unmonitored
 
-    rows = rng.integers(0, references.shape[0], size=n_monitored)
+    if class_mix == "zipf":
+        rows = _zipf_rows(reference_labels, n_monitored, zipf_s, rng)
+    else:
+        rows = rng.integers(0, references.shape[0], size=n_monitored)
     monitored = references[rows] + noise_scale * rng.standard_normal((n_monitored, references.shape[1]))
     n_revisits = int(round(n_monitored * revisit_fraction))
     if n_revisits and n_monitored > n_revisits:
@@ -115,22 +171,29 @@ class ReplayResult:
         return self.report.failed
 
 
-def latency_report(tickets: List[QueryTicket], duration_s: float, failed: int) -> LatencyReport:
-    latencies = np.array(
-        [ticket.latency_s for ticket in tickets if ticket.latency_s is not None], dtype=np.float64
-    )
+def report_from_latencies(
+    latencies_s: np.ndarray, n_queries: int, duration_s: float, failed: int
+) -> LatencyReport:
+    latencies = np.asarray(latencies_s, dtype=np.float64)
     if latencies.size == 0:
         latencies = np.zeros(1)
     return LatencyReport(
-        n_queries=len(tickets),
+        n_queries=n_queries,
         duration_s=duration_s,
-        throughput_qps=len(tickets) / duration_s if duration_s > 0 else float("inf"),
+        throughput_qps=n_queries / duration_s if duration_s > 0 else float("inf"),
         p50_ms=float(np.percentile(latencies, 50) * 1e3),
         p99_ms=float(np.percentile(latencies, 99) * 1e3),
         mean_ms=float(latencies.mean() * 1e3),
         max_ms=float(latencies.max() * 1e3),
         failed=failed,
     )
+
+
+def latency_report(tickets: List[QueryTicket], duration_s: float, failed: int) -> LatencyReport:
+    latencies = np.array(
+        [ticket.latency_s for ticket in tickets if ticket.latency_s is not None], dtype=np.float64
+    )
+    return report_from_latencies(latencies, len(tickets), duration_s, failed)
 
 
 class LoadGenerator:
@@ -177,4 +240,123 @@ class LoadGenerator:
             predictions=predictions,
             tickets=tickets,
             report=latency_report(tickets, duration, failed),
+        )
+
+
+# ------------------------------------------------------------- network replay
+@dataclass
+class NetworkReplayResult:
+    """Everything one :meth:`NetworkLoadGenerator.replay` produced.
+
+    ``predictions[i]`` is the ``(labels, scores)`` pair the server returned
+    for query ``i`` (``None`` if its request failed); latencies are
+    measured per request round-trip on the client side, so they include
+    framing, the socket and the scheduler queue — the number a real
+    deployment's tail is made of.
+    """
+
+    predictions: List[Optional[Tuple[List[str], List[float]]]]
+    report: LatencyReport
+    generations: List[int]
+
+    @property
+    def failed(self) -> int:
+        return self.report.failed
+
+
+class NetworkLoadGenerator:
+    """Replay a query stream against a front-end server over TCP.
+
+    The stream is cut into request batches of ``request_batch_size``
+    queries and spread round-robin over ``n_clients`` concurrent
+    connections — several capture boxes shipping embeddings at once, which
+    is the traffic shape that lets the server's replica router actually
+    fan out.  ``top_n`` bounds the ranked labels requested per query (use
+    the class count to compare full rankings against a baseline).
+    """
+
+    def __init__(
+        self,
+        queries: np.ndarray,
+        *,
+        request_batch_size: int = 32,
+        top_n: int = 1,
+    ) -> None:
+        self.queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self.queries.shape[0] == 0:
+            raise ValueError("the query stream is empty")
+        if request_batch_size <= 0:
+            raise ValueError("request_batch_size must be positive")
+        if top_n <= 0:
+            raise ValueError("top_n must be positive")
+        self.request_batch_size = int(request_batch_size)
+        self.top_n = int(top_n)
+
+    def replay(
+        self,
+        host: str,
+        port: int,
+        *,
+        n_clients: int = 2,
+        timeout_s: float = 60.0,
+    ) -> NetworkReplayResult:
+        """Drive the server from ``n_clients`` concurrent connections."""
+        if n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        spans = [
+            (start, min(start + self.request_batch_size, self.queries.shape[0]))
+            for start in range(0, self.queries.shape[0], self.request_batch_size)
+        ]
+        predictions: List[Optional[Tuple[List[str], List[float]]]] = [None] * self.queries.shape[0]
+        latencies: List[float] = []
+        generations: List[int] = []
+        failures = [0] * n_clients
+        lock = threading.Lock()
+
+        def run_client(client_id: int) -> None:
+            try:
+                client = FrontendClient(host, port, timeout_s=timeout_s)
+            except OSError:
+                with lock:
+                    failures[client_id] += sum(
+                        end - start for start, end in spans[client_id::n_clients]
+                    )
+                return
+            try:
+                for start, end in spans[client_id::n_clients]:
+                    began = time.monotonic()
+                    try:
+                        body = client.classify(self.queries[start:end], top_n=self.top_n)
+                    except (ProtocolError, OSError):
+                        with lock:
+                            failures[client_id] += end - start
+                        continue
+                    elapsed = time.monotonic() - began
+                    decoded = [
+                        (entry["labels"], entry["scores"]) for entry in body["predictions"]
+                    ]
+                    with lock:
+                        latencies.append(elapsed)
+                        generations.append(int(body.get("generation", -1)))
+                        for offset, entry in enumerate(decoded):
+                            predictions[start + offset] = entry
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=run_client, args=(client_id,), daemon=True)
+            for client_id in range(n_clients)
+        ]
+        began = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = time.monotonic() - began
+        return NetworkReplayResult(
+            predictions=predictions,
+            report=report_from_latencies(
+                np.array(latencies), self.queries.shape[0], duration, sum(failures)
+            ),
+            generations=generations,
         )

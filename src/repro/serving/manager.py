@@ -25,7 +25,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,17 @@ class ServingSnapshot:
     classifier: KNNClassifier
     detector: Optional[OpenWorldDetector]
     generation: int
+    # Stable signature of the index configuration serving this snapshot
+    # (kind, rerank, probe counts, ...).  Part of the scheduler's cache key:
+    # a redeploy that swaps the index spec must never serve predictions
+    # cached under the old spec, even if the generation counter collides
+    # (e.g. a fresh manager restarting at generation 0).
+    index_signature: str = ""
+
+    @property
+    def cache_token(self) -> object:
+        """What the result cache may key on besides the query itself."""
+        return (self.generation, self.index_signature)
 
     def predict(self, embeddings: np.ndarray) -> List[Prediction]:
         return self.classifier.predict(embeddings)
@@ -160,7 +171,13 @@ class DeploymentManager:
                 percentile=self.open_world.percentile,
                 metric=self.open_world.metric,
             )
-        return ServingSnapshot(store=store, classifier=classifier, detector=detector, generation=generation)
+        return ServingSnapshot(
+            store=store,
+            classifier=classifier,
+            detector=detector,
+            generation=generation,
+            index_signature=repr(sorted(store.index_spec().items())),
+        )
 
     # ----------------------------------------------- zero-downtime adaptation
     def _swap(self, build_store) -> ServingSnapshot:
@@ -182,6 +199,25 @@ class DeploymentManager:
     def replace_class(self, label: str, embeddings: np.ndarray) -> ServingSnapshot:
         """Refresh a drifted page's references (copy-on-write shard swap)."""
         return self._swap(lambda store: store.with_class_replaced(label, embeddings))
+
+    def rebalance(
+        self, *, threshold: float = 0.25, max_moves: Optional[int] = None
+    ) -> List[Tuple[str, int, int]]:
+        """Relieve shard skew with a zero-downtime copy-on-write swap.
+
+        Moves whole classes from overloaded to underloaded shards until the
+        per-shard row spread is within ``threshold * mean``; global row ids
+        never change, so predictions before and after are identical — only
+        scatter load shifts.  Returns the ``(label, from, to)`` moves (empty
+        when already balanced, in which case no swap happens and in-flight
+        caches stay warm).
+        """
+        with self._swap_lock:
+            old = self._snapshot
+            new_store, moves = old.store.with_rebalanced(threshold=threshold, max_moves=max_moves)
+            if moves:
+                self._snapshot = self._build_snapshot(new_store, old.generation + 1)
+        return moves
 
     def adapt(self, traces: Sequence, *, replace: bool = True) -> ServingSnapshot:
         """Apply fresh traces through the attached model (no retraining).

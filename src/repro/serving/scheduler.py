@@ -10,16 +10,25 @@ company), and every batch classifies against one consistent
 :class:`~repro.serving.manager.ServingSnapshot`, so an adaptation swap
 mid-stream can never tear a batch.
 
-An LRU cache keyed on ``(snapshot generation, quantized embedding bytes)``
+An LRU cache keyed on ``(snapshot cache token, quantized embedding bytes)``
 short-circuits repeated queries — the paper's victims revisit pages, and
 TLS traces quantize to identical embeddings more often than raw floats
-suggest.  The generation in the key invalidates the whole cache the moment
-an adaptation swap lands, for free.
+suggest.  The cache token is the snapshot's ``(generation, index
+signature)``: the generation invalidates the whole cache the moment an
+adaptation swap lands, and the index signature keeps predictions cached
+under one index configuration (say, approximate ivfpq ``rerank=0``) from
+ever being served by a redeployment with another — generation counters
+restart at 0 across deployments, so the generation alone cannot carry that
+guarantee.
 
 The scheduler runs in two modes: with :meth:`start` (or as a context
 manager) a background thread flushes batches as they fill or age out;
 without it, full batches execute inline on ``submit`` and :meth:`flush`
 drains the tail — deterministic, for tests and single-threaded replay.
+``n_executors > 1`` classifies ready batches on a small thread pool
+instead of the flusher thread itself, which is what lets a
+:class:`~repro.serving.sharded_store.ReplicaSet` spread concurrent
+batches across read replicas.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -71,7 +81,9 @@ class SchedulerStats:
 class QueryTicket:
     """Handle for one submitted query; :meth:`result` blocks until classified."""
 
-    __slots__ = ("_done", "_prediction", "_error", "submitted_at", "completed_at", "cached")
+    __slots__ = (
+        "_done", "_prediction", "_error", "submitted_at", "completed_at", "cached", "generation"
+    )
 
     def __init__(self, submitted_at: float) -> None:
         self._done = threading.Event()
@@ -80,11 +92,24 @@ class QueryTicket:
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
         self.cached = False
+        # Generation of the snapshot that actually served the prediction —
+        # a swap can land between submit and execute, so callers reporting
+        # generations (the front-end's RESULT frames) must read it here,
+        # not from a snapshot they grabbed before submitting.
+        self.generation: Optional[int] = None
 
-    def _fulfil(self, prediction: Prediction, completed_at: float, *, cached: bool = False) -> None:
+    def _fulfil(
+        self,
+        prediction: Prediction,
+        completed_at: float,
+        *,
+        cached: bool = False,
+        generation: Optional[int] = None,
+    ) -> None:
         self._prediction = prediction
         self.completed_at = completed_at
         self.cached = cached
+        self.generation = generation
         self._done.set()
 
     def _fail(self, message: str, completed_at: float) -> None:
@@ -125,25 +150,36 @@ class BatchScheduler:
         max_latency_s: float = 0.002,
         cache_size: int = 4096,
         cache_decimals: int = 6,
+        n_executors: int = 1,
     ) -> None:
         """``source`` is anything with ``snapshot() -> ServingSnapshot``
-        (a :class:`~repro.serving.manager.DeploymentManager` in practice)."""
+        (a :class:`~repro.serving.manager.DeploymentManager` in practice).
+
+        ``n_executors`` bounds how many ready batches classify
+        concurrently in background mode; match it to the store's replica
+        count so a :class:`~repro.serving.sharded_store.ReplicaSet` can
+        spread them.
+        """
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if max_latency_s < 0:
             raise ValueError("max_latency_s must be non-negative")
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if n_executors <= 0:
+            raise ValueError("n_executors must be positive")
         self._source = source
         self.max_batch_size = int(max_batch_size)
         self.max_latency_s = float(max_latency_s)
         self.cache_size = int(cache_size)
         self.cache_decimals = int(cache_decimals)
-        self._pending: List[Tuple[np.ndarray, Optional[Tuple[int, bytes]], QueryTicket]] = []
+        self.n_executors = int(n_executors)
+        self._pending: List[Tuple[np.ndarray, Optional[Tuple[object, bytes]], QueryTicket]] = []
         self._wakeup = threading.Condition()
-        self._cache: "OrderedDict[Tuple[int, bytes], Prediction]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[object, bytes], Prediction]" = OrderedDict()
         self.stats = SchedulerStats()
         self._thread: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._running = False
 
     # ---------------------------------------------------------------- lifecycle
@@ -151,16 +187,25 @@ class BatchScheduler:
     def running(self) -> bool:
         return self._thread is not None
 
+    @property
+    def source(self):
+        """Whatever supplies ``snapshot()`` (the deployment manager)."""
+        return self._source
+
     def start(self) -> "BatchScheduler":
         """Run the background flusher (batches age out after max_latency_s)."""
         if self._thread is None:
             self._running = True
+            if self.n_executors > 1:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_executors, thread_name_prefix="batch-exec"
+                )
             self._thread = threading.Thread(target=self._run, name="batch-scheduler", daemon=True)
             self._thread.start()
         return self
 
     def stop(self) -> None:
-        """Stop the flusher and drain anything still pending."""
+        """Stop the flusher, wait out in-flight batches and drain the rest."""
         thread = self._thread
         if thread is not None:
             with self._wakeup:
@@ -168,6 +213,9 @@ class BatchScheduler:
                 self._wakeup.notify_all()
             thread.join(timeout=30.0)
             self._thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         self.flush()
 
     def __enter__(self) -> "BatchScheduler":
@@ -177,17 +225,26 @@ class BatchScheduler:
         self.stop()
 
     # ------------------------------------------------------------------- submit
-    def _cache_key(self, embedding: np.ndarray, generation: int) -> Optional[Tuple[int, bytes]]:
+    @staticmethod
+    def _snapshot_token(snapshot) -> object:
+        """The snapshot state a cached prediction depends on: generation
+        *and* index signature (spec/rerank), so swapping a deployment's
+        index configuration can never serve stale cached predictions across
+        generations that happen to share a counter value."""
+        return getattr(snapshot, "cache_token", snapshot.generation)
+
+    def _cache_key(self, embedding: np.ndarray, token: object) -> Optional[Tuple[object, bytes]]:
         if self.cache_size == 0:
             return None
         quantized = np.round(embedding, self.cache_decimals) + 0.0  # collapse -0.0
-        return (generation, quantized.tobytes())
+        return (token, quantized.tobytes())
 
     def submit(self, embedding: np.ndarray) -> QueryTicket:
         """Queue one query embedding; returns immediately with a ticket."""
         embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
         ticket = QueryTicket(time.monotonic())
-        key = self._cache_key(embedding, self._source.snapshot().generation)
+        snapshot = self._source.snapshot()
+        key = self._cache_key(embedding, self._snapshot_token(snapshot))
         inline_batch = None
         with self._wakeup:
             self.stats.submitted += 1
@@ -197,7 +254,9 @@ class BatchScheduler:
                     self._cache.move_to_end(key)
                     self.stats.cache_hits += 1
                     self.stats.completed += 1
-                    ticket._fulfil(cached, time.monotonic(), cached=True)
+                    ticket._fulfil(
+                        cached, time.monotonic(), cached=True, generation=snapshot.generation
+                    )
                     return ticket
                 self.stats.cache_misses += 1
             self._pending.append((embedding, key, ticket))
@@ -249,7 +308,14 @@ class BatchScheduler:
                 batch = self._pending[: self.max_batch_size]
                 del self._pending[: len(batch)]
             if batch:
-                self._execute(batch)
+                if self._pool is not None:
+                    # Replica-parallel mode: hand the ready batch to the
+                    # executor pool and go straight back to coalescing; up
+                    # to n_executors batches classify concurrently, each
+                    # routed to a different read replica.
+                    self._pool.submit(self._execute, batch)
+                else:
+                    self._execute(batch)
 
     # ------------------------------------------------------------------ execute
     def _execute(self, batch: Sequence[Tuple[np.ndarray, Optional[Tuple[int, bytes]], QueryTicket]]) -> None:
@@ -272,14 +338,15 @@ class BatchScheduler:
             self.stats.completed += len(batch)
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
             if self.cache_size:
+                served_token = self._snapshot_token(snapshot)
                 for (_, key, _), prediction in zip(batch, predictions):
                     if key is None:
                         continue
-                    # Key under the generation actually served, so a swap
+                    # Key under the snapshot actually served, so a swap
                     # between submit and execute can't poison the cache.
-                    self._cache[(snapshot.generation, key[1])] = prediction
-                    self._cache.move_to_end((snapshot.generation, key[1]))
+                    self._cache[(served_token, key[1])] = prediction
+                    self._cache.move_to_end((served_token, key[1]))
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
         for (_, _, ticket), prediction in zip(batch, predictions):
-            ticket._fulfil(prediction, now)
+            ticket._fulfil(prediction, now, generation=snapshot.generation)

@@ -240,13 +240,203 @@ class InProcessShardExecutor:
         pass
 
 
+class SegmentPublisher:
+    """Owns the shared-memory publication of shard payloads.
+
+    One publisher can back several :class:`ProcessShardExecutor` replicas
+    (see :class:`ReplicaSet`): every replica's workers attach the *same*
+    segment for a given shard version, so R read replicas cost one
+    publication — the ~16-32x smaller IVF-PQ segments are shared, not
+    copied.  All methods are thread-safe; replica searches run
+    concurrently on different threads.
+
+    Segments whose shard has not been queried for a while — a
+    copy-on-write swap retires the old shard's uid for good — are unlinked
+    automatically, so long-running adaptation churn does not accumulate
+    shared memory.
+    """
+
+    # A published segment is evicted after this many search calls without
+    # its shard appearing; in-flight snapshots re-publish on demand.
+    _EVICT_AFTER_CALLS = 8
+
+    def __init__(self) -> None:
+        # uid -> (version, segment | None, metas); a ``None`` segment marks
+        # a slot another thread is packing right now.
+        self._published: Dict[int, Tuple[int, Optional[shared_memory.SharedMemory], list]] = {}
+        self._last_used: Dict[int, int] = {}
+        # uid -> number of in-flight searches using the segment.  A pinned
+        # segment is never unlinked — not by eviction and not by a
+        # republish at a newer version: a worker may sit between the
+        # publish and its attach, and removing the name under it would
+        # fail the attach.
+        self._pins: Dict[int, int] = {}
+        # uid -> superseded segments still pinned; unlinked when the uid's
+        # last pin is released.
+        self._retired: Dict[int, List[shared_memory.SharedMemory]] = {}
+        self._search_calls = 0
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @staticmethod
+    def _unlink(segment: shared_memory.SharedMemory) -> None:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+
+    def begin_search(self) -> None:
+        with self._cond:
+            self._search_calls += 1
+
+    def publish(self, shard: _Shard) -> Tuple[str, list]:
+        """The ``(segment name, metas)`` for a shard, packing at most once
+        per shard version and **pinning** the segment for the caller's
+        search (pair every successful call with :meth:`release`).
+
+        Packing runs *outside* the lock: one replica republishing a large
+        shard after an adaptation swap must not stall the other replicas'
+        scatters.  Racing publishers for the same ``(uid, version)`` wait
+        on the packer instead of packing twice.
+        """
+        uid, version = shard.uid, shard.version
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ServingError("the segment publisher has been closed")
+                self._last_used[uid] = self._search_calls
+                entry = self._published.get(uid)
+                if entry is not None and entry[0] == version:
+                    if entry[1] is not None:
+                        self._pins[uid] = self._pins.get(uid, 0) + 1
+                        return entry[1].name, entry[2]
+                    self._cond.wait()  # another thread is packing this version
+                    continue
+                if entry is not None and entry[1] is None:
+                    # An older version is still packing; wait it out rather
+                    # than racing it for the slot.
+                    self._cond.wait()
+                    continue
+                old = entry
+                self._published[uid] = (version, None, [])  # claim the slot
+                break
+        try:
+            segment, metas = _pack_arrays(_shard_payload(shard.store))
+        except BaseException:
+            with self._cond:
+                if old is not None and not self._closed:
+                    self._published[uid] = old  # keep serving the old version
+                else:
+                    self._published.pop(uid, None)
+                    if old is not None and old[1] is not None:
+                        # close() already ran and never saw the old segment
+                        # (the dict held our pending slot): unlink it here.
+                        try:
+                            old[1].close()
+                            old[1].unlink()
+                        except Exception:
+                            pass
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            if old is not None and old[1] is not None:
+                if self._pins.get(uid, 0) > 0:
+                    # A search pinned the superseded version and its worker
+                    # may not have attached yet; unlink when the pins drop.
+                    self._retired.setdefault(uid, []).append(old[1])
+                else:
+                    # Workers already attached keep the old mapping alive;
+                    # unlinking only removes the name, which nobody will
+                    # attach again.
+                    self._unlink(old[1])
+            if self._closed:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except Exception:
+                    pass
+                self._published.pop(uid, None)
+                self._cond.notify_all()
+                raise ServingError("the segment publisher has been closed")
+            self._published[uid] = (version, segment, metas)
+            self._pins[uid] = self._pins.get(uid, 0) + 1
+            self._cond.notify_all()
+            return segment.name, metas
+
+    def release(self, uids: Iterable[int]) -> None:
+        """Drop the pins a search took via :meth:`publish` (call once the
+        scatter's responses are all collected)."""
+        with self._cond:
+            for uid in uids:
+                remaining = self._pins.get(uid, 0) - 1
+                if remaining > 0:
+                    self._pins[uid] = remaining
+                else:
+                    self._pins.pop(uid, None)
+                    for segment in self._retired.pop(uid, ()):
+                        self._unlink(segment)
+
+    def published_bytes(self) -> Dict[int, int]:
+        """Shared-memory segment size per published shard uid (monitoring:
+        this is what the PQ/float32 publication path shrinks)."""
+        with self._cond:
+            return {
+                uid: entry[1].size
+                for uid, entry in self._published.items()
+                if entry[1] is not None
+            }
+
+    def evict_stale(self) -> None:
+        """Unlink segments of shards that stopped being queried.
+
+        Pinned segments (a search between publish and worker attach) and
+        slots still packing are always kept, so this is safe to call after
+        every search, under load, from any replica's thread.
+        """
+        with self._cond:
+            stale = [
+                uid
+                for uid, last in self._last_used.items()
+                if self._search_calls - last > self._EVICT_AFTER_CALLS
+                and self._pins.get(uid, 0) == 0
+                and uid in self._published
+                and self._published[uid][1] is not None
+            ]
+            for uid in stale:
+                _, segment, _ = self._published.pop(uid)
+                del self._last_used[uid]
+                try:
+                    segment.close()
+                    segment.unlink()
+                except Exception:
+                    pass
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            for _, segment, _ in self._published.values():
+                if segment is None:
+                    continue  # the packing thread unlinks it when it lands
+                self._unlink(segment)
+            for retired in self._retired.values():
+                for segment in retired:
+                    self._unlink(segment)
+            self._published.clear()
+            self._last_used.clear()
+            self._pins.clear()
+            self._retired.clear()
+            self._cond.notify_all()
+
+
 class ProcessShardExecutor:
     """Scatter shard searches across worker processes.
 
     Each shard's payload — its trained index state, plus the embedding
     matrix (in the store's storage dtype) only when the index still needs
     raw vectors — is published at most once per shard version into a
-    shared-memory segment; workers attach read-only and keep the
+    shared-memory segment (via a :class:`SegmentPublisher`, optionally
+    shared across read replicas); workers attach read-only and keep the
     attachment (plus the restored index) cached until the version moves.
     Adaptation therefore republishes only the shard it touched — the
     copy-on-write story end to end.  A trained IVF-PQ shard with
@@ -260,18 +450,20 @@ class ProcessShardExecutor:
     ``search`` is serialised with a lock: the scatter shares one response
     queue, so two overlapping calls (e.g. the batch flusher thread and an
     adaptation swap recalibrating an open-world detector) must not
-    interleave their collections.  Segments whose shard has not been
-    queried for a while — a copy-on-write swap retires the old shard's uid
-    for good — are unlinked automatically, so long-running adaptation churn
-    does not accumulate shared memory.
+    interleave their collections.  Replicated deployments get concurrency
+    *across* executors instead: a :class:`ReplicaSet` routes each call to
+    one of R executors, whose locks are independent.
     """
 
     _RESPONSE_TIMEOUT_S = 120.0
-    # A published segment is evicted after this many search calls without
-    # its shard appearing; in-flight snapshots re-publish on demand.
-    _EVICT_AFTER_CALLS = 8
 
-    def __init__(self, n_workers: int = 2, *, start_method: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        n_workers: int = 2,
+        *,
+        start_method: Optional[str] = None,
+        publisher: Optional[SegmentPublisher] = None,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if start_method is None:
@@ -285,48 +477,16 @@ class ProcessShardExecutor:
         ]
         for worker in self._workers:
             worker.start()
-        self._published: Dict[int, Tuple[int, shared_memory.SharedMemory, list]] = {}
-        self._last_used: Dict[int, int] = {}
-        self._search_calls = 0
+        self._publisher = publisher if publisher is not None else SegmentPublisher()
+        self._owns_publisher = publisher is None
         self._request_counter = 0
         self._search_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------- publication
-    def _publish(self, shard: _Shard) -> Tuple[str, list]:
-        entry = self._published.get(shard.uid)
-        if entry is not None and entry[0] == shard.version:
-            return entry[1].name, entry[2]
-        segment, metas = _pack_arrays(_shard_payload(shard.store))
-        if entry is not None:
-            # Workers already attached keep the old mapping alive; unlinking
-            # only removes the name, which nobody will attach again.
-            entry[1].close()
-            entry[1].unlink()
-        self._published[shard.uid] = (shard.version, segment, metas)
-        return segment.name, metas
-
     def published_bytes(self) -> Dict[int, int]:
-        """Shared-memory segment size per published shard uid (monitoring:
-        this is what the PQ/float32 publication path shrinks)."""
-        return {uid: entry[1].size for uid, entry in self._published.items()}
-
-    def _evict_stale(self) -> None:
-        """Unlink segments of shards that stopped being queried (called with
-        the search lock held, after all in-flight responses are collected)."""
-        stale = [
-            uid
-            for uid, last in self._last_used.items()
-            if self._search_calls - last > self._EVICT_AFTER_CALLS
-        ]
-        for uid in stale:
-            _, segment, _ = self._published.pop(uid)
-            del self._last_used[uid]
-            try:
-                segment.close()
-                segment.unlink()
-            except Exception:
-                pass
+        """Shared-memory segment size per published shard uid."""
+        return self._publisher.published_bytes()
 
     # ------------------------------------------------------------------ search
     def search(
@@ -335,47 +495,64 @@ class ProcessShardExecutor:
         with self._search_lock:
             if self._closed:
                 raise ServingError("the shard executor has been closed")
-            self._search_calls += 1
-            pending: Dict[int, int] = {}
-            for position, shard in enumerate(shards):
-                name, metas = self._publish(shard)
-                self._last_used[shard.uid] = self._search_calls
-                request_id = self._request_counter
-                self._request_counter += 1
-                task = (
-                    request_id,
-                    shard.uid,
-                    shard.version,
-                    name,
-                    metas,
-                    len(shard.store),
-                    shard.store.index.spec(),
-                    queries,
-                    k,
-                    metric,
+            self._publisher.begin_search()
+            pinned: List[int] = []
+            try:
+                return self._scatter(shards, queries, k, metric, pinned)
+            finally:
+                # Unpin this call's segments, then evict whatever churn
+                # retired — safe under load because pinned segments (other
+                # replicas' in-flight scatters) are never touched.
+                self._publisher.release(pinned)
+                self._publisher.evict_stale()
+
+    def _scatter(
+        self,
+        shards: Sequence[_Shard],
+        queries: np.ndarray,
+        k: int,
+        metric: str,
+        pinned: List[int],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        pending: Dict[int, int] = {}
+        for position, shard in enumerate(shards):
+            name, metas = self._publisher.publish(shard)
+            pinned.append(shard.uid)
+            request_id = self._request_counter
+            self._request_counter += 1
+            task = (
+                request_id,
+                shard.uid,
+                shard.version,
+                name,
+                metas,
+                len(shard.store),
+                shard.store.index.spec(),
+                queries,
+                k,
+                metric,
+            )
+            self._requests[position % len(self._requests)].put(task)
+            pending[request_id] = position
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(shards)
+        failure: Optional[str] = None
+        while pending:
+            try:
+                request_id, distances, ids, error = self._responses.get(
+                    timeout=self._RESPONSE_TIMEOUT_S
                 )
-                self._requests[position % len(self._requests)].put(task)
-                pending[request_id] = position
-            results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(shards)
-            failure: Optional[str] = None
-            while pending:
-                try:
-                    request_id, distances, ids, error = self._responses.get(
-                        timeout=self._RESPONSE_TIMEOUT_S
-                    )
-                except Exception as exc:
-                    raise ServingError(f"timed out waiting for shard workers: {exc!r}") from exc
-                position = pending.pop(request_id, None)
-                if position is None:  # stale response from an aborted call
-                    continue
-                if error is not None:
-                    failure = failure or error
-                    continue
-                results[position] = (distances, ids)
-            if failure is not None:
-                raise ServingError(f"shard worker failed: {failure}")
-            self._evict_stale()
-            return results  # type: ignore[return-value]
+            except Exception as exc:
+                raise ServingError(f"timed out waiting for shard workers: {exc!r}") from exc
+            position = pending.pop(request_id, None)
+            if position is None:  # stale response from an aborted call
+                continue
+            if error is not None:
+                failure = failure or error
+                continue
+            results[position] = (distances, ids)
+        if failure is not None:
+            raise ServingError(f"shard worker failed: {failure}")
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------- close
     def close(self) -> None:
@@ -392,20 +569,150 @@ class ProcessShardExecutor:
             worker.join(timeout=10.0)
             if worker.is_alive():
                 worker.terminate()
-        for _, segment, _ in self._published.values():
-            try:
-                segment.close()
-                segment.unlink()
-            except Exception:
-                pass
-        self._published.clear()
-        self._last_used.clear()
+        if self._owns_publisher:
+            self._publisher.close()
 
     def __del__(self) -> None:  # best effort
         try:
             self.close()
         except Exception:
             pass
+
+
+# --------------------------------------------------------------------- replicas
+ROUTERS = ("round_robin", "least_loaded")
+
+
+class ReplicaSet:
+    """R read replicas of the shard scatter behind one router.
+
+    Read scaling for the serving layer: every replica answers against the
+    *same* logical store, so a query can go to any of them, and concurrent
+    callers (the scheduler's batch executors, several front-end
+    connections) fan out instead of serialising on one executor's lock.
+    Process-backed replicas share one :class:`SegmentPublisher`: the
+    published index segments (PQ codes + codebooks, or float32 embeddings)
+    are attached by every replica's workers, so R replicas cost R worker
+    pools but only *one* copy of the corpus in shared memory — which is
+    what the ~16-32x smaller IVF-PQ segments make affordable.
+
+    ``router`` picks the replica per call: ``"round_robin"`` rotates,
+    ``"least_loaded"`` sends to the replica with the fewest in-flight
+    searches (ties break to the lowest id, so single-threaded callers see
+    deterministic routing).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[object],
+        *,
+        router: str = "least_loaded",
+        publisher: Optional[SegmentPublisher] = None,
+    ) -> None:
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a replica set needs at least one replica")
+        if router not in ROUTERS:
+            raise ValueError(f"unknown router {router!r}; expected one of {ROUTERS}")
+        self.router = router
+        self._replicas = replicas
+        self._publisher = publisher
+        self._inflight = [0] * len(replicas)
+        self._routed = [0] * len(replicas)
+        self._next = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def in_process(cls, n_replicas: int, *, router: str = "least_loaded") -> "ReplicaSet":
+        """Thread-level replicas (no worker processes): each call scans in
+        the calling thread, so concurrency comes from the callers."""
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        return cls([InProcessShardExecutor() for _ in range(n_replicas)], router=router)
+
+    @classmethod
+    def processes(
+        cls,
+        n_replicas: int,
+        *,
+        n_workers: int = 2,
+        router: str = "least_loaded",
+        start_method: Optional[str] = None,
+    ) -> "ReplicaSet":
+        """Process-backed replicas attaching one shared publication."""
+        if n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        publisher = SegmentPublisher()
+        replicas = [
+            ProcessShardExecutor(n_workers, start_method=start_method, publisher=publisher)
+            for _ in range(n_replicas)
+        ]
+        return cls(replicas, router=router, publisher=publisher)
+
+    # ------------------------------------------------------------------- state
+    @property
+    def n_replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def replicas(self) -> List[object]:
+        return list(self._replicas)
+
+    def routed_counts(self) -> List[int]:
+        """How many searches each replica has answered (router telemetry)."""
+        with self._lock:
+            return list(self._routed)
+
+    def published_bytes(self) -> Dict[int, int]:
+        """Segment bytes of the shared publication (empty for in-process
+        replicas, which attach nothing)."""
+        if self._publisher is not None:
+            return self._publisher.published_bytes()
+        for replica in self._replicas:
+            reader = getattr(replica, "published_bytes", None)
+            if reader is not None:
+                return reader()
+        return {}
+
+    # ------------------------------------------------------------------ search
+    def _acquire(self) -> int:
+        with self._lock:
+            if self.router == "round_robin":
+                position = self._next % len(self._replicas)
+                self._next += 1
+            else:
+                position = min(
+                    range(len(self._replicas)), key=lambda idx: (self._inflight[idx], idx)
+                )
+            self._inflight[position] += 1
+            self._routed[position] += 1
+            return position
+
+    def search(
+        self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        position = self._acquire()
+        try:
+            # Eviction of retired segments happens inside the replica's own
+            # search (pin-protected in the shared publisher), so sustained
+            # load cannot starve it.
+            return self._replicas[position].search(shards, queries, k, metric)
+        finally:
+            with self._lock:
+                self._inflight[position] -= 1
+
+    # ------------------------------------------------------------------- close
+    def close(self) -> None:
+        for replica in self._replicas:
+            close = getattr(replica, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
+        if self._publisher is not None:
+            self._publisher.close()
 
 
 # ----------------------------------------------------------------- sharded store
@@ -563,8 +870,30 @@ class ShardedReferenceStore:
     def __contains__(self, label: str) -> bool:
         return self.has_class(label)
 
+    def index_spec(self) -> Dict[str, object]:
+        """The per-shard index spec (every shard shares the factory).
+
+        Part of the scheduler's cache key: two deployments with different
+        index configurations (e.g. ivfpq ``rerank=0`` vs ``exact``) must
+        never share cached predictions, even at equal generation numbers.
+        """
+        return self._shards[0].store.index.spec()
+
     def shard_sizes(self) -> List[int]:
         return [len(shard.store) for shard in self._shards]
+
+    def shard_spread(self) -> float:
+        """Row-count skew across shards: ``(max - min) / mean`` (0 when empty).
+
+        The rebalance trigger: hot-class churn (one page gaining references
+        while its shardmates shrink) drives this up, and with it the tail
+        latency of every scatter — the merge waits for the largest shard.
+        """
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        if total == 0:
+            return 0.0
+        return (max(sizes) - min(sizes)) / (total / len(sizes))
 
     def shard_memory_bytes(self) -> List[int]:
         """Resident bytes per shard (embedding buffer + index structures)."""
@@ -663,6 +992,109 @@ class ShardedReferenceStore:
         if pinned is not None:
             self._class_shard[label] = pinned
         self.add(embeddings, [label] * embeddings.shape[0])
+
+    # --------------------------------------------------------------- rebalance
+    def _move_class(self, label: str, src: int, dst: int) -> None:
+        """Relocate one class's rows between shards, global ids untouched.
+
+        The global ledger (encoding, codes, row ids) never changes — only
+        which shard answers for those rows — so merged search results are
+        bit-identical before and after the move.
+        """
+        donor = self._shards[src]
+        local_code = donor.store.class_names.index(label)
+        mask = donor.store.label_codes == local_code
+        moved_ids = donor.global_ids[mask].copy()
+        embeddings = np.array(donor.store.class_embeddings(label), dtype=np.float64, copy=True)
+        donor.store.remove_class(label)
+        donor.global_ids = donor.global_ids[~mask]
+        donor.version += 1
+        recipient = self._shards[dst]
+        recipient.store.add(embeddings, [label] * embeddings.shape[0])
+        recipient.global_ids = np.concatenate([recipient.global_ids, moved_ids])
+        recipient.version += 1
+        self._class_shard[label] = dst
+
+    def _rebalance_plan(
+        self, threshold: float, max_moves: Optional[int]
+    ) -> List[Tuple[str, int, int]]:
+        """Greedy class moves shrinking the max-min row spread.
+
+        Pure simulation over ``(sizes, class placement)`` — no store is
+        touched — so copy-on-write rebalancing knows which shards to
+        materialise before mutating anything.  Each step moves, from the
+        fullest to the emptiest shard, the class whose row count lands
+        closest to half the spread; a class at least as large as the spread
+        would overshoot and is never moved.
+        """
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        if total == 0 or self.n_shards < 2:
+            return []
+        placement = dict(self._class_shard)
+        counts = self.class_counts()
+        budget = max_moves if max_moves is not None else 2 * max(1, len(counts))
+        mean = total / self.n_shards
+        moves: List[Tuple[str, int, int]] = []
+        while len(moves) < budget:
+            spread = max(sizes) - min(sizes)
+            if spread <= threshold * mean:
+                break
+            donor = int(np.argmax(sizes))
+            recipient = int(np.argmin(sizes))
+            best: Optional[Tuple[float, str]] = None
+            for label, shard_id in placement.items():
+                count = counts[label]
+                if shard_id != donor or not 0 < count < spread:
+                    continue
+                # Prefer the class closest to spread/2; labels break ties so
+                # the plan is deterministic.
+                goodness = min(count, spread - count)
+                if best is None or (goodness, label) > (best[0], best[1]):
+                    best = (goodness, label)
+            if best is None:
+                break  # the donor holds one class bigger than the spread
+            label = best[1]
+            placement[label] = recipient
+            sizes[donor] -= counts[label]
+            sizes[recipient] += counts[label]
+            moves.append((label, donor, recipient))
+        return moves
+
+    def rebalance(
+        self, *, threshold: float = 0.25, max_moves: Optional[int] = None
+    ) -> List[Tuple[str, int, int]]:
+        """Move classes off overloaded shards until the row spread is within
+        ``threshold * mean`` (in place; see :meth:`with_rebalanced` for the
+        serving-safe copy-on-write variant).
+
+        Returns the ``(label, from_shard, to_shard)`` moves applied.
+        Global row ids — and therefore merged search results and
+        predictions — are unchanged; only scatter load shifts.
+        """
+        moves = self._rebalance_plan(threshold, max_moves)
+        for label, src, dst in moves:
+            self._move_class(label, src, dst)
+        if moves:
+            self._generation += 1
+        return moves
+
+    def with_rebalanced(
+        self, *, threshold: float = 0.25, max_moves: Optional[int] = None
+    ) -> Tuple["ShardedReferenceStore", List[Tuple[str, int, int]]]:
+        """A rebalanced copy-on-write clone (``self`` untouched) plus the
+        moves applied; returns ``(self, [])`` when already balanced."""
+        moves = self._rebalance_plan(threshold, max_moves)
+        if not moves:
+            return self, []
+        touched = {src for _, src, _ in moves} | {dst for _, _, dst in moves}
+        clone = self._cow_clone(touched)
+        for label, src, dst in moves:
+            clone._move_class(label, src, dst)
+        clone._generation += 1
+        return clone, moves
 
     # ----------------------------------------------------------- copy-on-write
     def _cow_clone(self, materialise: Set[int]) -> "ShardedReferenceStore":

@@ -12,6 +12,8 @@ from repro.serving import (
     LoadGenerator,
     OpenWorldConfig,
     ProcessShardExecutor,
+    ReplicaSet,
+    SegmentPublisher,
     ServingError,
     ShardedReferenceStore,
     open_world_mix,
@@ -452,16 +454,17 @@ class TestDeploymentManager:
             _, sharded, corpus, rng = flat_and_sharded(n_shards=2, executor=executor, n=200, dim=6)
             queries = corpus[:5]
             sharded.search(queries, 3)
-            assert len(executor._published) == 2
+            assert len(executor.published_bytes()) == 2
             # Copy-on-write swaps retire one shard uid per update; after the
             # grace window the retired segments must be unlinked.
+            grace = SegmentPublisher._EVICT_AFTER_CALLS
             store = sharded
-            for round_ in range(executor._EVICT_AFTER_CALLS + 2):
+            for round_ in range(grace + 2):
                 store = store.with_class_replaced(
                     "page-000", rng.standard_normal((4, corpus.shape[1]))
                 )
                 store.search(queries, 3)
-            assert len(executor._published) <= 2 + executor._EVICT_AFTER_CALLS
+            assert len(executor.published_bytes()) <= 2 + grace
         finally:
             executor.close()
 
@@ -504,3 +507,236 @@ class TestOpenWorldMix:
             open_world_mix(corpus, 10, unmonitored_fraction=1.5)
         with pytest.raises(ValueError):
             open_world_mix(corpus, 10, revisit_fraction=1.0)
+
+
+class TestSchedulerCacheKey:
+    """The satellite fix: the LRU result cache keys on the snapshot's
+    (generation, index signature), never on the generation alone."""
+
+    class SwappableSource:
+        def __init__(self, manager):
+            self.manager = manager
+
+        def snapshot(self):
+            return self.manager.snapshot()
+
+    def build(self, label, index_factory):
+        rng = np.random.default_rng(hash(label) % (2**32))
+        corpus = rng.standard_normal((300, 6)) + 4.0
+        flat = ReferenceStore(6)
+        flat.add(corpus, [label] * 300)
+        return DeploymentManager(
+            ShardedReferenceStore.from_reference_store(
+                flat, n_shards=2, index_factory=index_factory
+            ),
+            ClassifierConfig(k=5),
+        )
+
+    def test_cache_token_includes_index_signature(self):
+        exact = self.build("page-exact", None)
+        ivf = self.build(
+            "page-ivf", lambda: CoarseQuantizedIndex(n_cells=4, n_probe=4, min_train_size=16)
+        )
+        token_a = exact.snapshot().cache_token
+        token_b = ivf.snapshot().cache_token
+        assert exact.generation == ivf.generation == 0
+        assert token_a != token_b  # same generation, different index spec
+
+    def test_index_config_swap_never_serves_stale_predictions(self):
+        # Two deployments, both at generation 0, same query — but different
+        # corpora AND different index specs (a redeploy with a new index
+        # config).  Keying on the generation alone would serve deployment
+        # A's cached prediction for deployment B.
+        manager_a = self.build("page-aaa", None)
+        manager_b = self.build(
+            "page-bbb", lambda: CoarseQuantizedIndex(n_cells=4, n_probe=4, min_train_size=16)
+        )
+        source = self.SwappableSource(manager_a)
+        scheduler = BatchScheduler(source, max_batch_size=4, cache_size=64)
+        query = np.full(6, 4.0)
+        first = scheduler.classify([query])[0]
+        assert first.best == "page-aaa"
+        assert scheduler.stats.cache_misses == 1
+
+        source.manager = manager_b  # redeploy with a different index config
+        second = scheduler.classify([query])[0]
+        assert second.best == "page-bbb", "stale cached prediction served across index configs"
+        # And within one deployment the cache still hits.
+        third = scheduler.classify([query])[0]
+        assert third.best == "page-bbb"
+        assert scheduler.stats.cache_hits == 1
+
+    def test_same_config_same_generation_still_hits(self):
+        manager = self.build("page-hit", None)
+        scheduler = BatchScheduler(manager, max_batch_size=4, cache_size=64)
+        query = np.full(6, 4.0)
+        scheduler.classify([query])
+        scheduler.classify([query])
+        assert scheduler.stats.cache_hits == 1
+
+
+class TestReplicaSet:
+    def test_round_robin_rotates(self):
+        flat, sharded, corpus, _ = flat_and_sharded(
+            executor=ReplicaSet.in_process(2, router="round_robin")
+        )
+        for _ in range(4):
+            sharded.search(corpus[:3], 5)
+        assert sharded.executor.routed_counts() == [2, 2]
+
+    def test_least_loaded_is_deterministic_when_serial(self):
+        _, sharded, corpus, _ = flat_and_sharded(
+            executor=ReplicaSet.in_process(3, router="least_loaded")
+        )
+        for _ in range(3):
+            sharded.search(corpus[:3], 5)
+        assert sharded.executor.routed_counts() == [3, 0, 0]
+
+    def test_replica_results_identical_to_flat(self):
+        flat, sharded, corpus, rng = flat_and_sharded(
+            executor=ReplicaSet.in_process(3, router="round_robin")
+        )
+        queries = corpus[:30] + 0.1 * rng.standard_normal((30, corpus.shape[1]))
+        d_flat, i_flat = flat.search(queries, 9)
+        for _ in range(3):  # every replica must answer identically
+            d_rep, i_rep = sharded.search(queries, 9)
+            assert np.array_equal(i_flat, i_rep)
+            assert np.allclose(d_flat, d_rep)
+
+    def test_process_replicas_share_one_publication(self):
+        replica_set = ReplicaSet.processes(2, n_workers=1, router="round_robin")
+        try:
+            flat, sharded, corpus, _ = flat_and_sharded(
+                n_shards=2, executor=replica_set, n=200, dim=6
+            )
+            _, i_flat = flat.search(corpus[:5], 4)
+            for _ in range(2):  # route through both replicas
+                _, i_rep = sharded.search(corpus[:5], 4)
+                assert np.array_equal(i_flat, i_rep)
+            # One publication serves both replicas: one segment per shard,
+            # not per (shard, replica).
+            assert len(replica_set.published_bytes()) == 2
+            assert replica_set.routed_counts() == [1, 1]
+        finally:
+            replica_set.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSet([])
+        with pytest.raises(ValueError):
+            ReplicaSet.in_process(0)
+        with pytest.raises(ValueError):
+            ReplicaSet.in_process(2, router="random")
+
+
+class TestZipfMix:
+    def test_zipf_mix_is_head_heavy(self):
+        corpus, labels, _ = clustered_corpus(n=400, n_classes=10)
+        store = ReferenceStore(corpus.shape[1])
+        store.add(corpus, labels)
+        queries, is_unmonitored = open_world_mix(
+            corpus,
+            600,
+            unmonitored_fraction=0.0,
+            noise_scale=0.01,
+            class_mix="zipf",
+            zipf_s=1.5,
+            reference_labels=labels,
+            seed=3,
+        )
+        predictions = KNNClassifier(store, ClassifierConfig(k=5)).predict(queries)
+        counts = {}
+        for p in predictions:
+            counts[p.best] = counts.get(p.best, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # The hottest class dominates; the head outweighs the tail.
+        assert ranked[0] > 600 / 10 * 2
+        assert ranked[0] > 5 * ranked[-1]
+
+    def test_zipf_requires_labels(self):
+        corpus, labels, _ = clustered_corpus(n=50)
+        with pytest.raises(ValueError):
+            open_world_mix(corpus, 10, class_mix="zipf")
+        with pytest.raises(ValueError):
+            open_world_mix(corpus, 10, class_mix="zipf", reference_labels=labels[:-1])
+        with pytest.raises(ValueError):
+            open_world_mix(corpus, 10, class_mix="zipf", reference_labels=labels, zipf_s=0.0)
+        with pytest.raises(ValueError):
+            open_world_mix(corpus, 10, class_mix="pareto")
+
+
+class TestSegmentPublisherPins:
+    def test_pinned_segments_survive_eviction_until_released(self):
+        _, sharded, _, _ = flat_and_sharded(n_shards=2, n=200, dim=6)
+        publisher = SegmentPublisher()
+        shard = sharded._shards[0]
+        publisher.begin_search()
+        name, metas = publisher.publish(shard)  # pins the segment
+        assert len(publisher.published_bytes()) == 1
+        # Age the segment far past the grace window while still pinned: an
+        # in-flight scatter may sit between publish and worker attach, so
+        # eviction must not unlink under it, no matter the load.
+        for _ in range(SegmentPublisher._EVICT_AFTER_CALLS + 5):
+            publisher.begin_search()
+        publisher.evict_stale()
+        assert len(publisher.published_bytes()) == 1
+        publisher.release([shard.uid])
+        publisher.evict_stale()
+        assert publisher.published_bytes() == {}
+        publisher.close()
+
+    def test_eviction_runs_under_sustained_churn(self):
+        # Retired shard uids (copy-on-write swaps) must be unlinked even
+        # when every search call is busy — no idle window required.
+        executor = ProcessShardExecutor(n_workers=1)
+        try:
+            _, sharded, corpus, rng = flat_and_sharded(n_shards=2, executor=executor, n=150, dim=6)
+            store = sharded
+            grace = SegmentPublisher._EVICT_AFTER_CALLS
+            for _ in range(3 * grace):
+                store = store.with_class_replaced(
+                    "page-000", rng.standard_normal((4, corpus.shape[1]))
+                )
+                store.search(corpus[:3], 3)
+            # One live uid per shard plus at most the grace window of
+            # retired ones awaiting their age-out.
+            assert len(executor.published_bytes()) <= 2 + grace + 1
+        finally:
+            executor.close()
+
+    def test_republish_defers_unlink_while_old_version_is_pinned(self):
+        # Replica A pins (uid, v) and its worker has not attached yet when
+        # replica B publishes (uid, v+1): the v segment's name must stay
+        # attachable until A releases its pin.
+        from multiprocessing import shared_memory
+
+        _, sharded, corpus, rng = flat_and_sharded(n_shards=2, n=150, dim=6)
+        publisher = SegmentPublisher()
+        shard = sharded._shards[0]
+        publisher.begin_search()
+        old_name, _ = publisher.publish(shard)  # A pins version v
+        victim = next(label for label in sharded.class_names if sharded.shard_of(label) == 0)
+        sharded.replace_class(victim, rng.standard_normal((4, 6)))  # bumps shard 0's version
+        publisher.begin_search()
+        new_name, _ = publisher.publish(shard)  # B publishes v+1
+        assert new_name != old_name
+        attached = shared_memory.SharedMemory(name=old_name)  # A's worker attaches late
+        attached.close()
+        publisher.release([shard.uid])  # A done with v
+        publisher.release([shard.uid])  # B done with v+1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=old_name)  # now retired for real
+        shared_memory.SharedMemory(name=new_name).close()  # live version remains
+        publisher.close()
+
+    def test_publish_released_on_every_search_even_after_failure(self):
+        publisher = SegmentPublisher()
+        _, sharded, corpus, _ = flat_and_sharded(n_shards=2, n=150, dim=6)
+        for shard in sharded._shards:
+            publisher.begin_search()
+            publisher.publish(shard)
+            publisher.release([shard.uid])
+        assert publisher._pins == {}
+        publisher.close()
+        with pytest.raises(ServingError):
+            publisher.publish(sharded._shards[0])
