@@ -1,6 +1,7 @@
 """Timing snapshot: seed vs optimised hot paths (BENCH_1), the
-query-engine memory/speed comparison (BENCH_3), and the network serving
-replica-scaling table (BENCH_4).
+query-engine memory/speed comparison (BENCH_3), the network serving
+replica-scaling table (BENCH_4), and the compression-v2 table (BENCH_5:
+4-bit packed PQ, OPQ, drift-aware requantization).
 
 Runs the seed implementations (reimplemented inline below, verbatim) and
 the current optimised code **in the same process on the same data**, so the
@@ -22,15 +23,25 @@ least-loaded router) and records queries/s and p50/p99 latency over the
 socket vs straight into the scheduler, plus full-ranking agreement with
 the exact single-process baseline.
 
+The **BENCH_5** table is the compression-v2 trajectory: bytes/vec, ms/q
+and recall@10 for 8-bit IVF-PQ vs the 4-bit packed engine (with and
+without the OPQ rotation), all with exact re-rank on, plus the
+drift-requantization scenario — the corpus churns to a shifted
+distribution, recall@10 of the stale quantizer is recorded, then a
+zero-downtime ``DeploymentManager.requantize()`` runs under a live query
+stream (failed queries are counted — the acceptance is zero) and recall
+is measured again next to a fresh-trained baseline.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out BENCH_1.json]
-        [--out3 BENCH_3.json] [--out4 BENCH_4.json]
+        [--out3 BENCH_3.json] [--out4 BENCH_4.json] [--out5 BENCH_5.json]
         [--index-sizes 10000,100000] [--only-index] [--only-frontend]
+        [--only-compression] [--compression-size 60000]
         [--frontend-references 6000] [--frontend-queries 2000]
 
-``--only-index`` / ``--only-frontend`` skip the other sections (used by
-the CI smoke jobs, which run reduced sizes).
+``--only-index`` / ``--only-frontend`` / ``--only-compression`` skip the
+other sections (used by the CI smoke jobs, which run reduced sizes).
 """
 
 from __future__ import annotations
@@ -330,6 +341,183 @@ def _bench3_snapshot(engines: Dict, sizes) -> Dict:
     }
 
 
+def bench_compression(
+    n=60_000, dim=64, k=10, n_queries=256, repeats=3, seed=0
+) -> Dict:
+    """BENCH_5 engine table: 8-bit IVF-PQ vs 4-bit packed (± OPQ), rerank on.
+
+    All engines answer the same queries; recall@k is against the exact
+    float64 ranking.  The acceptance pair: the 4-bit engine's index
+    bytes/vec at <= 55% of the 8-bit engine's, with recall@10 >= 0.95.
+    """
+    rng = np.random.default_rng(seed + 1)
+    vectors = clustered_corpus(n, dim, seed=seed + 2)
+    queries = vectors[rng.choice(n, size=min(n_queries, n), replace=False)]
+    queries = queries + 0.1 * rng.standard_normal(queries.shape)
+    k_eff = min(k, n)
+    _, exact_ids = ExactIndex().search(vectors, queries, k_eff)
+
+    engines = {
+        "ivfpq_8bit": IVFPQIndex(min_train_size=min(256, n)),
+        "ivfpq_4bit": IVFPQIndex(bits=4, min_train_size=min(256, n)),
+        "ivfpq_4bit_opq": IVFPQIndex(bits=4, opq=True, min_train_size=min(256, n)),
+    }
+    rows: Dict[str, Dict] = {}
+    for name, engine in engines.items():
+        train_start = time.perf_counter()
+        engine.rebuild(vectors)
+        train_s = time.perf_counter() - train_start
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.search(vectors, queries, k_eff)
+            best = min(best, time.perf_counter() - start)
+        _, ids = engine.search(vectors, queries, k_eff)
+        hits = np.array(
+            [np.intersect1d(ids[q], exact_ids[q]).size for q in range(ids.shape[0])]
+        )
+        rows[name] = {
+            "ms_per_query": 1e3 * best / queries.shape[0],
+            "recall_at_k": float(hits.mean() / k_eff),
+            "index_bytes_per_vector": engine.memory_bytes() / n,
+            "train_s": train_s,
+            "bits": engine.pq.bits,
+            "opq": engine.opq,
+            "rerank": engine.rerank,
+            "k": k_eff,
+        }
+    return {"n_references": n, "dim": dim, "engines": rows}
+
+
+def bench_drift_requantize(
+    n=12_000, n_classes=120, dim=32, k=10, n_queries=256, n_shards=2, seed=0
+) -> Dict:
+    """BENCH_5 drift scenario: churn -> stale recall -> requantize -> recovery.
+
+    A 4-bit IVF-PQ deployment (rerank on) serves while every monitored
+    class is replaced with embeddings from a shifted distribution; the
+    stale quantizer's recall@10 is measured against the exact ranking,
+    ``DeploymentManager.requantize()`` swaps re-trained shards in under a
+    live query stream (zero failed queries is the acceptance), and recall
+    is measured again next to a fresh-trained baseline.
+
+    This measures the same scenario ``tests/test_requantize_drift.py``
+    asserts (at a larger N): keep the index factory, churn recipe and
+    swap harness in sync with that file when changing either.
+    """
+    import threading
+
+    from repro.serving import BatchScheduler, DeploymentManager, ShardedReferenceStore
+
+    def index_factory():
+        # Moderate probe/rerank budgets: enough margin for ~1.0 recall on
+        # the distribution the quantizer trained on, little enough that a
+        # stale quantizer's ADC error becomes visible instead of being
+        # papered over by a deep exact re-rank.
+        return IVFPQIndex(bits=4, rerank=32, n_probe=8, min_train_size=64)
+
+    def recall_at_k(store, queries, exact_ids):
+        _, ids = store.search(queries, k)
+        hits = np.array(
+            [np.intersect1d(ids[q], exact_ids[q]).size for q in range(ids.shape[0])]
+        )
+        return float(hits.mean() / k)
+
+    rng = np.random.default_rng(seed + 3)
+    original = clustered_corpus(n, dim, n_clusters=n_classes, seed=seed + 4)
+    labels = [f"page-{i % n_classes:04d}" for i in range(n)]
+    flat = ReferenceStore(dim)
+    flat.add(original, labels)
+    manager = DeploymentManager(
+        ShardedReferenceStore.from_reference_store(
+            flat, n_shards=n_shards, index_factory=index_factory
+        ),
+        ClassifierConfig(k=k),
+    )
+
+    # Churn every class to a shifted, rescaled cluster structure — the
+    # quantizer trained on `original` has never seen this distribution.
+    drifted = clustered_corpus(n, dim, n_clusters=n_classes, seed=seed + 91) * 1.5 + 4.0
+    for c in range(n_classes):
+        manager.replace_class(f"page-{c:04d}", drifted[c::n_classes])
+
+    store = manager.store
+    corpus = np.asarray(store.embeddings, dtype=np.float64)
+    queries = corpus[rng.choice(n, size=min(n_queries, n), replace=False)]
+    queries = queries + 0.1 * rng.standard_normal(queries.shape)
+    _, exact_ids = ExactIndex().search(corpus, queries, k)
+
+    drift_before = float(store.drift_ratio())
+    retrain_flag = bool(store.retrain_needed())
+    recall_stale = recall_at_k(store, queries, exact_ids)
+
+    fresh_store = ReferenceStore(dim, index=index_factory())
+    fresh_store.add(corpus, list(store.labels))
+    recall_fresh = recall_at_k(fresh_store, queries, exact_ids)
+
+    # Requantize under a live query stream; every ticket must succeed.
+    scheduler = BatchScheduler(manager, max_batch_size=32, max_latency_s=0.001)
+    tickets = []
+    stop = threading.Event()
+
+    def pump():
+        position = 0
+        while not stop.is_set():
+            tickets.append(scheduler.submit(queries[position % queries.shape[0]]))
+            position += 1
+
+    with scheduler:
+        pumper = threading.Thread(target=pump)
+        pumper.start()
+        try:
+            swap_start = time.perf_counter()
+            manager.requantize()
+            swap_s = time.perf_counter() - swap_start
+        finally:
+            stop.set()
+            pumper.join()
+    failed = sum(1 for ticket in tickets if ticket.failed)
+
+    recall_after = recall_at_k(manager.store, queries, exact_ids)
+    return {
+        "n_references": n,
+        "n_classes": n_classes,
+        "dim": dim,
+        "k": k,
+        "drift_ratio_before": drift_before,
+        "retrain_needed_before": retrain_flag,
+        "drift_ratio_after": float(manager.store.drift_ratio()),
+        "recall_stale": recall_stale,
+        "recall_fresh_trained": recall_fresh,
+        "recall_after_requantize": recall_after,
+        "requantize_swap_s": swap_s,
+        "queries_during_swap": len(tickets),
+        "failed_during_swap": failed,
+    }
+
+
+def _bench5_snapshot(engines: Dict, drift: Dict) -> Dict:
+    rows = engines["engines"]
+    return {
+        "snapshot": "BENCH_5",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "compression": engines,
+        "drift_requantize": drift,
+        "acceptance": {
+            "bytes_ratio_4bit_vs_8bit": rows["ivfpq_4bit"]["index_bytes_per_vector"]
+            / rows["ivfpq_8bit"]["index_bytes_per_vector"],
+            "recall_at_10_4bit": rows["ivfpq_4bit"]["recall_at_k"],
+            "recall_recovered": drift["recall_after_requantize"]
+            >= drift["recall_fresh_trained"] - 0.01,
+            "failed_queries_during_swap": drift["failed_during_swap"],
+        },
+    }
+
+
 def bench_frontend(
     out: Path,
     *,
@@ -360,6 +548,7 @@ def main() -> int:
     parser.add_argument("--out", type=Path, default=root / "BENCH_1.json")
     parser.add_argument("--out3", type=Path, default=root / "BENCH_3.json")
     parser.add_argument("--out4", type=Path, default=root / "BENCH_4.json")
+    parser.add_argument("--out5", type=Path, default=root / "BENCH_5.json")
     parser.add_argument(
         "--index-sizes", default="10000,100000",
         help="comma-separated corpus sizes for the BENCH_3 engine table",
@@ -371,6 +560,18 @@ def main() -> int:
     parser.add_argument(
         "--only-frontend", action="store_true",
         help="write BENCH_4 (network serving replica scaling) only (CI smoke)",
+    )
+    parser.add_argument(
+        "--only-compression", action="store_true",
+        help="write BENCH_5 (4-bit packed PQ + OPQ + drift requantization) only (CI smoke)",
+    )
+    parser.add_argument(
+        "--compression-size", type=int, default=60_000,
+        help="corpus size for the BENCH_5 engine table",
+    )
+    parser.add_argument(
+        "--drift-size", type=int, default=12_000,
+        help="corpus size for the BENCH_5 drift-requantization scenario",
     )
     parser.add_argument(
         "--frontend-references", type=int, default=6000,
@@ -389,6 +590,29 @@ def main() -> int:
         help="comma-separated replica counts for the BENCH_4 table",
     )
     arguments = parser.parse_args()
+
+    def run_compression() -> None:
+        engines = bench_compression(n=arguments.compression_size)
+        drift = bench_drift_requantize(n=arguments.drift_size)
+        bench5 = _bench5_snapshot(engines, drift)
+        arguments.out5.write_text(json.dumps(bench5, indent=2) + "\n")
+        for name, row in engines["engines"].items():
+            print(f"BENCH_5 N={engines['n_references']} {name:15s}: "
+                  f"{row['ms_per_query']:.3f} ms/q, recall@{row['k']} {row['recall_at_k']:.3f}, "
+                  f"index {row['index_bytes_per_vector']:.1f} B/vec")
+        accept = bench5["acceptance"]
+        print(f"BENCH_5 4-bit/8-bit index bytes: {accept['bytes_ratio_4bit_vs_8bit']:.2f}, "
+              f"recall@10 {accept['recall_at_10_4bit']:.3f}")
+        print(f"BENCH_5 drift: recall {drift['recall_stale']:.3f} (stale) -> "
+              f"{drift['recall_after_requantize']:.3f} after requantize "
+              f"(fresh-trained {drift['recall_fresh_trained']:.3f}), "
+              f"{drift['failed_during_swap']} failed of {drift['queries_during_swap']} "
+              f"queries during the swap")
+        print(f"wrote {arguments.out5}")
+
+    if arguments.only_compression:
+        run_compression()
+        return 0
 
     if arguments.only_frontend:
         bench_frontend(
@@ -442,6 +666,11 @@ def main() -> int:
           f"index memory {accept['index_memory_shrink_vs_exact_f64']:.1f}x smaller than exact float64, "
           f"recall@10 {accept['ivfpq_recall_at_k']:.3f}")
     print(f"wrote {arguments.out3}")
+
+    if not arguments.only_index:
+        # The full snapshot regenerates BENCH_5 too; --only-index stays a
+        # cheap BENCH_3-only run (the CI smoke jobs rely on that).
+        run_compression()
     return 0
 
 

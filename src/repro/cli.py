@@ -10,6 +10,11 @@ The subcommands cover the common workflows::
     python -m repro serve-bench              # serving layer -> BENCH_2.json
     python -m repro serve-bench --transport tcp --replicas 4   # -> BENCH_4.json
     python -m repro serve --port 7010        # TCP serving front-end
+    python -m repro requantize DIR --check   # drift report on a saved deployment
+
+Index-engine knob help (``--n-cells``/``--n-probe``/``--n-subspaces``/
+``--bits``/``--opq``/``--rerank``) comes from the single source of truth
+in :mod:`repro.core.knobs`, which ``docs/index-tuning.md`` mirrors.
 
 The ``experiment`` subcommand builds the shared
 :class:`~repro.experiments.setup.ExperimentContext` once and runs the
@@ -31,6 +36,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro import __version__
 from repro.config import SCALES, get_scale
+from repro.core.knobs import INDEX_ENGINES, INDEX_KNOB_HELP
 from repro.costs.catalogue import table_iii_rows
 from repro.metrics.reports import format_table
 
@@ -56,28 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", type=Path, default=None, help="write the regenerated tables to this directory"
     )
     experiment.add_argument(
-        "--index", default="exact", choices=("exact", "ivf", "ivfpq"),
+        "--index", default="exact", choices=INDEX_ENGINES,
         help="k-NN query engine for every reference store (ivf = sublinear "
              "CoarseQuantizedIndex, ivfpq = product-quantized IVFPQIndex)",
     )
+    experiment.add_argument("--n-cells", type=int, default=None, help=INDEX_KNOB_HELP["n_cells"])
+    experiment.add_argument("--n-probe", type=int, default=None, help=INDEX_KNOB_HELP["n_probe"])
     experiment.add_argument(
-        "--n-cells", type=int, default=None,
-        help="coarse cells (default: ceil(sqrt(N)) for ivf, ceil(9*sqrt(N)) for ivfpq)",
+        "--n-subspaces", type=int, default=8, help=INDEX_KNOB_HELP["n_subspaces"]
     )
-    experiment.add_argument(
-        "--n-probe", type=int, default=None,
-        help="cells probed per query (default: 8 for ivf, 16 for ivfpq)",
-    )
-    experiment.add_argument(
-        "--n-subspaces", type=int, default=8, help="IVF-PQ code subspaces per vector"
-    )
-    experiment.add_argument(
-        "--bits", type=int, default=8, help="IVF-PQ bits per subspace code (1-8)"
-    )
-    experiment.add_argument(
-        "--rerank", type=int, default=64,
-        help="IVF-PQ exact re-rank depth (0 = pure ADC ranking, never touches raw vectors)",
-    )
+    experiment.add_argument("--bits", type=int, default=8, help=INDEX_KNOB_HELP["bits"])
+    experiment.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
+    experiment.add_argument("--rerank", type=int, default=64, help=INDEX_KNOB_HELP["rerank"])
 
     table3 = subparsers.add_parser("table3", help="print the Table III cost catalogue")
     table3.add_argument("--no-measure", action="store_true", help="catalogue only, skip measured timings")
@@ -96,10 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_bench.add_argument("--dim", type=int, default=32, help="embedding dimension")
     index_bench.add_argument("--k", type=int, default=50, help="neighbours per query")
-    index_bench.add_argument("--n-probe", type=int, default=None, help="IVF cells probed per query")
+    index_bench.add_argument("--n-cells", type=int, default=None, help=INDEX_KNOB_HELP["n_cells"])
+    index_bench.add_argument("--n-probe", type=int, default=None, help=INDEX_KNOB_HELP["n_probe"])
     index_bench.add_argument(
-        "--rerank", type=int, default=None, help="IVF-PQ exact re-rank depth override"
+        "--n-subspaces", type=int, default=None, help=INDEX_KNOB_HELP["n_subspaces"]
     )
+    index_bench.add_argument("--bits", type=int, default=None, help=INDEX_KNOB_HELP["bits"])
+    index_bench.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
+    index_bench.add_argument("--rerank", type=int, default=None, help=INDEX_KNOB_HELP["rerank"])
     index_bench.add_argument("--queries", type=int, default=128, help="queries per measurement")
     index_bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
 
@@ -126,9 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica backend: calling-thread scan or worker processes (shared memory)",
     )
     serve.add_argument(
-        "--index", default="exact", choices=("exact", "ivf", "ivfpq"), help="per-shard k-NN engine"
+        "--index", default="exact", choices=INDEX_ENGINES, help="per-shard k-NN engine"
     )
-    serve.add_argument("--rerank", type=int, default=0, help="IVF-PQ re-rank depth")
+    serve.add_argument("--rerank", type=int, default=0, help=INDEX_KNOB_HELP["rerank"])
+    serve.add_argument("--bits", type=int, default=8, help=INDEX_KNOB_HELP["bits"])
+    serve.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
     serve.add_argument(
         "--storage-dtype", default="float64", choices=("float64", "float32"),
         help="resident dtype of shard embedding buffers",
@@ -196,13 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--zipf-s", type=float, default=1.2, help="Zipf exponent for --class-mix zipf"
     )
     serve_bench.add_argument(
-        "--index", default="exact", choices=("exact", "ivf", "ivfpq"),
+        "--index", default="exact", choices=INDEX_ENGINES,
         help="per-shard k-NN engine (ivfpq publishes uint8 codes + codebooks to shared memory)",
     )
-    serve_bench.add_argument(
-        "--rerank", type=int, default=0,
-        help="IVF-PQ re-rank depth; 0 keeps shards vector-free so segments shrink ~16-32x",
-    )
+    serve_bench.add_argument("--rerank", type=int, default=0, help=INDEX_KNOB_HELP["rerank"])
+    serve_bench.add_argument("--bits", type=int, default=8, help=INDEX_KNOB_HELP["bits"])
+    serve_bench.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
     serve_bench.add_argument(
         "--storage-dtype", default="float64", choices=("float64", "float32"),
         help="resident dtype of shard embedding buffers (float32 halves segment bytes)",
@@ -224,6 +225,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--smoke", action="store_true",
         help="small fast preset (overrides sizes; used by the CI serving smoke job)",
+    )
+
+    requantize = subparsers.add_parser(
+        "requantize",
+        help="re-train a saved deployment's quantizer when corpus churn has "
+             "drifted it from its training distribution",
+    )
+    requantize.add_argument(
+        "deployment", type=Path, help="deployment directory (save_deployment layout)"
+    )
+    requantize.add_argument(
+        "--sample-size", type=int, default=None,
+        help="cap the per-store k-means training subsample (every row is still re-encoded)",
+    )
+    requantize.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="drift ratio above which retraining is considered needed",
+    )
+    requantize.add_argument(
+        "--check", action="store_true", help="report drift and exit without retraining"
+    )
+    requantize.add_argument(
+        "--force", action="store_true", help="requantize even when drift is below threshold"
     )
     return parser
 
@@ -270,6 +294,7 @@ def _run_experiments(
     n_probe: Optional[int] = None,
     n_subspaces: int = 8,
     bits: int = 8,
+    opq: bool = False,
     rerank: int = 64,
 ) -> List[str]:
     # Imported lazily so `repro info` stays instant.
@@ -290,6 +315,7 @@ def _run_experiments(
         n_probe=n_probe,
         n_subspaces=n_subspaces,
         bits=bits,
+        opq=opq,
         rerank=rerank,
     )
     runners: Dict[str, Callable[[], List[str]]] = {
@@ -356,6 +382,10 @@ def _index_bench(arguments) -> List[str]:
         repeats=arguments.repeats,
         engines=engines,
         rerank=arguments.rerank,
+        n_subspaces=arguments.n_subspaces,
+        bits=arguments.bits,
+        opq=arguments.opq,
+        n_cells=arguments.n_cells,
     )
     return [
         format_table(
@@ -401,7 +431,9 @@ def _serve(arguments) -> int:
             flat,
             n_shards=arguments.shards,
             executor=replica_set,
-            index_factory=_shard_index_factory(arguments.index, arguments.rerank),
+            index_factory=_shard_index_factory(
+                arguments.index, arguments.rerank, bits=arguments.bits, opq=arguments.opq
+            ),
             storage_dtype=arguments.storage_dtype,
         ),
         ClassifierConfig(k=arguments.k),
@@ -482,6 +514,8 @@ def _serve_bench(arguments) -> List[str]:
             assignment=arguments.assignment,
             index_kind=arguments.index,
             rerank=arguments.rerank,
+            bits=arguments.bits,
+            opq=arguments.opq,
             storage_dtype=arguments.storage_dtype,
             seed=arguments.seed,
             out=out,
@@ -501,6 +535,8 @@ def _serve_bench(arguments) -> List[str]:
         assignment=arguments.assignment,
         index_kind=arguments.index,
         rerank=arguments.rerank,
+        bits=arguments.bits,
+        opq=arguments.opq,
         storage_dtype=arguments.storage_dtype,
         class_mix=arguments.class_mix if arguments.class_mix is not None else "uniform",
         zipf_s=arguments.zipf_s,
@@ -508,6 +544,34 @@ def _serve_bench(arguments) -> List[str]:
         out=out,
     )
     return format_summary(snapshot) + [f"wrote {out}"]
+
+
+def _requantize(arguments) -> int:
+    from repro.core.deployment import load_deployment, save_deployment
+
+    fingerprinter = load_deployment(arguments.deployment)
+    store = fingerprinter.reference_store
+    ratio = store.index.drift_ratio()
+    needed = store.retrain_needed(threshold=arguments.threshold)
+    print(
+        f"deployment {arguments.deployment}: {len(store)} references, "
+        f"index {store.index.spec().get('kind')}, drift ratio {ratio:.2f} "
+        f"({'re-training recommended' if needed else 'within threshold'})"
+    )
+    if arguments.check:
+        return 0
+    if not needed and not arguments.force:
+        print("quantizer is still representative; use --force to requantize anyway")
+        return 0
+    if arguments.sample_size is not None and arguments.sample_size <= 0:
+        raise SystemExit("--sample-size must be positive")
+    store.requantize(sample_size=arguments.sample_size)
+    save_deployment(fingerprinter, arguments.deployment)
+    print(
+        f"requantized on {len(store)} rows "
+        f"(drift ratio now {store.index.drift_ratio():.2f}); deployment saved"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -529,6 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_probe=arguments.n_probe,
             n_subspaces=arguments.n_subspaces,
             bits=arguments.bits,
+            opq=arguments.opq,
             rerank=arguments.rerank,
         )
         for block in blocks:
@@ -547,6 +612,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if arguments.command == "serve":
         return _serve(arguments)
+    if arguments.command == "requantize":
+        return _requantize(arguments)
     if arguments.command == "serve-bench":
         for line in _serve_bench(arguments):
             print(line)

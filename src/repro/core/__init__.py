@@ -21,6 +21,7 @@ from repro.core.index import (
     ExactIndex,
     IVFPQIndex,
     NearestNeighbourIndex,
+    PackedPQ,
     ProductQuantizer,
     index_from_spec,
     top_k_by_distance,
@@ -43,6 +44,7 @@ __all__ = [
     "CoarseQuantizedIndex",
     "ExactIndex",
     "IVFPQIndex",
+    "PackedPQ",
     "ProductQuantizer",
     "NearestNeighbourIndex",
     "index_from_spec",

@@ -26,6 +26,28 @@ the :class:`~repro.core.reference_store.ReferenceStore` queries through:
   default 64 at ``k <= 10``) results match :class:`ExactIndex`
   bit-for-bit.
 
+Compression v2 layers three things on top of the IVF-PQ engine:
+
+* :class:`PackedPQ` — 4-bit codebooks whose codes pack **two per byte**;
+  the ADC scan gathers from a per-query uint8-quantized lookup table
+  (one scale/bias pair per query) so both the resident codes and the scan
+  working set halve again (~64x smaller than float64 at scale).
+  ``IVFPQIndex(bits=4)`` (or lower) selects it automatically and also
+  slims the side structures (uint16 cell assignments, float16 ADC
+  constants, float32 centroids).
+* **OPQ** (``opq=True`` on :class:`IVFPQIndex` / the quantizers) — a
+  learned orthogonal rotation of the residual space (alternating
+  PQ-training and Procrustes steps) applied before subspace splitting, so
+  correlated dimensions stop straddling subspace boundaries and the same
+  code budget buys lower quantization error.
+* **Drift-aware requantization** — the index compares the reconstruction
+  error of rows encoded *after* training against the error at train time
+  (:meth:`IVFPQIndex.drift_ratio`); :meth:`~IVFPQIndex.retrain_needed`
+  flags when the corpus has churned away from the training distribution
+  and :meth:`~IVFPQIndex.retrain` re-trains cells + codebooks on a sample
+  and re-encodes every row (the serving layer wraps this in a
+  zero-downtime ``DeploymentManager.requantize()`` swap).
+
 Indexes never copy the reference vectors: the store owns the (amortised)
 embedding matrix and passes it to ``search``; an index only maintains its
 own side structures (centroids, cell assignments, PQ codes).  Ids are row
@@ -194,6 +216,30 @@ class NearestNeighbourIndex:
         """
         return True
 
+    def drift_ratio(self) -> float:
+        """How far rows added since training drifted from the training
+        distribution (1.0 = no drift signal; quantizing indexes override)."""
+        return 1.0
+
+    def retrain_needed(self, *, threshold: float = 1.5, min_samples: int = 64) -> bool:
+        """Whether accumulated drift warrants re-training the quantizer.
+
+        Always ``False`` for indexes without trained structures; quantizing
+        indexes flag once at least ``min_samples`` post-training rows have
+        drifted the reconstruction error past ``threshold`` times the
+        train-time baseline.
+        """
+        return False
+
+    def retrain(self, vectors: np.ndarray, *, sample_size: Optional[int] = None) -> None:
+        """Re-train quantizer structures on (a sample of) ``vectors`` and
+        re-encode every row, resetting the drift statistics.
+
+        Stateless indexes just :meth:`rebuild`.  ``sample_size`` caps the
+        number of training points (the full matrix is still re-encoded).
+        """
+        self.rebuild(vectors)
+
 
 class ExactIndex(NearestNeighbourIndex):
     """Brute-force search; linear in N but exact and metric-agnostic."""
@@ -203,16 +249,17 @@ class ExactIndex(NearestNeighbourIndex):
             raise ValueError(f"unsupported metric {metric!r}; expected one of {SUPPORTED_METRICS}")
         self.metric = metric
 
-    def rebuild(self, vectors: np.ndarray) -> None:  # nothing cached
-        pass
+    def rebuild(self, vectors: np.ndarray) -> None:
+        """Nothing cached: the exact scan reads the store directly."""
 
     def add(self, vectors: np.ndarray, n_new: int) -> None:
-        pass
+        """No side structures to update."""
 
     def remove(self, kept_mask: np.ndarray) -> None:
-        pass
+        """No side structures to compact."""
 
     def search(self, vectors: np.ndarray, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest rows by brute force, (distance, id)-ordered."""
         if vectors.shape[0] == 0:
             raise ValueError("cannot search an empty index")
         k = min(int(k), vectors.shape[0])
@@ -225,6 +272,7 @@ class ExactIndex(NearestNeighbourIndex):
         return top_k_by_distance(distances, k)
 
     def spec(self) -> Dict[str, object]:
+        """JSON-serialisable description (kind + metric)."""
         return {"kind": "exact", "metric": self.metric}
 
 
@@ -390,6 +438,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
     # ---------------------------------------------------------------- state
     @property
     def trained(self) -> bool:
+        """Whether k-means cells exist (small stores defer training)."""
         return self._centroids is not None
 
     def _resolve_n_cells(self, n: int) -> int:
@@ -410,6 +459,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
 
     # ------------------------------------------------------------- mutation
     def rebuild(self, vectors: np.ndarray) -> None:
+        """(Re)run k-means over ``vectors`` (or defer below min_train_size)."""
         n = vectors.shape[0]
         if n < self.min_train_size:
             self._centroids = None
@@ -430,7 +480,30 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         """Explicitly re-train the coarse quantizer (optional maintenance)."""
         self.rebuild(vectors)
 
+    def retrain(self, vectors: np.ndarray, *, sample_size: Optional[int] = None) -> None:
+        """Re-run k-means on (a sample of) ``vectors``; every row still
+        gets an exact cell assignment (honouring the base contract's
+        training cap, which plain :meth:`rebuild` does not have)."""
+        n = vectors.shape[0]
+        if sample_size is not None and sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        if sample_size is None or n <= sample_size or n < self.min_train_size:
+            self.rebuild(vectors)
+            return
+        vectors = np.asarray(vectors, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        sample = vectors[rng.choice(n, size=int(sample_size), replace=False)]
+        n_cells = min(self._resolve_n_cells(n), sample.shape[0])
+        self._centroids, _ = _kmeans(
+            sample, n_cells, metric=self.metric, n_iter=self.train_iters, seed=self.seed
+        )
+        self._assignments = np.argmin(
+            _metric_distances(vectors, self._centroids, self.metric), axis=1
+        )
+        self._cells = None
+
     def add(self, vectors: np.ndarray, n_new: int) -> None:
+        """Assign appended rows to their nearest existing cell (no k-means)."""
         n = vectors.shape[0]
         if not self.trained:
             if n >= self.min_train_size:
@@ -442,6 +515,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         self._cells = None
 
     def remove(self, kept_mask: np.ndarray) -> None:
+        """Drop removed rows' assignments (store compaction order)."""
         if not self.trained:
             return
         self._assignments = self._assignments[kept_mask]
@@ -451,6 +525,8 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
     def search(
         self, vectors: np.ndarray, queries: np.ndarray, k: int, *, chunk_size: int = 512
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Probe the ``n_probe`` nearest cells per query and scan their
+        members; short probes (fewer than k members) fall back to exact."""
         if vectors.shape[0] == 0:
             raise ValueError("cannot search an empty index")
         k = min(int(k), vectors.shape[0])
@@ -530,6 +606,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         return out_d, out_i
 
     def spec(self) -> Dict[str, object]:
+        """JSON-serialisable configuration (cells, probes, metric, seed)."""
         return {
             "kind": "ivf",
             "metric": self.metric,
@@ -541,11 +618,15 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         }
 
     def state(self) -> Dict[str, np.ndarray]:
+        """Centroids + assignments (empty until trained); see the base
+        contract for how deployments and shm workers use this."""
         if not self.trained:
             return {}
         return {"centroids": self._centroids, "assignments": self._assignments}
 
     def load_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Adopt trained cells without re-running k-means (state from a
+        different index kind raises ``ValueError`` -> caller rebuilds)."""
         if not state:
             self._centroids = None
             self._assignments = np.empty(0, dtype=np.int64)
@@ -563,6 +644,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         self._cells = None
 
     def memory_bytes(self) -> int:
+        """Resident bytes of centroids + per-row cell assignments."""
         if not self.trained:
             return 0
         return int(self._centroids.nbytes + self._assignments.nbytes)
@@ -577,32 +659,55 @@ class ProductQuantizer:
     the residual sub-vectors.  A reference is then ``n_subspaces`` uint8
     codes — 8 bytes instead of 512 for a float64 64-dim embedding — and
     distances against a query decompose into per-subspace table lookups.
+
+    ``opq=True`` additionally learns an **orthogonal rotation** of the
+    input space (optimized product quantization): :meth:`fit` alternates
+    codebook training with a Procrustes solve of ``min_R |XR - decode|``,
+    so correlated dimensions stop straddling subspace boundaries.  The
+    rotation is entirely internal — :meth:`encode` rotates on the way in,
+    :meth:`decode` rotates back, and :meth:`query_tables` rotates the
+    query — so callers (and the ADC decomposition) never see rotated
+    coordinates.
     """
+
+    #: Whether stored codes pack two per byte (:class:`PackedPQ` overrides).
+    packed = False
 
     def __init__(
         self,
         n_subspaces: int = 8,
         bits: int = 8,
         *,
+        opq: bool = False,
+        opq_iters: int = 4,
         train_iters: int = 10,
         seed: int = 0,
         max_train_points: int = 32768,
     ) -> None:
+        """``n_subspaces`` codes per vector, ``2**bits`` entries per codebook;
+        see the class docstring for ``opq``.  ``max_train_points`` caps the
+        training subsample (encoding always covers every row)."""
         if n_subspaces <= 0:
             raise ValueError("n_subspaces must be positive")
         if not 1 <= bits <= 8:
             raise ValueError("bits must be in [1, 8] (codes are stored as uint8)")
+        if opq_iters <= 0:
+            raise ValueError("opq_iters must be positive")
         self.n_subspaces = int(n_subspaces)
         self.bits = int(bits)
+        self.opq = bool(opq)
+        self.opq_iters = int(opq_iters)
         self.train_iters = int(train_iters)
         self.seed = int(seed)
         self.max_train_points = int(max_train_points)
         self._codebooks: Optional[np.ndarray] = None  # (m, k_sub, max_sub_dim)
         self._sub_dims: Optional[np.ndarray] = None
         self._splits: Optional[np.ndarray] = None  # subspace boundaries, len m+1
+        self._rotation: Optional[np.ndarray] = None  # (dim, dim) orthogonal, opq only
 
     @property
     def trained(self) -> bool:
+        """Whether :meth:`fit` (or a state adoption) has run."""
         return self._codebooks is not None
 
     @property
@@ -611,6 +716,16 @@ class ProductQuantizer:
         if self._codebooks is None:
             raise RuntimeError("the product quantizer has not been trained")
         return self._codebooks.shape[1]
+
+    @property
+    def code_width(self) -> int:
+        """Bytes per stored code row (``n_subspaces`` here; packed halves it)."""
+        return self.n_subspaces
+
+    @property
+    def rotation(self) -> Optional[np.ndarray]:
+        """The learned OPQ rotation (``None`` unless ``opq`` and trained)."""
+        return self._rotation
 
     def _boundaries(self, dim: int) -> np.ndarray:
         if self.n_subspaces > dim:
@@ -621,18 +736,12 @@ class ProductQuantizer:
         sizes[: dim % self.n_subspaces] += 1
         return np.concatenate([[0], np.cumsum(sizes)])
 
-    def fit(self, vectors: np.ndarray, *, rng: Optional[np.random.Generator] = None) -> None:
-        """Train one codebook per subspace on (a subsample of) ``vectors``."""
-        vectors = np.asarray(vectors, dtype=np.float64)
-        n, dim = vectors.shape
-        if n == 0:
-            raise ValueError("cannot train a product quantizer on no vectors")
-        rng = rng if rng is not None else np.random.default_rng(self.seed)
-        if n > self.max_train_points:
-            vectors = vectors[rng.choice(n, size=self.max_train_points, replace=False)]
-            n = vectors.shape[0]
-        self._splits = self._boundaries(dim)
-        self._sub_dims = np.diff(self._splits)
+    def _rotate(self, vectors: np.ndarray) -> np.ndarray:
+        return vectors if self._rotation is None else vectors @ self._rotation
+
+    def _train_codebooks(self, vectors: np.ndarray) -> None:
+        """One k-means codebook per subspace of (already-rotated) vectors."""
+        n = vectors.shape[0]
         k_sub = min(2**self.bits, n)
         max_sub = int(self._sub_dims.max())
         # One dense (m, k_sub, max_sub_dim) block; ragged tails stay zero so
@@ -645,38 +754,79 @@ class ProductQuantizer:
             )
             self._codebooks[j, :, : self._sub_dims[j]] = centroids
 
-    def encode(self, vectors: np.ndarray) -> np.ndarray:
-        """Nearest-codebook-entry codes, shape ``(n, n_subspaces)`` uint8."""
-        if self._codebooks is None:
-            raise RuntimeError("the product quantizer has not been trained")
-        vectors = np.asarray(vectors, dtype=np.float64)
-        codes = np.empty((vectors.shape[0], self.n_subspaces), dtype=np.uint8)
+    def _encode_rotated(self, rotated: np.ndarray) -> np.ndarray:
+        codes = np.empty((rotated.shape[0], self.n_subspaces), dtype=np.uint8)
         for j in range(self.n_subspaces):
-            sub = vectors[:, self._splits[j] : self._splits[j + 1]]
+            sub = rotated[:, self._splits[j] : self._splits[j + 1]]
             book = self._codebooks[j, :, : self._sub_dims[j]]
             codes[:, j] = np.argmin(squared_euclidean_distances(sub, book), axis=1)
         return codes
 
-    def decode(self, codes: np.ndarray) -> np.ndarray:
-        """Approximate vectors back from codes (codebook entry per slice)."""
-        if self._codebooks is None:
-            raise RuntimeError("the product quantizer has not been trained")
-        codes = np.asarray(codes)
+    def _decode_rotated(self, codes: np.ndarray) -> np.ndarray:
         out = np.empty((codes.shape[0], int(self._splits[-1])), dtype=np.float64)
         for j in range(self.n_subspaces):
             book = self._codebooks[j, :, : self._sub_dims[j]]
             out[:, self._splits[j] : self._splits[j + 1]] = book[codes[:, j]]
         return out
 
+    def fit(self, vectors: np.ndarray, *, rng: Optional[np.random.Generator] = None) -> None:
+        """Train one codebook per subspace on (a subsample of) ``vectors``.
+
+        With ``opq`` the training loop alternates codebook fitting with the
+        orthogonal-Procrustes rotation update (``R = UV^T`` from the SVD of
+        ``X^T decode``), ``opq_iters`` rounds, then fits final codebooks in
+        the rotated space.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        n, dim = vectors.shape
+        if n == 0:
+            raise ValueError("cannot train a product quantizer on no vectors")
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        if n > self.max_train_points:
+            vectors = vectors[rng.choice(n, size=self.max_train_points, replace=False)]
+            n = vectors.shape[0]
+        self._splits = self._boundaries(dim)
+        self._sub_dims = np.diff(self._splits)
+        self._rotation = None
+        if not self.opq:
+            self._train_codebooks(vectors)
+            return
+        rotation = np.eye(dim)
+        for _ in range(self.opq_iters):
+            rotated = vectors @ rotation
+            self._train_codebooks(rotated)
+            decoded = self._decode_rotated(self._encode_rotated(rotated))
+            # Procrustes: the orthogonal R minimising |XR - decoded|_F.
+            u, _, vt = np.linalg.svd(vectors.T @ decoded)
+            rotation = u @ vt
+        self._train_codebooks(vectors @ rotation)
+        self._rotation = rotation
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-codebook-entry codes, shape ``(n, n_subspaces)`` uint8."""
+        if self._codebooks is None:
+            raise RuntimeError("the product quantizer has not been trained")
+        return self._encode_rotated(self._rotate(np.asarray(vectors, dtype=np.float64)))
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Approximate vectors back from codes, in the *original* space
+        (codebook entry per slice, un-rotated when OPQ is on)."""
+        if self._codebooks is None:
+            raise RuntimeError("the product quantizer has not been trained")
+        out = self._decode_rotated(np.asarray(codes))
+        return out if self._rotation is None else out @ self._rotation.T
+
     def query_tables(self, queries: np.ndarray) -> np.ndarray:
         """Per-query inner products with every codebook entry, ``(n, m, k_sub)``.
 
         This is the only per-query cost of ADC that touches the embedding
         dimension; everything cell-dependent is precomputed at train time.
+        Queries are rotated first when OPQ is on, so
+        ``sum_j table[q, j, code_j] == q . decode(code)`` holds either way.
         """
         if self._codebooks is None:
             raise RuntimeError("the product quantizer has not been trained")
-        queries = np.asarray(queries, dtype=np.float64)
+        queries = self._rotate(np.asarray(queries, dtype=np.float64))
         tables = np.empty((queries.shape[0], self.n_subspaces, self.n_centroids))
         for j in range(self.n_subspaces):
             sub = queries[:, self._splits[j] : self._splits[j + 1]]
@@ -684,7 +834,100 @@ class ProductQuantizer:
         return tables
 
     def memory_bytes(self) -> int:
-        return int(self._codebooks.nbytes) if self._codebooks is not None else 0
+        """Resident bytes of codebooks (and the OPQ rotation when learned)."""
+        total = int(self._codebooks.nbytes) if self._codebooks is not None else 0
+        if self._rotation is not None:
+            total += int(self._rotation.nbytes)
+        return total
+
+
+class PackedPQ(ProductQuantizer):
+    """4-bit product quantizer: two codes per byte, uint8-quantized LUTs.
+
+    The compression-v2 quantizer.  Codebooks hold at most 16 entries
+    (``bits <= 4``), so a stored code row is ``ceil(n_subspaces / 2)``
+    bytes: subspace ``j`` lives in byte ``j // 2`` — even ``j`` in the low
+    nibble, odd ``j`` in the high nibble.  The ADC scan gathers from a
+    **uint8-quantized** per-query lookup table (:meth:`quantized_query_tables`
+    maps the float table affinely onto [0, 255] with one scale/bias pair
+    per query), so the scan's working set shrinks 4x on top of the 2x from
+    packing.  The quantization error this introduces is bounded by
+    ``n_subspaces * scale / 2`` per distance and only perturbs *candidate
+    selection* — with ``rerank`` on, final rankings are re-scored exactly.
+
+    Everything else (training, OPQ, the :meth:`encode`/:meth:`decode`
+    contract in unpacked per-subspace codes) is inherited.
+    """
+
+    packed = True
+
+    def __init__(
+        self,
+        n_subspaces: int = 8,
+        bits: int = 4,
+        *,
+        opq: bool = False,
+        opq_iters: int = 4,
+        train_iters: int = 10,
+        seed: int = 0,
+        max_train_points: int = 32768,
+    ) -> None:
+        """Same knobs as :class:`ProductQuantizer` with ``bits`` capped at 4
+        (two codes must share a byte)."""
+        if not 1 <= bits <= 4:
+            raise ValueError("PackedPQ stores two codes per byte; bits must be in [1, 4]")
+        super().__init__(
+            n_subspaces,
+            bits,
+            opq=opq,
+            opq_iters=opq_iters,
+            train_iters=train_iters,
+            seed=seed,
+            max_train_points=max_train_points,
+        )
+
+    @property
+    def code_width(self) -> int:
+        """Bytes per stored code row: two 4-bit codes share one byte."""
+        return (self.n_subspaces + 1) // 2
+
+    def pack_codes(self, codes: np.ndarray) -> np.ndarray:
+        """``(n, n_subspaces)`` nibble codes -> ``(n, code_width)`` packed."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        packed = np.zeros((codes.shape[0], self.code_width), dtype=np.uint8)
+        packed |= codes[:, 0::2]
+        odd = codes[:, 1::2]
+        packed[:, : odd.shape[1]] |= odd << 4
+        return packed
+
+    def unpack_codes(self, packed: np.ndarray) -> np.ndarray:
+        """``(n, code_width)`` packed rows -> ``(n, n_subspaces)`` codes."""
+        packed = np.asarray(packed, dtype=np.uint8)
+        codes = np.empty((packed.shape[0], self.n_subspaces), dtype=np.uint8)
+        codes[:, 0::2] = packed & 0x0F
+        codes[:, 1::2] = (packed >> 4)[:, : self.n_subspaces // 2]
+        return codes
+
+    def quantized_query_tables(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lut_u8, scale, bias)``: the float LUT affinely quantized per query.
+
+        ``lut_u8`` is ``(n, m, k_sub)`` uint8 with
+        ``float_table ~= scale[q] * lut_u8[q] + bias[q]``, so an ADC sum
+        over ``m`` gathers reconstructs as ``scale[q] * sum + m * bias[q]``.
+        """
+        tables = self.query_tables(queries)
+        flat = tables.reshape(tables.shape[0], -1)
+        bias = flat.min(axis=1)
+        scale = (flat.max(axis=1) - bias) / 255.0
+        scale[scale == 0.0] = 1.0  # constant table: any scale reconstructs
+        lut = np.rint((tables - bias[:, None, None]) / scale[:, None, None])
+        return (
+            np.clip(lut, 0, 255).astype(np.uint8),
+            scale.astype(np.float32),
+            bias.astype(np.float32),
+        )
 
 
 class IVFPQIndex(NearestNeighbourIndex):
@@ -719,6 +962,19 @@ class IVFPQIndex(NearestNeighbourIndex):
     the code buffers.  Codes and assignments live in amortised-doubling
     buffers mirroring the reference store's growth scheme, so adaptation
     churn stays O(changed rows).
+
+    **Compression v2.**  ``bits <= 4`` selects the :class:`PackedPQ`
+    quantizer: codes pack two per byte, the ADC scan gathers from a
+    per-query uint8-quantized LUT, and the side structures slim down too
+    (uint16 cell assignments — ``n_cells`` is capped at 65535 — float16 ADC
+    member constants and float32 coarse centroids; constants are clipped
+    into float16 range, so embeddings with ADC magnitudes beyond ~6e4 —
+    far outside any normalised or tanh-bounded embedding — degrade
+    candidate selection gracefully, recoverable by a deeper ``rerank``,
+    instead of corrupting it).  ``opq=True`` trains the
+    quantizer behind an OPQ rotation (either bit width).  Rows encoded
+    after training feed the drift statistics behind
+    :meth:`drift_ratio` / :meth:`retrain_needed` / :meth:`retrain`.
     """
 
     _COARSE_TRAIN_CAP = 131072  # k-means sample cap; assignment stays exact
@@ -730,12 +986,16 @@ class IVFPQIndex(NearestNeighbourIndex):
         *,
         n_subspaces: int = 8,
         bits: int = 8,
+        opq: bool = False,
         rerank: int = 64,
         metric: str = "euclidean",
         min_train_size: int = 256,
         train_iters: int = 10,
         seed: int = 0,
     ) -> None:
+        """See the class docstring; ``bits <= 4`` switches to the packed
+        quantizer and slim side-structure dtypes, ``opq`` adds the learned
+        rotation, and ``rerank`` trades ADC error for exact re-scoring."""
         if metric != "euclidean":
             raise ValueError("IVFPQIndex supports only the euclidean metric (ADC is an L2 construct)")
         if n_cells is not None and n_cells <= 0:
@@ -751,43 +1011,68 @@ class IVFPQIndex(NearestNeighbourIndex):
         self.min_train_size = int(min_train_size)
         self.train_iters = int(train_iters)
         self.seed = int(seed)
-        self.pq = ProductQuantizer(
-            n_subspaces=n_subspaces, bits=bits, train_iters=train_iters, seed=seed
+        self.opq = bool(opq)
+        quantizer = PackedPQ if bits <= 4 else ProductQuantizer
+        self.pq = quantizer(
+            n_subspaces=n_subspaces, bits=bits, opq=opq, train_iters=train_iters, seed=seed
         )
+        # The packed engine slims every per-row side structure; the 8-bit
+        # engine keeps the wider dtypes (and their bit-exact baselines).
+        self._assign_dtype = np.dtype(np.uint16 if self.pq.packed else np.int32)
+        self._const_dtype = np.dtype(np.float16 if self.pq.packed else np.float32)
+        self._centroid_dtype = np.dtype(np.float32 if self.pq.packed else np.float64)
+        self._coarse_train_cap = self._COARSE_TRAIN_CAP
         self._centroids: Optional[np.ndarray] = None
-        self._assign_buffer: np.ndarray = np.empty(0, dtype=np.int32)
-        self._code_buffer: np.ndarray = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
+        self._assign_buffer: np.ndarray = np.empty(0, dtype=self._assign_dtype)
+        self._code_buffer: np.ndarray = np.empty((0, self.pq.code_width), dtype=np.uint8)
         # Per-reference constant of the ADC decomposition: |e|^2 + 2 c.e.
-        self._const_buffer: np.ndarray = np.empty(0, dtype=np.float32)
+        self._const_buffer: np.ndarray = np.empty(0, dtype=self._const_dtype)
         self._n = 0
         self._cells: Optional[list] = None
+        # Drift statistics: the held-out train-time mean squared
+        # reconstruction error vs a per-row error for rows encoded after
+        # training (NaN marks train-time rows).  Per-row so that removal
+        # compacts it — departed rows stop exerting drift pressure.
+        self._train_distortion: Optional[float] = None
+        self._drift_buffer: np.ndarray = np.empty(0, dtype=np.float16)
+        # Aggregates over the buffer's valid entries, maintained on
+        # add/remove so drift_ratio() stays O(1) (the info op polls it).
+        self._drift_sum = 0.0
+        self._drift_count = 0
 
     # ---------------------------------------------------------------- state
     @property
     def trained(self) -> bool:
+        """Whether cells + codebooks exist (small stores defer training)."""
         return self._centroids is not None
 
     @property
     def codes(self) -> np.ndarray:
-        """The live ``(N, n_subspaces)`` uint8 code rows (a read-only view)."""
+        """The live ``(N, code_width)`` uint8 code rows in storage layout
+        (packed two-per-byte for the 4-bit engine); a read-only view."""
         view = self._code_buffer[: self._n]
         view.flags.writeable = False
         return view
 
     @property
     def needs_vectors(self) -> bool:
-        # Trained and not re-ranking: the whole search runs on codes, so
-        # serving can ship codes + codebooks only (~16-32x smaller).
+        """``False`` once trained with ``rerank == 0``: the whole search
+        runs on codes, so serving ships codes + codebooks only."""
         return not self.trained or self.rerank > 0
 
     def _resolve_n_cells(self, n: int) -> int:
         if self.n_cells is not None:
-            return min(self.n_cells, n)
-        # Finer cells than the IVF default (sqrt(N)): the uint8 scan makes
-        # probing cheap per candidate and the per-query LUT cost is
-        # cell-independent, so smaller cells buy both smaller residuals
-        # (better codes) and fewer candidates per probe.
-        return max(1, min(n, int(np.ceil(9.0 * np.sqrt(n)))))
+            resolved = min(self.n_cells, n)
+        else:
+            # Finer cells than the IVF default (sqrt(N)): the uint8 scan makes
+            # probing cheap per candidate and the per-query LUT cost is
+            # cell-independent, so smaller cells buy both smaller residuals
+            # (better codes) and fewer candidates per probe.
+            resolved = max(1, min(n, int(np.ceil(9.0 * np.sqrt(n)))))
+        if self.pq.packed:
+            # Cell assignments are stored uint16 on the packed path.
+            resolved = min(resolved, 65535)
+        return resolved
 
     def _cell_lists(self) -> list:
         if self._cells is None:
@@ -808,15 +1093,18 @@ class IVFPQIndex(NearestNeighbourIndex):
         new_capacity = max(32, capacity)
         while new_capacity < needed:
             new_capacity *= 2
-        assignments = np.empty(new_capacity, dtype=np.int32)
+        assignments = np.empty(new_capacity, dtype=self._assign_dtype)
         assignments[: self._n] = self._assign_buffer[: self._n]
         self._assign_buffer = assignments
         codes = np.empty((new_capacity, self._code_buffer.shape[1]), dtype=np.uint8)
         codes[: self._n] = self._code_buffer[: self._n]
         self._code_buffer = codes
-        consts = np.empty(new_capacity, dtype=np.float32)
+        consts = np.empty(new_capacity, dtype=self._const_dtype)
         consts[: self._n] = self._const_buffer[: self._n]
         self._const_buffer = consts
+        drift = np.empty(new_capacity, dtype=np.float16)
+        drift[: self._n] = self._drift_buffer[: self._n]
+        self._drift_buffer = drift
 
     def _assign_to_centroids(self, vectors: np.ndarray, chunk_rows: int = 4096) -> np.ndarray:
         """Nearest-centroid assignment, chunked so the (rows, n_cells)
@@ -829,53 +1117,108 @@ class IVFPQIndex(NearestNeighbourIndex):
             )
         return out
 
-    def _member_consts(self, codes: np.ndarray, assignments: np.ndarray) -> np.ndarray:
-        """``|e|^2 + 2 c.e`` per row from decoded residuals (float32)."""
-        decoded = self.pq.decode(codes)
+    def _member_consts(self, decoded: np.ndarray, assignments: np.ndarray) -> np.ndarray:
+        """``|e|^2 + 2 c.e`` per row from decoded residuals ``e``."""
         consts = np.einsum("ij,ij->i", decoded, decoded)
         consts += 2.0 * np.einsum("ij,ij->i", decoded, self._centroids[assignments])
-        return consts.astype(np.float32)
+        if self._const_dtype == np.float16:
+            # Clip into float16 range: an overflowed +/-inf constant would
+            # permanently exclude (or falsely promote) its row in every ADC
+            # scan; a clipped value keeps the row rankable and the exact
+            # re-rank still scores it correctly.
+            np.clip(consts, -6.0e4, 6.0e4, out=consts)
+        return consts.astype(self._const_dtype)
+
+    def _reconstruction_error(
+        self, rows: np.ndarray, assignments: np.ndarray, decoded: np.ndarray
+    ) -> np.ndarray:
+        """Per-row squared reconstruction error ``|x - c - e|^2`` (the drift
+        statistic: rises as the corpus leaves the training distribution)."""
+        diff = rows - self._centroids[assignments]
+        diff -= decoded
+        return np.einsum("ij,ij->i", diff, diff)
 
     # ------------------------------------------------------------- mutation
     def rebuild(self, vectors: np.ndarray) -> None:
+        """Train coarse cells + codebooks on ``vectors`` and encode every
+        row; also resets the train-time drift baseline."""
         n = vectors.shape[0]
         if n < self.min_train_size:
             self._centroids = None
-            self._assign_buffer = np.empty(0, dtype=np.int32)
-            self._code_buffer = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
-            self._const_buffer = np.empty(0, dtype=np.float32)
+            self._assign_buffer = np.empty(0, dtype=self._assign_dtype)
+            self._code_buffer = np.empty((0, self.pq.code_width), dtype=np.uint8)
+            self._const_buffer = np.empty(0, dtype=self._const_dtype)
             self._n = 0
             self._cells = None
+            self._train_distortion = None
+            self._drift_buffer = np.empty(0, dtype=np.float16)
+            self._drift_sum = 0.0
+            self._drift_count = 0
             return
         vectors = np.asarray(vectors, dtype=np.float64)
         n_cells = self._resolve_n_cells(n)
-        if n > self._COARSE_TRAIN_CAP:
+        # The drift baseline must be an *out-of-sample* error: cells and
+        # codebooks fit their own training rows tighter than anything
+        # encoded later, so an in-sample baseline would read ordinary
+        # in-distribution churn as drift.  Hold a slice out of both
+        # training stages and measure the baseline there.
+        holdout_size = min(1024, n // 8)
+        holdout: Optional[np.ndarray] = None
+        train_rows = vectors
+        if holdout_size >= 32:
+            holdout = np.random.default_rng(self.seed + 2).choice(
+                n, size=holdout_size, replace=False
+            )
+            train_mask = np.ones(n, dtype=bool)
+            train_mask[holdout] = False
+            train_rows = vectors[train_mask]
+            n_cells = min(n_cells, train_rows.shape[0])
+        if train_rows.shape[0] > self._coarse_train_cap:
             # Train cells on a sample (they only need to cover the density);
             # every reference still gets an exact assignment below.
             rng = np.random.default_rng(self.seed)
-            sample = vectors[rng.choice(n, size=self._COARSE_TRAIN_CAP, replace=False)]
-            self._centroids, _ = _kmeans(
-                sample, n_cells, metric="euclidean", n_iter=self.train_iters, seed=self.seed
-            )
-            assignments = self._assign_to_centroids(vectors)
-        else:
-            self._centroids, assignments = _kmeans(
-                vectors, n_cells, metric="euclidean", n_iter=self.train_iters, seed=self.seed
-            )
+            train_rows = train_rows[
+                rng.choice(train_rows.shape[0], size=self._coarse_train_cap, replace=False)
+            ]
+        # A tight retrain(sample_size=...) cap can leave fewer training
+        # rows than resolved cells; k-means needs n_cells <= rows.
+        n_cells = min(n_cells, train_rows.shape[0])
+        centroids, _ = _kmeans(
+            train_rows, n_cells, metric="euclidean", n_iter=self.train_iters, seed=self.seed
+        )
+        self._centroids = centroids.astype(self._centroid_dtype)
+        assignments = self._assign_to_centroids(vectors)
         residuals = vectors - self._centroids[assignments]
-        self.pq.fit(residuals, rng=np.random.default_rng(self.seed + 1))
+        if holdout is None:
+            self.pq.fit(residuals, rng=np.random.default_rng(self.seed + 1))
+        else:
+            self.pq.fit(residuals[train_mask], rng=np.random.default_rng(self.seed + 1))
         codes = self.pq.encode(residuals)
-        self._assign_buffer = assignments.astype(np.int32)
-        self._code_buffer = codes
-        self._const_buffer = self._member_consts(codes, assignments)
+        decoded = self.pq.decode(codes)
+        self._assign_buffer = assignments.astype(self._assign_dtype)
+        self._code_buffer = (
+            self.pq.pack_codes(codes) if self.pq.packed else codes
+        )
+        self._const_buffer = self._member_consts(decoded, assignments)
         self._n = n
         self._cells = None
+        baseline_rows = slice(None) if holdout is None else holdout
+        self._train_distortion = float(
+            self._reconstruction_error(
+                vectors[baseline_rows], assignments[baseline_rows], decoded[baseline_rows]
+            ).mean()
+        )
+        self._drift_buffer = np.full(n, np.nan, dtype=np.float16)
+        self._drift_sum = 0.0
+        self._drift_count = 0
 
     def refit(self, vectors: np.ndarray) -> None:
         """Explicitly re-train cells and codebooks (optional maintenance)."""
         self.rebuild(vectors)
 
     def add(self, vectors: np.ndarray, n_new: int) -> None:
+        """Encode the ``n_new`` appended rows with the trained quantizer and
+        fold their reconstruction error into the drift statistics."""
         n = vectors.shape[0]
         if not self.trained:
             if n >= self.min_train_size:
@@ -886,20 +1229,82 @@ class IVFPQIndex(NearestNeighbourIndex):
             squared_euclidean_distances(new_rows, self._centroids), axis=1
         )
         codes = self.pq.encode(new_rows - self._centroids[assignments])
+        decoded = self.pq.decode(codes)
         self._reserve(n_new)
         self._assign_buffer[self._n : self._n + n_new] = assignments
-        self._code_buffer[self._n : self._n + n_new] = codes
-        self._const_buffer[self._n : self._n + n_new] = self._member_consts(codes, assignments)
+        self._code_buffer[self._n : self._n + n_new] = (
+            self.pq.pack_codes(codes) if self.pq.packed else codes
+        )
+        self._const_buffer[self._n : self._n + n_new] = self._member_consts(
+            decoded, assignments
+        )
+        # Clipped into float16 range so extreme drift reads as a huge
+        # finite ratio rather than inf.  Aggregates accumulate the values
+        # as stored, so a later remove subtracts them exactly.
+        stored_errors = np.minimum(
+            self._reconstruction_error(new_rows, assignments, decoded), 6.0e4
+        ).astype(np.float16)
+        self._drift_buffer[self._n : self._n + n_new] = stored_errors
+        self._drift_sum += float(stored_errors.astype(np.float64).sum())
+        self._drift_count += n_new
         self._n += n_new
         self._cells = None
 
+    # ------------------------------------------------------ drift / retrain
+    def drift_ratio(self) -> float:
+        """Mean reconstruction error of the post-training rows *still in
+        the corpus* over the train-time baseline (1.0 when none remain)."""
+        if (
+            self._train_distortion is None
+            or self._train_distortion <= 0.0
+            or self._drift_count <= 0
+        ):
+            return 1.0
+        return (self._drift_sum / self._drift_count) / self._train_distortion
+
+    def retrain_needed(self, *, threshold: float = 1.5, min_samples: int = 64) -> bool:
+        """``True`` once >= ``min_samples`` surviving post-training rows
+        show a mean reconstruction error above ``threshold`` x the
+        baseline (removed rows stop counting — drift can clear itself)."""
+        return self._drift_count >= int(min_samples) and self.drift_ratio() > float(threshold)
+
+    def retrain(self, vectors: np.ndarray, *, sample_size: Optional[int] = None) -> None:
+        """Re-train cells + codebooks on a sample of ``vectors``, re-encode
+        every row and reset the drift statistics.
+
+        ``sample_size`` tightens both training subsample caps for this call
+        (coarse k-means and codebook fitting); every row is still assigned
+        and encoded exactly.  This is what
+        ``DeploymentManager.requantize()`` runs per shard behind its
+        copy-on-write swap.
+        """
+        if sample_size is None:
+            self.rebuild(vectors)
+            return
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        old_cap, old_points = self._coarse_train_cap, self.pq.max_train_points
+        self._coarse_train_cap = min(old_cap, int(sample_size))
+        self.pq.max_train_points = min(old_points, int(sample_size))
+        try:
+            self.rebuild(vectors)
+        finally:
+            self._coarse_train_cap = old_cap
+            self.pq.max_train_points = old_points
+
     def remove(self, kept_mask: np.ndarray) -> None:
+        """Compact code/assignment/const buffers after store compaction."""
         if not self.trained:
             return
         kept = int(np.asarray(kept_mask).sum())
+        departed = self._drift_buffer[: self._n][~kept_mask].astype(np.float64)
+        departed_valid = ~np.isnan(departed)
+        self._drift_sum = max(0.0, self._drift_sum - float(departed[departed_valid].sum()))
+        self._drift_count -= int(np.count_nonzero(departed_valid))
         self._assign_buffer[:kept] = self._assign_buffer[: self._n][kept_mask]
         self._code_buffer[:kept] = self._code_buffer[: self._n][kept_mask]
         self._const_buffer[:kept] = self._const_buffer[: self._n][kept_mask]
+        self._drift_buffer[:kept] = self._drift_buffer[: self._n][kept_mask]
         self._n = kept
         self._cells = None
 
@@ -919,6 +1324,13 @@ class IVFPQIndex(NearestNeighbourIndex):
         query (on its own small candidate segment), so there is no per-cell
         inner loop and no padded candidate matrix.  Returns per-query
         ``(ids, adc_distances)`` lists ordered by ``(adc, id)``.
+
+        ``lut`` is the float32 query table for the plain engine, or the
+        ``(lut_u8, scale, bias)`` triple of
+        :meth:`PackedPQ.quantized_query_tables` for the packed engine —
+        there the gather runs over the uint8 table (a quarter of the
+        working set), sums in uint32 and reconstructs the float sum from
+        the per-query affine pair.
         """
         n_chunk = probe.shape[0]
         cells = self._cell_lists()
@@ -940,10 +1352,20 @@ class IVFPQIndex(NearestNeighbourIndex):
             coarse_d2[flat_queries, flat_cells].astype(np.float32), flat_sizes
         )
         adc += self._const_buffer[cand_ids]
-        idx = self._code_buffer[cand_ids].astype(np.int32)
+        codes = self._code_buffer[cand_ids]
+        if self.pq.packed:
+            codes = self.pq.unpack_codes(codes)
+        idx = codes.astype(np.int32)
         idx += np.arange(m, dtype=np.int32)[None, :] * k_sub
         idx += (rows * (m * k_sub)).astype(np.int32)[:, None]
-        adc -= 2.0 * lut.ravel().take(idx).sum(axis=1, dtype=np.float32)
+        if self.pq.packed:
+            lut_u8, scale, bias = lut
+            sums = lut_u8.ravel().take(idx).sum(axis=1, dtype=np.uint32)
+            adc -= 2.0 * (
+                scale[rows] * sums.astype(np.float32) + np.float32(m) * bias[rows]
+            )
+        else:
+            adc -= 2.0 * lut.ravel().take(idx).sum(axis=1, dtype=np.float32)
 
         # Candidates are query-major, so each query owns one contiguous
         # segment; select within it.
@@ -971,6 +1393,8 @@ class IVFPQIndex(NearestNeighbourIndex):
         *,
         chunk_size: int = 1024,
     ) -> Tuple[np.ndarray, np.ndarray]:
+        """ADC scan over the probed cells' codes, optionally re-ranked
+        exactly against ``vectors`` (required when ``rerank > 0``)."""
         if not self.trained:
             if vectors is None:
                 raise ValueError("an untrained IVFPQIndex cannot search without raw vectors")
@@ -995,7 +1419,10 @@ class IVFPQIndex(NearestNeighbourIndex):
                 probe = np.broadcast_to(np.arange(n_cells), coarse_d2.shape).copy()
             else:
                 probe = np.argpartition(coarse_d2, n_probe - 1, axis=1)[:, :n_probe]
-            lut = self.pq.query_tables(chunk).astype(np.float32)
+            if self.pq.packed:
+                lut = self.pq.quantized_query_tables(chunk)
+            else:
+                lut = self.pq.query_tables(chunk).astype(np.float32)
             cand_lists, adc_lists = self._adc_select(coarse_d2, probe, lut, n_select)
 
             # Queries whose probed cells hold fewer than k members re-scan
@@ -1007,8 +1434,13 @@ class IVFPQIndex(NearestNeighbourIndex):
                     full_probe = np.broadcast_to(
                         np.arange(n_cells), (len(short), n_cells)
                     ).copy()
+                    lut_short = (
+                        tuple(part[short] for part in lut)
+                        if self.pq.packed
+                        else lut[short]
+                    )
                     f_cands, f_adcs = self._adc_select(
-                        coarse_d2[short], full_probe, lut[short], n_select
+                        coarse_d2[short], full_probe, lut_short, n_select
                     )
                     for position, q in enumerate(short):
                         cand_lists[q] = f_cands[position]
@@ -1053,6 +1485,9 @@ class IVFPQIndex(NearestNeighbourIndex):
 
     # ---------------------------------------------------------- persistence
     def spec(self) -> Dict[str, object]:
+        """JSON-serialisable configuration (see
+        :meth:`NearestNeighbourIndex.spec`); ``bits <= 4`` implies the
+        packed engine on reconstruction."""
         return {
             "kind": "ivfpq",
             "metric": self.metric,
@@ -1060,6 +1495,7 @@ class IVFPQIndex(NearestNeighbourIndex):
             "n_probe": self.n_probe,
             "n_subspaces": self.pq.n_subspaces,
             "bits": self.pq.bits,
+            "opq": self.opq,
             "rerank": self.rerank,
             "min_train_size": self.min_train_size,
             "train_iters": self.train_iters,
@@ -1067,49 +1503,78 @@ class IVFPQIndex(NearestNeighbourIndex):
         }
 
     def state(self) -> Dict[str, np.ndarray]:
+        """Trained structures as named arrays (see the base contract).
+
+        Codes are in storage layout (packed two-per-byte for the 4-bit
+        engine) and the side structures keep their resident dtypes, so
+        shared-memory publication and npz persistence ship the compressed
+        representation byte-for-byte.  ``rotation`` rides along when OPQ
+        is on; ``drift_baseline`` + per-row ``drift_errors`` carry the
+        drift statistics so requantization pressure survives a warm
+        restart.
+        """
         if not self.trained:
             return {}
-        return {
+        state = {
             "centroids": self._centroids,
             "assignments": self._assign_buffer[: self._n],
             "codes": self._code_buffer[: self._n],
             "member_consts": self._const_buffer[: self._n],
             "codebooks": self.pq._codebooks,
+            "drift_baseline": np.array(
+                [-1.0 if self._train_distortion is None else self._train_distortion]
+            ),
+            "drift_errors": self._drift_buffer[: self._n],
         }
+        if self.pq.rotation is not None:
+            state["rotation"] = self.pq.rotation
+        return state
 
     def load_state(self, state: Dict[str, np.ndarray]) -> None:
         """Adopt trained structures without re-running k-means.
 
         Arrays are adopted as-is (views into a shared-memory segment are
         fine: search never writes; a later ``add`` re-allocates through the
-        amortised-doubling reserve before writing).
+        amortised-doubling reserve before writing).  State from a
+        differently-configured index — wrong code width, missing/unexpected
+        ``rotation``, unknown keys — raises ``ValueError`` so the caller
+        falls back to a clean rebuild.
         """
         if not state:
             self._centroids = None
-            self._assign_buffer = np.empty(0, dtype=np.int32)
-            self._code_buffer = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
-            self._const_buffer = np.empty(0, dtype=np.float32)
+            self._assign_buffer = np.empty(0, dtype=self._assign_dtype)
+            self._code_buffer = np.empty((0, self.pq.code_width), dtype=np.uint8)
+            self._const_buffer = np.empty(0, dtype=self._const_dtype)
             self._n = 0
             self._cells = None
+            self._train_distortion = None
+            self._drift_buffer = np.empty(0, dtype=np.float16)
+            self._drift_sum = 0.0
+            self._drift_count = 0
             return
-        expected = {"centroids", "assignments", "codes", "member_consts", "codebooks"}
-        if set(state) != expected:
+        required = {"centroids", "assignments", "codes", "member_consts", "codebooks"}
+        if self.opq:
+            required = required | {"rotation"}
+        optional = {"drift_baseline", "drift_errors"} | (
+            {"rotation"} if self.opq else set()
+        )
+        if not required <= set(state) or not set(state) <= required | optional:
             raise ValueError(f"state keys {sorted(state)} do not match an IVFPQIndex")
         codes = np.asarray(state["codes"], dtype=np.uint8)
         codebooks = np.asarray(state["codebooks"], dtype=np.float64)
-        if codes.ndim != 2 or codes.shape[1] != self.pq.n_subspaces:
+        if codes.ndim != 2 or codes.shape[1] != self.pq.code_width:
             raise ValueError(
-                f"state codes have {codes.shape[-1] if codes.ndim == 2 else '?'} subspaces, "
-                f"this index is configured for {self.pq.n_subspaces}"
+                f"state codes are {codes.shape[-1] if codes.ndim == 2 else '?'} bytes wide, "
+                f"this index stores {self.pq.code_width}-byte rows"
             )
         if codebooks.shape[0] != self.pq.n_subspaces or codebooks.shape[1] > 2**self.pq.bits:
             raise ValueError(
                 "state codebooks do not match this index's n_subspaces/bits configuration"
             )
-        self._centroids = np.asarray(state["centroids"], dtype=np.float64)
-        self._assign_buffer = np.asarray(state["assignments"], dtype=np.int32)
+        self._centroids = np.asarray(state["centroids"], dtype=self._centroid_dtype)
+        self._assign_buffer = np.asarray(state["assignments"], dtype=self._assign_dtype)
         self._code_buffer = codes
-        self._const_buffer = np.asarray(state["member_consts"], dtype=np.float32)
+        self._const_buffer = np.asarray(state["member_consts"], dtype=self._const_dtype)
         self._n = self._code_buffer.shape[0]
         if self._assign_buffer.shape[0] != self._n or self._const_buffer.shape[0] != self._n:
             raise ValueError(
@@ -1120,14 +1585,36 @@ class IVFPQIndex(NearestNeighbourIndex):
         pq._codebooks = codebooks
         pq._splits = pq._boundaries(self._centroids.shape[1])
         pq._sub_dims = np.diff(pq._splits)
+        pq._rotation = (
+            np.asarray(state["rotation"], dtype=np.float64) if "rotation" in state else None
+        )
+        if "drift_baseline" in state and "drift_errors" in state:
+            baseline = float(
+                np.asarray(state["drift_baseline"], dtype=np.float64).ravel()[0]
+            )
+            errors = np.asarray(state["drift_errors"], dtype=np.float16)
+            if errors.shape[0] != self._n:
+                raise ValueError("inconsistent IVFPQ state: drift_errors disagree on N")
+            self._train_distortion = None if baseline < 0 else baseline
+            self._drift_buffer = errors
+        else:
+            self._train_distortion = None
+            self._drift_buffer = np.full(self._n, np.nan, dtype=np.float16)
+        adopted = self._drift_buffer[: self._n].astype(np.float64)
+        adopted_valid = ~np.isnan(adopted)
+        self._drift_sum = float(adopted[adopted_valid].sum())
+        self._drift_count = int(np.count_nonzero(adopted_valid))
 
     def memory_bytes(self) -> int:
+        """Resident bytes of codes, assignments, ADC constants, centroids
+        and codebooks (the store's raw matrix is counted separately)."""
         if not self.trained:
             return 0
         return int(
             self._code_buffer[: self._n].nbytes
             + self._assign_buffer[: self._n].nbytes
             + self._const_buffer[: self._n].nbytes
+            + self._drift_buffer[: self._n].nbytes
             + self._centroids.nbytes
             + self.pq.memory_bytes()
         )
@@ -1157,6 +1644,7 @@ def index_from_spec(spec: Optional[Dict[str, object]]) -> NearestNeighbourIndex:
             n_probe=int(spec.get("n_probe", 16)),
             n_subspaces=int(spec.get("n_subspaces", 8)),
             bits=int(spec.get("bits", 8)),
+            opq=bool(spec.get("opq", False)),
             rerank=int(spec.get("rerank", 64)),
             metric=str(spec.get("metric", "euclidean")),
             min_train_size=int(spec.get("min_train_size", 256)),

@@ -87,17 +87,32 @@ def _time_search(index, vectors: np.ndarray, queries: np.ndarray, k: int, repeat
     return best
 
 
-def _build_engine(kind: str, n: int, n_probe: Optional[int], rerank: Optional[int]):
+def _build_engine(
+    kind: str,
+    n: int,
+    n_probe: Optional[int],
+    rerank: Optional[int],
+    n_subspaces: Optional[int] = None,
+    bits: Optional[int] = None,
+    opq: bool = False,
+    n_cells: Optional[int] = None,
+):
     if kind == "exact":
         return ExactIndex()
     if kind == "ivf":
         return CoarseQuantizedIndex(
-            n_probe=n_probe if n_probe is not None else 8, min_train_size=min(256, n)
+            n_cells=n_cells,
+            n_probe=n_probe if n_probe is not None else 8,
+            min_train_size=min(256, n),
         )
     if kind == "ivfpq":
-        kwargs = {"min_train_size": min(256, n)}
+        kwargs = {"min_train_size": min(256, n), "opq": opq, "n_cells": n_cells}
         if rerank is not None:
             kwargs["rerank"] = rerank
+        if n_subspaces is not None:
+            kwargs["n_subspaces"] = n_subspaces
+        if bits is not None:
+            kwargs["bits"] = bits
         return IVFPQIndex(**kwargs)  # engine defaults: 9*sqrt(N) cells, 16 probes
     raise ValueError(f"unknown engine {kind!r}; expected one of {INDEX_BENCH_ENGINES}")
 
@@ -113,11 +128,16 @@ def measure_index_scaling(
     seed: int = 0,
     engines: Sequence[str] = INDEX_BENCH_ENGINES,
     rerank: Optional[int] = None,
+    n_subspaces: Optional[int] = None,
+    bits: Optional[int] = None,
+    opq: bool = False,
+    n_cells: Optional[int] = None,
 ) -> List[ScalingRow]:
     """Per-query search time + accuracy/memory of each engine per corpus size.
 
-    ``n_probe`` applies to the IVF engine (IVF-PQ keeps its own finer-cell
-    defaults unless ``rerank`` is given to override the re-rank depth).
+    ``n_probe`` applies to the IVF engine; IVF-PQ keeps its own finer-cell
+    defaults unless ``rerank``/``n_subspaces``/``bits``/``opq`` override
+    the code layout (``bits <= 4`` selects the packed 4-bit engine).
     The exact engine is always measured — it is the accuracy baseline.
     """
     rows: List[ScalingRow] = []
@@ -132,7 +152,7 @@ def measure_index_scaling(
 
         exact_ids: Optional[np.ndarray] = None
         for kind in engines:
-            engine = _build_engine(kind, n, n_probe, rerank)
+            engine = _build_engine(kind, n, n_probe, rerank, n_subspaces, bits, opq, n_cells)
             engine.rebuild(vectors)
             elapsed = _time_search(engine, vectors, queries, k_eff, repeats)
             _, ids = engine.search(vectors, queries, k_eff)

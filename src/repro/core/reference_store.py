@@ -298,6 +298,26 @@ class ReferenceStore:
             self._index = index
         self._index.rebuild(self.embeddings)
 
+    # ---------------------------------------------------------- requantization
+    def retrain_needed(self, *, threshold: float = 1.5, min_samples: int = 64) -> bool:
+        """Whether corpus churn has drifted the index's quantizer enough to
+        warrant re-training (always ``False`` for non-quantizing indexes);
+        see :meth:`repro.core.index.IVFPQIndex.retrain_needed`."""
+        return self._index.retrain_needed(threshold=threshold, min_samples=min_samples)
+
+    def requantize(self, *, sample_size: Optional[int] = None) -> None:
+        """Re-train the index's quantizer on (a sample of) the current
+        corpus and re-encode every row, resetting its drift statistics.
+
+        The mutable-store answer to quantizer staleness: the paper's
+        adaptation loop never retrains the *embedding model*, but the
+        index's k-means structures age as references churn — this refreshes
+        them in place.  The serving layer wraps the same operation in a
+        zero-downtime copy-on-write swap
+        (``DeploymentManager.requantize()``).
+        """
+        self._index.retrain(self.embeddings, sample_size=sample_size)
+
     # ------------------------------------------------------------- persistence
     _INDEX_STATE_PREFIX = "index_state__"
 

@@ -81,6 +81,7 @@ def experiment_index_factory(
     metric: str = "euclidean",
     n_subspaces: int = 8,
     bits: int = 8,
+    opq: bool = False,
     rerank: int = 64,
 ) -> Callable[[], NearestNeighbourIndex]:
     """Index factory for the experiment runners (``--index`` on the CLI).
@@ -90,7 +91,8 @@ def experiment_index_factory(
     of monitored classes, 100 samples each) keep classification cheap;
     ``"ivfpq"`` builds the product-quantized :class:`IVFPQIndex` whose
     uint8 codes shrink resident reference memory ~16-32x on top of that
-    (``n_subspaces``/``bits`` size the codes, ``rerank`` exact-rescores the
+    (``n_subspaces``/``bits`` size the codes — ``bits <= 4`` packs two per
+    byte, ``opq`` adds the learned rotation, ``rerank`` exact-rescores the
     top ADC candidates).
     """
     if index_kind not in INDEX_KINDS:
@@ -104,6 +106,7 @@ def experiment_index_factory(
             n_probe=probe,
             n_subspaces=n_subspaces,
             bits=bits,
+            opq=opq,
             rerank=rerank,
             metric=metric,
         )
@@ -137,6 +140,7 @@ class ExperimentContext:
         n_probe: Optional[int] = None,
         n_subspaces: int = 8,
         bits: int = 8,
+        opq: bool = False,
         rerank: int = 64,
     ) -> "ExperimentContext":
         """Build datasets, the Figure-5 split and the provisioned model.
@@ -144,8 +148,8 @@ class ExperimentContext:
         ``index_kind``/``n_cells``/``n_probe`` pick the k-NN query engine
         every reference store of the shared fingerprinter uses, so the CLI
         experiment runners can run paper-scale sweeps on the IVF index;
-        ``n_subspaces``/``bits``/``rerank`` size the IVF-PQ codes when
-        ``index_kind == "ivfpq"``.
+        ``n_subspaces``/``bits``/``opq``/``rerank`` size the IVF-PQ codes
+        when ``index_kind == "ivfpq"``.
         """
         if isinstance(scale, str):
             scale = get_scale(scale)
@@ -205,6 +209,7 @@ class ExperimentContext:
                 n_probe=n_probe,
                 n_subspaces=n_subspaces,
                 bits=bits,
+                opq=opq,
                 rerank=rerank,
             ),
         )

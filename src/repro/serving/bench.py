@@ -86,14 +86,14 @@ def _replay(
     return result, scheduler.stats
 
 
-def _shard_index_factory(index_kind: str, rerank: int):
+def _shard_index_factory(index_kind: str, rerank: int, *, bits: int = 8, opq: bool = False):
     """Per-shard k-NN engine for the bench (engine defaults otherwise)."""
     if index_kind == "exact":
         return lambda: ExactIndex()
     if index_kind == "ivf":
         return lambda: CoarseQuantizedIndex()
     if index_kind == "ivfpq":
-        return lambda: IVFPQIndex(rerank=rerank)
+        return lambda: IVFPQIndex(rerank=rerank, bits=bits, opq=opq)
     raise ValueError(f"index_kind must be one of 'exact', 'ivf', 'ivfpq', got {index_kind!r}")
 
 
@@ -114,6 +114,8 @@ def run_serving_bench(
     assignment: str = "hash",
     index_kind: str = "exact",
     rerank: int = 0,
+    bits: int = 8,
+    opq: bool = False,
     storage_dtype: str = "float64",
     class_mix: str = "uniform",
     zipf_s: float = 1.2,
@@ -137,7 +139,7 @@ def run_serving_bench(
     corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
     flat = ReferenceStore(dim)
     flat.add(corpus, labels)
-    index_factory = _shard_index_factory(index_kind, rerank)
+    index_factory = _shard_index_factory(index_kind, rerank, bits=bits, opq=opq)
     config = ClassifierConfig(k=k)
     queries, is_unmonitored = open_world_mix(
         corpus,
@@ -394,6 +396,8 @@ def run_frontend_bench(
     assignment: str = "hash",
     index_kind: str = "exact",
     rerank: int = 0,
+    bits: int = 8,
+    opq: bool = False,
     storage_dtype: str = "float64",
     seed: int = 0,
     out: Optional[Path] = None,
@@ -433,7 +437,7 @@ def run_frontend_bench(
     corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
     flat = ReferenceStore(dim)
     flat.add(corpus, labels)
-    index_factory = _shard_index_factory(index_kind, rerank)
+    index_factory = _shard_index_factory(index_kind, rerank, bits=bits, opq=opq)
     config = ClassifierConfig(k=k)
     queries, is_unmonitored = open_world_mix(
         corpus,

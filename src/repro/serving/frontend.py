@@ -53,10 +53,12 @@ class FrontendStats:
     errors_by_code: Dict[str, int] = field(default_factory=dict)
 
     def count_error(self, code: str) -> None:
+        """Count one error frame under its machine-readable code."""
         self.errors += 1
         self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
 
     def as_dict(self) -> Dict:
+        """The counters as a JSON-serialisable dict (the stats control op)."""
         return {
             "connections": self.connections,
             "open_connections": self.open_connections,
@@ -106,10 +108,12 @@ class FrontendServer:
     # ------------------------------------------------------------------ address
     @property
     def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port is rewritten once bound)."""
         return self.host, self.port
 
     # ------------------------------------------------------------- async server
     async def start(self) -> "FrontendServer":
+        """Bind and start accepting connections on the running event loop."""
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
@@ -339,6 +343,8 @@ class FrontendServer:
                     embedding_dim=store.embedding_dim,
                     n_shards=store.n_shards,
                     shard_sizes=store.shard_sizes(),
+                    drift_ratio=float(store.drift_ratio()),
+                    retrain_needed=bool(store.retrain_needed()),
                 )
                 replicas = getattr(store.executor, "n_replicas", None)
                 if replicas is not None:
@@ -357,6 +363,28 @@ class FrontendServer:
                     "moved": [[label, int(src), int(dst)] for label, src, dst in moves],
                     "shard_sizes": self.manager.store.shard_sizes(),
                     "generation": self.manager.generation,
+                },
+            )
+        if op == "requantize":
+            if self.manager is None:
+                raise ProtocolError(
+                    "bad-control", "no deployment manager attached; cannot requantize"
+                )
+            sample_size = body.get("sample_size")
+            if sample_size is not None and (
+                not isinstance(sample_size, int)
+                or isinstance(sample_size, bool)
+                or sample_size <= 0
+            ):
+                raise ProtocolError("bad-control", f"invalid sample_size {sample_size!r}")
+            drift_before = float(self.manager.drift_ratio())
+            snapshot = self.manager.requantize(sample_size=sample_size)
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "drift_ratio_before": drift_before,
+                    "drift_ratio": float(snapshot.store.drift_ratio()),
+                    "generation": snapshot.generation,
                 },
             )
         raise ProtocolError("bad-control", f"unknown control op {op!r}")

@@ -146,6 +146,7 @@ class LatencyReport:
     failed: int
 
     def as_dict(self) -> Dict[str, float]:
+        """The report as a JSON-serialisable dict (bench snapshots)."""
         return {
             "n_queries": self.n_queries,
             "duration_s": self.duration_s,
@@ -168,12 +169,14 @@ class ReplayResult:
 
     @property
     def failed(self) -> int:
+        """How many queries failed during the replay (acceptance: zero)."""
         return self.report.failed
 
 
 def report_from_latencies(
     latencies_s: np.ndarray, n_queries: int, duration_s: float, failed: int
 ) -> LatencyReport:
+    """Throughput + p50/p95/p99 percentiles from raw per-query latencies."""
     latencies = np.asarray(latencies_s, dtype=np.float64)
     if latencies.size == 0:
         latencies = np.zeros(1)
@@ -190,6 +193,7 @@ def report_from_latencies(
 
 
 def latency_report(tickets: List[QueryTicket], duration_s: float, failed: int) -> LatencyReport:
+    """A :class:`LatencyReport` over completed scheduler tickets."""
     latencies = np.array(
         [ticket.latency_s for ticket in tickets if ticket.latency_s is not None], dtype=np.float64
     )
@@ -261,6 +265,7 @@ class NetworkReplayResult:
 
     @property
     def failed(self) -> int:
+        """How many queries failed during the replay (acceptance: zero)."""
         return self.report.failed
 
 

@@ -69,9 +69,11 @@ class ServingSnapshot:
         return (self.generation, self.index_signature)
 
     def predict(self, embeddings: np.ndarray) -> List[Prediction]:
+        """Classify a batch against exactly this snapshot's store."""
         return self.classifier.predict(embeddings)
 
     def is_unknown(self, embeddings: np.ndarray) -> np.ndarray:
+        """Open-world detection per embedding (requires a detector)."""
         if self.detector is None:
             raise ServingError("open-world detection is not enabled on this deployment")
         return self.detector.is_unknown(embeddings)
@@ -147,18 +149,22 @@ class DeploymentManager:
 
     @property
     def store(self) -> ShardedReferenceStore:
+        """The live snapshot's sharded reference store."""
         return self._snapshot.store
 
     @property
     def classifier(self) -> KNNClassifier:
+        """The live snapshot's classifier."""
         return self._snapshot.classifier
 
     @property
     def generation(self) -> int:
+        """The live snapshot's generation (bumps on every swap)."""
         return self._snapshot.generation
 
     @property
     def fingerprinter(self) -> Optional[AdaptiveFingerprinter]:
+        """The attached embedding model owner (None for store-only serving)."""
         return self._fingerprinter
 
     def _build_snapshot(self, store: ShardedReferenceStore, generation: int) -> ServingSnapshot:
@@ -218,6 +224,32 @@ class DeploymentManager:
             if moves:
                 self._snapshot = self._build_snapshot(new_store, old.generation + 1)
         return moves
+
+    def drift_ratio(self) -> float:
+        """The live store's worst per-shard quantizer drift ratio."""
+        return self._snapshot.store.drift_ratio()
+
+    def retrain_needed(self, *, threshold: float = 1.5, min_samples: int = 64) -> bool:
+        """Whether adaptation churn has drifted any shard's quantizer far
+        enough that :meth:`requantize` would pay off."""
+        return self._snapshot.store.retrain_needed(
+            threshold=threshold, min_samples=min_samples
+        )
+
+    def requantize(self, *, sample_size: Optional[int] = None) -> ServingSnapshot:
+        """Re-train every shard's quantizer on the current corpus behind a
+        zero-downtime copy-on-write swap.
+
+        The drift-aware half of the paper's adaptation story: churn keeps
+        the *references* current without retraining the embedding model,
+        and this keeps the *index* current without interrupting serving.
+        Shards are re-trained on a clone (``sample_size`` caps the k-means
+        training subsample per shard), then swapped in with a generation
+        bump — in-flight batches finish on the old snapshot, and the bumped
+        generation invalidates the scheduler's result cache so no stale
+        prediction survives the new quantization.
+        """
+        return self._swap(lambda store: store.with_requantized(sample_size=sample_size))
 
     def adapt(self, traces: Sequence, *, replace: bool = True) -> ServingSnapshot:
         """Apply fresh traces through the attached model (no retraining).

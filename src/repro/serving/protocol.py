@@ -13,12 +13,18 @@ fuzzing:
   halves bandwidth; the server widens to float64 before classifying, the
   same contract as ``ReferenceStore(storage_dtype="float32")``.
 * ``CONTROL`` frames carry a JSON object (``{"op": "ping" | "stats" |
-  "info" | "rebalance", ...}``) and are answered with a ``CONTROL`` frame.
+  "info" | "rebalance" | "requantize", ...}``) and are answered with a
+  ``CONTROL`` frame.
 * ``RESULT`` frames answer queries: JSON with the serving generation and
   one ``{"labels": [...], "scores": [...]}`` entry per query.
 * ``ERROR`` frames are the *only* way the server reports a bad request or
   an internal failure — a structured JSON body, never a dropped
   connection mid-frame and never a traceback on the socket.
+
+The byte-level specification — every field, cap, error code and an
+example hexdump — lives in ``docs/wire-protocol.md``;
+``tests/test_docs.py`` cross-checks that document against the constants
+in this module.
 
 Every decoder in this module validates before it allocates: declared
 lengths are capped (``MAX_PAYLOAD``, ``MAX_BATCH``) so a hostile length
@@ -71,6 +77,7 @@ class ProtocolError(ValueError):
 
 # ------------------------------------------------------------------- framing
 def encode_frame(frame_type: int, payload: bytes) -> bytes:
+    """``magic | type | length | payload`` with the length cap enforced."""
     if frame_type not in FRAME_TYPES:
         raise ProtocolError("bad-frame-type", f"unknown frame type {frame_type}")
     if len(payload) > MAX_PAYLOAD:
@@ -148,10 +155,12 @@ def decode_query(payload: bytes) -> Tuple[np.ndarray, int]:
 
 # ------------------------------------------------------------ JSON frame bodies
 def encode_json(frame_type: int, body: Dict) -> bytes:
+    """A frame whose payload is a UTF-8 JSON object."""
     return encode_frame(frame_type, json.dumps(body).encode("utf-8"))
 
 
 def decode_json(payload: bytes, *, code: str = "bad-control") -> Dict:
+    """Parse a JSON-object payload (raises ``ProtocolError(code)`` if not)."""
     try:
         body = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -174,6 +183,7 @@ def encode_result(generation: int, ranked: List[Tuple[List[str], List[float]]]) 
 
 
 def encode_error(code: str, message: str, *, recoverable: bool = True) -> bytes:
+    """The structured ``ERROR`` frame the server answers bad input with."""
     return encode_json(
         ERROR, {"error": code, "message": message, "recoverable": bool(recoverable)}
     )
@@ -196,6 +206,7 @@ def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
 
 
 def send_frame(sock: socket.socket, frame: bytes) -> None:
+    """Write one already-encoded frame to a blocking socket."""
     sock.sendall(frame)
 
 
@@ -221,6 +232,7 @@ class FrontendClient:
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
+        """Close the connection (idempotent)."""
         try:
             self._sock.close()
         except OSError:
@@ -264,16 +276,28 @@ class FrontendClient:
         return self._request(encode_json(CONTROL, body), CONTROL)
 
     def ping(self) -> bool:
+        """Liveness probe: ``True`` iff the server answered ``{"ok": true}``."""
         return self.control({"op": "ping"}).get("ok", False) is True
 
     def stats(self) -> Dict:
+        """Front-end + scheduler counters (frames, errors, cache hits...)."""
         return self.control({"op": "stats"})
 
     def info(self) -> Dict:
+        """Deployment shape: references, classes, shards, drift, generation."""
         return self.control({"op": "info"})
 
     def rebalance(self, *, threshold: Optional[float] = None) -> Dict:
+        """Trigger a zero-downtime shard rebalance; returns the moves made."""
         body: Dict = {"op": "rebalance"}
         if threshold is not None:
             body["threshold"] = float(threshold)
+        return self.control(body)
+
+    def requantize(self, *, sample_size: Optional[int] = None) -> Dict:
+        """Trigger a zero-downtime quantizer re-train on the deployment;
+        returns the drift ratio before/after and the new generation."""
+        body: Dict = {"op": "requantize"}
+        if sample_size is not None:
+            body["sample_size"] = int(sample_size)
         return self.control(body)

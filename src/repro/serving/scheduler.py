@@ -62,10 +62,12 @@ class SchedulerStats:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup happened)."""
         looked_up = self.cache_hits + self.cache_misses
         return self.cache_hits / looked_up if looked_up else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """The counters as a JSON-serialisable dict (bench snapshots)."""
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -118,19 +120,23 @@ class QueryTicket:
         self._done.set()
 
     def done(self) -> bool:
+        """Whether the query has been answered (successfully or not)."""
         return self._done.is_set()
 
     @property
     def failed(self) -> bool:
+        """Whether the query completed with an error instead of a prediction."""
         return self._done.is_set() and self._error is not None
 
     @property
     def latency_s(self) -> Optional[float]:
+        """Submit-to-completion latency (``None`` while still pending)."""
         if self.completed_at is None:
             return None
         return self.completed_at - self.submitted_at
 
     def result(self, timeout: Optional[float] = _DEFAULT_RESULT_TIMEOUT_S) -> Prediction:
+        """Block until classified; raises ``ServingError`` on failure/timeout."""
         if not self._done.wait(timeout):
             raise ServingError("timed out waiting for the query result")
         if self._error is not None:
@@ -185,6 +191,7 @@ class BatchScheduler:
     # ---------------------------------------------------------------- lifecycle
     @property
     def running(self) -> bool:
+        """Whether the background flusher thread is active."""
         return self._thread is not None
 
     @property

@@ -234,10 +234,11 @@ class InProcessShardExecutor:
     def search(
         self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-shard ``(distances, local ids)``, answered serially in-process."""
         return [shard.store.search(queries, k, metric=metric) for shard in shards]
 
-    def close(self) -> None:  # nothing owned
-        pass
+    def close(self) -> None:
+        """Nothing owned; exists so every executor shares one lifecycle."""
 
 
 class SegmentPublisher:
@@ -287,6 +288,7 @@ class SegmentPublisher:
             pass
 
     def begin_search(self) -> None:
+        """Tick the search clock the stale-segment eviction runs against."""
         with self._cond:
             self._search_calls += 1
 
@@ -413,6 +415,7 @@ class SegmentPublisher:
                     pass
 
     def close(self) -> None:
+        """Unlink every published (and retired) segment and refuse new work."""
         with self._cond:
             self._closed = True
             for _, segment, _ in self._published.values():
@@ -492,6 +495,8 @@ class ProcessShardExecutor:
     def search(
         self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Scatter the query block to the workers, one task per shard, and
+        collect per-shard ``(distances, local ids)`` (serialised; see above)."""
         with self._search_lock:
             if self._closed:
                 raise ServingError("the shard executor has been closed")
@@ -556,6 +561,7 @@ class ProcessShardExecutor:
 
     # ------------------------------------------------------------------- close
     def close(self) -> None:
+        """Stop the workers and (when owned) unlink the publication."""
         with self._search_lock:
             if self._closed:
                 return
@@ -653,10 +659,12 @@ class ReplicaSet:
     # ------------------------------------------------------------------- state
     @property
     def n_replicas(self) -> int:
+        """How many replica executors the router spreads across."""
         return len(self._replicas)
 
     @property
     def replicas(self) -> List[object]:
+        """The replica executors (a copy; routing state stays internal)."""
         return list(self._replicas)
 
     def routed_counts(self) -> List[int]:
@@ -692,6 +700,7 @@ class ReplicaSet:
     def search(
         self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Route one scatter to a replica picked by the configured router."""
         position = self._acquire()
         try:
             # Eviction of retired segments happens inside the replica's own
@@ -704,6 +713,7 @@ class ReplicaSet:
 
     # ------------------------------------------------------------------- close
     def close(self) -> None:
+        """Close every replica and the shared publication (if any)."""
         for replica in self._replicas:
             close = getattr(replica, "close", None)
             if close is not None:
@@ -819,28 +829,34 @@ class ShardedReferenceStore:
 
     @property
     def executor(self) -> object:
+        """The shard-scatter executor (in-process, processes or replicas)."""
         return self._executor
 
     @property
     def class_names(self) -> List[str]:
+        """Code -> label mapping (codes are first-occurrence ordered)."""
         return list(self._encoding.names)
 
     @property
     def classes(self) -> List[str]:
+        """Distinct class labels in insertion order."""
         return list(self._encoding.names)
 
     @property
     def n_classes(self) -> int:
+        """How many classes are currently monitored."""
         return len(self._encoding.names)
 
     @property
     def label_codes(self) -> np.ndarray:
+        """Per-row integer class codes in *global* row order (read-only)."""
         view = self._codes[: self._size]
         view.flags.writeable = False
         return view
 
     @property
     def labels(self) -> np.ndarray:
+        """Per-row labels in *global* row order (decoded object array)."""
         names = np.array(self._encoding.names, dtype=object)
         return names[self._codes[: self._size]] if self._size else np.empty(0, dtype=object)
 
@@ -859,12 +875,14 @@ class ShardedReferenceStore:
         return sum(shard.store.memory_bytes() for shard in self._shards)
 
     def class_counts(self) -> Dict[str, int]:
+        """Reference count per class label."""
         return {
             name: int(self._encoding.counts[code])
             for code, name in enumerate(self._encoding.names)
         }
 
     def has_class(self, label: str) -> bool:
+        """Whether any references carry ``label``."""
         return label in self._encoding.index
 
     def __contains__(self, label: str) -> bool:
@@ -880,6 +898,7 @@ class ShardedReferenceStore:
         return self._shards[0].store.index.spec()
 
     def shard_sizes(self) -> List[int]:
+        """Row count per shard (the rebalance trigger reads the spread)."""
         return [len(shard.store) for shard in self._shards]
 
     def shard_spread(self) -> float:
@@ -913,6 +932,7 @@ class ShardedReferenceStore:
         return self._place(label, [len(shard.store) for shard in self._shards])
 
     def class_embeddings(self, label: str) -> np.ndarray:
+        """The references of one class (from the shard that owns it)."""
         shard_id = self._class_shard.get(label)
         if shard_id is None:
             raise KeyError(f"no references with label {label!r}")
@@ -992,6 +1012,54 @@ class ShardedReferenceStore:
         if pinned is not None:
             self._class_shard[label] = pinned
         self.add(embeddings, [label] * embeddings.shape[0])
+
+    # ----------------------------------------------------------- requantization
+    def drift_ratio(self) -> float:
+        """The worst per-shard quantizer drift ratio (1.0 = no drift signal);
+        see :meth:`repro.core.index.IVFPQIndex.drift_ratio`."""
+        ratios = [
+            shard.store.index.drift_ratio() for shard in self._shards if len(shard.store)
+        ]
+        return max(ratios) if ratios else 1.0
+
+    def retrain_needed(self, *, threshold: float = 1.5, min_samples: int = 64) -> bool:
+        """Whether any shard's quantizer has drifted past ``threshold``."""
+        return any(
+            shard.store.retrain_needed(threshold=threshold, min_samples=min_samples)
+            for shard in self._shards
+            if len(shard.store)
+        )
+
+    def requantize(self, *, sample_size: Optional[int] = None) -> None:
+        """Re-train every shard's quantizer in place (serving deployments
+        should prefer :meth:`with_requantized` behind a snapshot swap)."""
+        for shard in self._shards:
+            if len(shard.store):
+                shard.store.requantize(sample_size=sample_size)
+                shard.version += 1
+        self._generation += 1
+
+    def with_requantized(
+        self, *, sample_size: Optional[int] = None
+    ) -> "ShardedReferenceStore":
+        """A copy-on-write clone with every shard's quantizer re-trained on
+        its current rows (``self`` untouched).
+
+        Each non-empty shard is materialised — its index state changes, so
+        sharing the store with the original would tear in-flight searches —
+        and re-encoded via :meth:`ReferenceStore.requantize`.  Fresh shard
+        uids make executors republish the new codes/codebooks; global row
+        ids, labels and the embedding matrix are untouched, so only the
+        quantization (and therefore recall) changes.
+        """
+        touched = {
+            shard_id for shard_id, shard in enumerate(self._shards) if len(shard.store)
+        }
+        clone = self._cow_clone(touched)
+        for shard_id in touched:
+            clone._shards[shard_id].store.requantize(sample_size=sample_size)
+        clone._generation += 1
+        return clone
 
     # --------------------------------------------------------------- rebalance
     def _move_class(self, label: str, src: int, dst: int) -> None:

@@ -341,3 +341,341 @@ class TestKMeansPlusPlusSeeding:
         assert centroids.shape == (8, 6)
         assert assignments.shape == (300,)
         assert np.bincount(assignments, minlength=8).sum() == 300
+
+
+class TestPackedPQ:
+    def test_pack_unpack_roundtrip_even_and_odd(self):
+        from repro.core.index import PackedPQ
+
+        rng = np.random.default_rng(0)
+        for m in (4, 5, 8, 9):
+            pq = PackedPQ(n_subspaces=m)
+            codes = rng.integers(0, 16, size=(37, m)).astype(np.uint8)
+            packed = pq.pack_codes(codes)
+            assert packed.shape == (37, (m + 1) // 2)
+            assert np.array_equal(pq.unpack_codes(packed), codes)
+
+    def test_code_width_halves_storage(self):
+        from repro.core.index import PackedPQ
+
+        pq = PackedPQ(n_subspaces=8)
+        assert pq.code_width == 4
+        assert ProductQuantizer(n_subspaces=8).code_width == 8
+
+    def test_bits_above_four_rejected(self):
+        from repro.core.index import PackedPQ
+
+        with pytest.raises(ValueError):
+            PackedPQ(bits=5)
+        with pytest.raises(ValueError):
+            PackedPQ(bits=0)
+
+    def test_quantized_tables_reconstruct_float_tables(self):
+        from repro.core.index import PackedPQ
+
+        vectors = corpus(2000, 16)
+        pq = PackedPQ(n_subspaces=4)
+        pq.fit(vectors)
+        q = queries_near(vectors, 16)
+        exact_tables = pq.query_tables(q)
+        lut, scale, bias = pq.quantized_query_tables(q)
+        assert lut.dtype == np.uint8
+        approx = scale[:, None, None].astype(np.float64) * lut + bias[:, None, None]
+        # Affine uint8 quantization: within half a step of the float table.
+        spread = exact_tables.max(axis=(1, 2)) - exact_tables.min(axis=(1, 2))
+        assert np.all(np.abs(approx - exact_tables) <= spread[:, None, None] / 255.0)
+
+
+class TestPacked4BitIndex:
+    def test_full_probe_rerank_matches_exact_bitwise(self):
+        vectors = corpus(4000, 24)
+        q = queries_near(vectors)
+        pq = IVFPQIndex(n_cells=16, n_probe=16, bits=4, rerank=128, min_train_size=16)
+        pq.rebuild(vectors)
+        d_pq, i_pq = pq.search(vectors, q, 10)
+        d_ex, i_ex = ExactIndex().search(vectors, q, 10)
+        # Full probe + a deep rerank margin over the coarser 4-bit ADC band.
+        assert np.array_equal(i_pq, i_ex)
+        assert np.allclose(d_pq, d_ex)
+
+    def test_partial_probe_recall_with_rerank(self):
+        vectors = corpus(4000, 24)
+        q = queries_near(vectors)
+        pq = IVFPQIndex(bits=4, min_train_size=16)  # engine defaults, rerank=64
+        pq.rebuild(vectors)
+        _, i_pq = pq.search(vectors, q, 10)
+        _, i_ex = ExactIndex().search(vectors, q, 10)
+        assert recall(i_pq, i_ex) >= 0.95
+
+    def test_memory_at_most_60pct_of_8bit(self):
+        vectors = corpus(6000, 24)
+        narrow = IVFPQIndex(bits=4, min_train_size=16)
+        wide = IVFPQIndex(bits=8, min_train_size=16)
+        narrow.rebuild(vectors)
+        wide.rebuild(vectors)
+        # Packed codes + slim dtypes: well under the 8-bit footprint even
+        # with the shared centroid overhead at this small N.
+        assert narrow.memory_bytes() <= 0.6 * wide.memory_bytes()
+        assert narrow.codes.shape[1] == 4  # two codes per byte
+
+    def test_adc_only_search_never_touches_vectors(self):
+        vectors = corpus(3000, 16)
+        q = queries_near(vectors)
+        pq = IVFPQIndex(bits=4, rerank=0, min_train_size=16)
+        pq.rebuild(vectors)
+        assert pq.needs_vectors is False
+        _, i_pq = pq.search(None, q, 10)
+        _, i_ex = ExactIndex().search(vectors, q, 10)
+        assert recall(i_pq, i_ex) >= 0.5
+
+    def test_add_remove_keep_packed_codes_consistent(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(bits=4, n_cells=12, n_probe=12, rerank=64, min_train_size=16)
+        pq.rebuild(vectors)
+        extra = corpus(300, 16, seed=9)
+        grown = np.concatenate([vectors, extra])
+        pq.add(grown, 300)
+        kept = np.ones(grown.shape[0], dtype=bool)
+        kept[100:400] = False
+        pq.remove(kept)
+        remaining = grown[kept]
+        d_pq, i_pq = pq.search(remaining, queries_near(remaining, 32), 5)
+        assert i_pq.shape == (32, 5)
+        assert np.isfinite(d_pq).all()
+
+    def test_state_roundtrip_search_identical(self):
+        vectors = corpus(3000, 16)
+        q = queries_near(vectors, 32)
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(vectors)
+        clone = IVFPQIndex(bits=4, min_train_size=16)
+        clone.load_state(pq.state())
+        d1, i1 = pq.search(vectors, q, 10)
+        d2, i2 = clone.search(vectors, q, 10)
+        assert np.array_equal(i1, i2)
+        assert np.allclose(d1, d2)
+
+    def test_8bit_state_rejected_by_4bit_index(self):
+        vectors = corpus(1000, 16)
+        wide = IVFPQIndex(bits=8, min_train_size=16)
+        wide.rebuild(vectors)
+        narrow = IVFPQIndex(bits=4, min_train_size=16)
+        with pytest.raises(ValueError):
+            narrow.load_state(wide.state())
+
+    def test_spec_roundtrip_with_bits_and_opq(self):
+        pq = IVFPQIndex(bits=4, opq=True, n_subspaces=4, rerank=32)
+        rebuilt = index_from_spec(pq.spec())
+        assert rebuilt.spec() == pq.spec()
+        assert rebuilt.pq.packed and rebuilt.pq.opq
+
+    def test_archive_roundtrip_through_reference_store(self, tmp_path):
+        vectors = corpus(2000, 16)
+        labels = [f"c{i % 20}" for i in range(2000)]
+        store = ReferenceStore(16, index=IVFPQIndex(bits=4, opq=True, min_train_size=16))
+        store.add(vectors, labels)
+        path = store.save(tmp_path / "packed.npz")
+        loaded = ReferenceStore.load(
+            path, index=IVFPQIndex(bits=4, opq=True, min_train_size=16)
+        )
+        q = queries_near(vectors, 32)
+        d1, i1 = store.search(q, 10)
+        d2, i2 = loaded.search(q, 10)
+        assert np.array_equal(i1, i2)
+        assert np.allclose(d1, d2)
+
+
+class TestOPQRotation:
+    def test_rotation_is_orthogonal(self):
+        pq = ProductQuantizer(n_subspaces=4, opq=True)
+        pq.fit(corpus(1500, 16))
+        rotation = pq.rotation
+        assert rotation is not None
+        assert np.allclose(rotation @ rotation.T, np.eye(16), atol=1e-8)
+
+    def test_opq_reduces_packed_reconstruction_error_on_correlated_data(self):
+        from repro.core.index import PackedPQ
+
+        rng = np.random.default_rng(0)
+        base = clustered_corpus(4000, 24, seed=4)
+        correlated = base @ rng.standard_normal((24, 24))
+
+        def err(opq):
+            pq = PackedPQ(n_subspaces=6, opq=opq, seed=0)
+            pq.fit(correlated)
+            return np.linalg.norm(correlated - pq.decode(pq.encode(correlated)), axis=1).mean()
+
+        assert err(True) < 0.95 * err(False)
+
+    def test_decode_returns_original_space(self):
+        vectors = corpus(1500, 16)
+        plain = ProductQuantizer(n_subspaces=4, seed=0)
+        rotated = ProductQuantizer(n_subspaces=4, opq=True, seed=0)
+        plain.fit(vectors)
+        rotated.fit(vectors)
+        # Both reconstructions live in the original space: comparable error
+        # against the raw vectors (rotation must not leak into decode()).
+        err_plain = np.linalg.norm(vectors - plain.decode(plain.encode(vectors)), axis=1).mean()
+        err_rot = np.linalg.norm(vectors - rotated.decode(rotated.encode(vectors)), axis=1).mean()
+        assert err_rot < 2.0 * err_plain
+
+    def test_query_tables_match_decoded_inner_products(self):
+        vectors = corpus(1500, 16)
+        pq = ProductQuantizer(n_subspaces=4, opq=True, seed=0)
+        pq.fit(vectors)
+        q = queries_near(vectors, 8)
+        codes = pq.encode(vectors[:50])
+        tables = pq.query_tables(q)
+        # sum_j table[q, j, code_j] must equal q . decode(code) — the
+        # identity the ADC decomposition relies on, rotation included.
+        gathered = sum(tables[:, j, codes[:, j]] for j in range(4))
+        assert np.allclose(gathered, q @ pq.decode(codes).T)
+
+    def test_opq_index_state_roundtrip_preserves_rotation(self):
+        vectors = corpus(3000, 16)
+        pq = IVFPQIndex(opq=True, min_train_size=16)
+        pq.rebuild(vectors)
+        clone = IVFPQIndex(opq=True, min_train_size=16)
+        clone.load_state(pq.state())
+        assert np.array_equal(clone.pq.rotation, pq.pq.rotation)
+        q = queries_near(vectors, 16)
+        _, i1 = pq.search(vectors, q, 10)
+        _, i2 = clone.search(vectors, q, 10)
+        assert np.array_equal(i1, i2)
+
+    def test_opq_state_rejected_by_non_opq_index(self):
+        vectors = corpus(1000, 16)
+        rotated = IVFPQIndex(opq=True, min_train_size=16)
+        rotated.rebuild(vectors)
+        plain = IVFPQIndex(min_train_size=16)
+        with pytest.raises(ValueError):
+            plain.load_state(rotated.state())
+
+
+class TestDriftStatistics:
+    def test_no_drift_signal_after_training(self):
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(corpus(2000, 16))
+        assert pq.drift_ratio() == 1.0
+        assert not pq.retrain_needed()
+
+    def test_in_distribution_adds_do_not_trigger(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(vectors)
+        # Same cluster centres (same seed and n_clusters as `vectors`).
+        more = clustered_corpus(400, 16, n_clusters=40, seed=1)
+        pq.add(np.concatenate([vectors, more]), 400)
+        assert pq.drift_ratio() < 1.5
+        assert not pq.retrain_needed()
+
+    def test_shifted_adds_trigger_and_retrain_resets(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(vectors)
+        shifted = clustered_corpus(400, 16, n_clusters=40, seed=77) * 1.5 + 3.0
+        grown = np.concatenate([vectors, shifted])
+        pq.add(grown, 400)
+        assert pq.drift_ratio() > 1.5
+        assert pq.retrain_needed()
+        pq.retrain(grown, sample_size=1000)
+        assert pq.drift_ratio() == 1.0
+        assert not pq.retrain_needed()
+
+    def test_min_samples_guard(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(vectors)
+        shifted = clustered_corpus(16, 16, n_clusters=4, seed=77) * 2.0 + 5.0
+        pq.add(np.concatenate([vectors, shifted]), 16)
+        assert pq.drift_ratio() > 1.5
+        assert not pq.retrain_needed(min_samples=64)
+        assert pq.retrain_needed(min_samples=8)
+
+    def test_drift_survives_state_roundtrip(self):
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(vectors)
+        shifted = clustered_corpus(200, 16, n_clusters=20, seed=77) * 1.5 + 3.0
+        pq.add(np.concatenate([vectors, shifted]), 200)
+        clone = IVFPQIndex(bits=4, min_train_size=16)
+        clone.load_state(pq.state())
+        assert clone.retrain_needed() == pq.retrain_needed()
+        assert np.isclose(clone.drift_ratio(), pq.drift_ratio())
+
+    def test_reference_store_requantize_delegates(self):
+        vectors = corpus(2000, 16)
+        labels = [f"c{i % 20}" for i in range(2000)]
+        store = ReferenceStore(16, index=IVFPQIndex(bits=4, min_train_size=16))
+        store.add(vectors, labels)
+        shifted = clustered_corpus(300, 16, n_clusters=20, seed=77) * 1.5 + 3.0
+        store.add(shifted, [f"c{i % 20}" for i in range(300)])
+        assert store.retrain_needed()
+        store.requantize(sample_size=800)
+        assert not store.retrain_needed()
+        assert store.index.drift_ratio() == 1.0
+
+    def test_exact_index_never_needs_retraining(self):
+        store = ReferenceStore(8)
+        store.add(np.random.default_rng(0).standard_normal((100, 8)), ["a"] * 100)
+        assert store.retrain_needed() is False
+        store.requantize()  # rebuild on a stateless index: a no-op, no error
+
+    def test_retrain_sample_size_below_cell_count(self):
+        # A sample cap smaller than the resolved cell count must shrink the
+        # cell count instead of crashing k-means (repro requantize
+        # --sample-size exercises exactly this).
+        vectors = corpus(3000, 16)
+        pq = IVFPQIndex(bits=4, min_train_size=16)  # resolves ~493 cells
+        pq.rebuild(vectors)
+        pq.retrain(vectors, sample_size=64)
+        assert pq.trained
+        assert pq._centroids.shape[0] <= 64
+        _, ids = pq.search(vectors, queries_near(vectors, 16), 5)
+        assert ids.shape == (16, 5)
+
+    def test_removing_drifted_rows_clears_the_signal(self):
+        # Drift pressure must follow the *current* corpus: once the drifted
+        # rows are removed again, retrain_needed() may not stay latched.
+        vectors = corpus(2000, 16)
+        pq = IVFPQIndex(bits=4, min_train_size=16)
+        pq.rebuild(vectors)
+        shifted = clustered_corpus(400, 16, n_clusters=40, seed=77) * 1.5 + 3.0
+        grown = np.concatenate([vectors, shifted])
+        pq.add(grown, 400)
+        assert pq.retrain_needed()
+        kept = np.ones(grown.shape[0], dtype=bool)
+        kept[2000:] = False  # drop exactly the drifted rows
+        pq.remove(kept)
+        assert not pq.retrain_needed()
+        assert pq.drift_ratio() == 1.0
+
+    def test_ivf_retrain_honours_sample_size(self):
+        # The base-class contract: sample_size caps training points while
+        # every row still gets an exact assignment (IVF override).
+        vectors = corpus(3000, 16)
+        ivf = CoarseQuantizedIndex(min_train_size=16)
+        ivf.rebuild(vectors)
+        ivf.retrain(vectors, sample_size=48)
+        assert ivf.trained
+        assert ivf._centroids.shape[0] <= 48
+        assert ivf._assignments.shape[0] == 3000
+        _, ids = ivf.search(vectors, queries_near(vectors, 16), 5)
+        assert ids.shape == (16, 5)
+        with pytest.raises(ValueError):
+            ivf.retrain(vectors, sample_size=0)
+
+    def test_large_scale_embeddings_stay_rankable(self):
+        # ADC member constants beyond float16 range are clipped, not
+        # overflowed to inf: every row stays in the candidate pool and a
+        # deeper rerank recovers the ranking.
+        rng = np.random.default_rng(0)
+        vectors = (rng.standard_normal((2000, 16)) + 5.0) * 120.0
+        pq = IVFPQIndex(bits=4, rerank=256, min_train_size=16)
+        pq.rebuild(vectors)
+        consts = pq._const_buffer[: pq._n].astype(np.float64)
+        assert np.isfinite(consts).all()
+        q = vectors[:32] + rng.standard_normal((32, 16))
+        _, i_pq = pq.search(vectors, q, 10)
+        _, i_ex = ExactIndex().search(vectors, q, 10)
+        assert recall(i_pq, i_ex) >= 0.7
