@@ -1,7 +1,8 @@
 """Timing snapshot: seed vs optimised hot paths (BENCH_1), the
 query-engine memory/speed comparison (BENCH_3), the network serving
-replica-scaling table (BENCH_4), and the compression-v2 table (BENCH_5:
-4-bit packed PQ, OPQ, drift-aware requantization).
+replica-scaling table (BENCH_4), the compression-v2 table (BENCH_5:
+4-bit packed PQ, OPQ, drift-aware requantization), and the native-kernel
+ADC scan table (BENCH_6: fused C scan + streaming top-k vs NumPy).
 
 Runs the seed implementations (reimplemented inline below, verbatim) and
 the current optimised code **in the same process on the same data**, so the
@@ -32,16 +33,31 @@ zero-downtime ``DeploymentManager.requantize()`` runs under a live query
 stream (failed queries are counted — the acceptance is zero) and recall
 is measured again next to a fresh-trained baseline.
 
+The **BENCH_6** table is the native-kernel story: the same IVF-PQ ADC
+scan (4-bit packed and 8-bit, ``rerank=0`` so nothing but the scan is
+timed) answered by the fused C kernels and by the NumPy fallback on the
+same trained index, at two probe depths.  Recorded per cell: ms/query,
+effective GB/s of code bytes scanned, tracemalloc peak (the NumPy path
+materialises the probed-candidate buffer; the streaming kernel's peak is
+flat in probe depth) and whether the rankings are bitwise identical.
+
+Every snapshot carries the same provenance header (:func:`_platform_header`):
+python/numpy/machine plus the native-kernel status — compiler
+availability, kernel source hash and cache dir — so a JSON artifact
+always says which scan path produced it.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out BENCH_1.json]
         [--out3 BENCH_3.json] [--out4 BENCH_4.json] [--out5 BENCH_5.json]
-        [--index-sizes 10000,100000] [--only-index] [--only-frontend]
-        [--only-compression] [--compression-size 60000]
+        [--out6 BENCH_6.json] [--index-sizes 10000,100000] [--only-index]
+        [--only-frontend] [--only-compression] [--only-kernels]
+        [--compression-size 60000] [--kernel-size 500000]
         [--frontend-references 6000] [--frontend-queries 2000]
 
-``--only-index`` / ``--only-frontend`` / ``--only-compression`` skip the
-other sections (used by the CI smoke jobs, which run reduced sizes).
+``--only-index`` / ``--only-frontend`` / ``--only-compression`` /
+``--only-kernels`` skip the other sections (used by the CI smoke jobs,
+which run reduced sizes).
 """
 
 from __future__ import annotations
@@ -167,6 +183,24 @@ class SeedLSTM:
 
 
 # ------------------------------------------------------------------ measurement
+def _platform_header() -> Dict:
+    """Shared provenance header for every BENCH_* snapshot.
+
+    Besides the interpreter/NumPy/machine triple, this records the
+    native-kernel status (compiler availability, kernel source hash,
+    cache dir, whether the fused C scan is active), so any benchmark JSON
+    states which scan path produced its numbers.
+    """
+    from repro.core.kernels import kernel_status
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "native_kernels": kernel_status(),
+    }
+
+
 def _best_of(fn, repeats: int = 5) -> float:
     fn()  # warm up caches/workspaces for both implementations alike
     best = float("inf")
@@ -323,11 +357,7 @@ def _bench3_snapshot(engines: Dict, sizes) -> Dict:
     at_largest = engines[largest]
     return {
         "snapshot": "BENCH_3",
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "platform": _platform_header(),
         "engines": engines,
         "acceptance_at_largest_n": {
             "n_references": int(largest),
@@ -500,11 +530,7 @@ def _bench5_snapshot(engines: Dict, drift: Dict) -> Dict:
     rows = engines["engines"]
     return {
         "snapshot": "BENCH_5",
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "platform": _platform_header(),
         "compression": engines,
         "drift_requantize": drift,
         "acceptance": {
@@ -515,6 +541,160 @@ def _bench5_snapshot(engines: Dict, drift: Dict) -> Dict:
             >= drift["recall_fresh_trained"] - 0.01,
             "failed_queries_during_swap": drift["failed_during_swap"],
         },
+    }
+
+
+def bench_kernels(
+    n=500_000, dim=64, k=10, n_queries=32, repeats=3, seed=0,
+    probe_counts=(16, 128), n_cells=1024,
+) -> Dict:
+    """BENCH_6: the fused C ADC scan + streaming top-k vs the NumPy path.
+
+    One IVF-PQ index per bit width (4-bit packed and 8-bit, ``rerank=0``
+    so only the ADC scan and selection are timed) answers the same
+    queries with ``native_kernels`` flipped between ``"on"`` and
+    ``"off"`` — same trained structures, same probe lists, so the timing
+    difference is purely the scan/top-k implementation.  Per (bits,
+    n_probe) cell:
+
+    * ms/query and the effective GB/s of *code bytes* scanned (probed
+      rows x code width over the best wall time),
+    * tracemalloc peak of one search — the NumPy path materialises the
+      full probed-candidate distance buffer, the streaming kernel keeps a
+      bounded heap, so the native peak must stay flat as probe depth
+      grows while the NumPy peak scales with it,
+    * whether (distances, ids) are bitwise identical between the paths.
+    """
+    import tracemalloc
+
+    from repro.core.index import squared_euclidean_distances
+    from repro.core.kernels import ivfpq_kernels
+
+    rng = np.random.default_rng(seed + 1)
+    vectors = clustered_corpus(n, dim, seed=seed + 2)
+    queries = vectors[rng.choice(n, size=min(n_queries, n), replace=False)]
+    queries = queries + 0.1 * rng.standard_normal(queries.shape)
+    k_eff = min(k, n)
+    native_available = ivfpq_kernels() is not None
+
+    results: Dict[str, Dict] = {}
+    for bits in (4, 8):
+        index = IVFPQIndex(
+            bits=bits, rerank=0, n_cells=n_cells, n_probe=probe_counts[0],
+            min_train_size=min(4096, n),
+        )
+        train_start = time.perf_counter()
+        index.rebuild(vectors)
+        train_s = time.perf_counter() - train_start
+
+        # Probe selection mirrors IVFPQIndex.search: the n_probe nearest
+        # coarse cells per query.  Both paths scan exactly these rows, so
+        # the scanned-code-bytes figure (the GB/s denominator) is shared.
+        coarse = squared_euclidean_distances(queries, index._centroids)
+        cell_sizes = np.bincount(
+            index._assign_buffer[: index._n].astype(np.int64),
+            minlength=index._centroids.shape[0],
+        )
+
+        per_probe: Dict[str, Dict] = {}
+        for n_probe in probe_counts:
+            index.n_probe = int(n_probe)
+            if n_probe >= coarse.shape[1]:
+                probe = np.broadcast_to(np.arange(coarse.shape[1]), coarse.shape)
+            else:
+                probe = np.argpartition(coarse, n_probe - 1, axis=1)[:, :n_probe]
+            scanned_rows = int(cell_sizes[probe].sum())
+            scanned_bytes = scanned_rows * index.pq.code_width
+
+            modes = ("on", "off") if native_available else ("off",)
+            rows: Dict[str, Dict] = {}
+            outputs = {}
+            for mode in modes:
+                index.native_kernels = mode
+                outputs[mode] = index.search(None, queries, k_eff)  # warm-up
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    index.search(None, queries, k_eff)
+                    best = min(best, time.perf_counter() - start)
+                tracemalloc.start()
+                index.search(None, queries, k_eff)
+                _, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                rows["native" if mode == "on" else "numpy"] = {
+                    "ms_per_query": 1e3 * best / queries.shape[0],
+                    "codes_gb_per_s": scanned_bytes / best / 1e9,
+                    "tracemalloc_peak_bytes": int(peak),
+                }
+            index.native_kernels = "auto"
+            cell: Dict[str, object] = {
+                "n_probe": int(n_probe),
+                "scanned_rows_per_query": scanned_rows / queries.shape[0],
+                "scanned_code_bytes_per_query": scanned_bytes / queries.shape[0],
+                **rows,
+            }
+            if native_available:
+                cell["speedup_native_vs_numpy"] = (
+                    rows["numpy"]["ms_per_query"] / rows["native"]["ms_per_query"]
+                )
+                cell["bitwise_identical"] = bool(
+                    np.array_equal(outputs["on"][0], outputs["off"][0])
+                    and np.array_equal(outputs["on"][1], outputs["off"][1])
+                )
+            per_probe[str(n_probe)] = cell
+        results[f"{bits}bit"] = {
+            "bits": bits,
+            "code_width_bytes": index.pq.code_width,
+            "n_cells": int(index._centroids.shape[0]),
+            "train_s": train_s,
+            "probes": per_probe,
+        }
+    return {
+        "n_references": n,
+        "dim": dim,
+        "k": k_eff,
+        "n_queries": int(queries.shape[0]),
+        "native_available": native_available,
+        "engines": results,
+    }
+
+
+def _bench6_snapshot(kernels: Dict) -> Dict:
+    engines = kernels["engines"]
+    probes = sorted(
+        (int(p) for p in engines["4bit"]["probes"]), key=int
+    )
+    lo, hi = str(probes[0]), str(probes[-1])
+    acceptance: Dict[str, object] = {"native_available": kernels["native_available"]}
+    if kernels["native_available"]:
+        acceptance.update(
+            speedup_4bit_at_deepest_probe=engines["4bit"]["probes"][hi][
+                "speedup_native_vs_numpy"
+            ],
+            speedup_8bit_at_deepest_probe=engines["8bit"]["probes"][hi][
+                "speedup_native_vs_numpy"
+            ],
+            bitwise_identical=all(
+                cell["bitwise_identical"]
+                for engine in engines.values()
+                for cell in engine["probes"].values()
+            ),
+            # The streaming kernel's peak must not scale with probed
+            # candidates; the NumPy buffer's peak does.
+            native_peak_ratio_deep_vs_shallow=(
+                engines["4bit"]["probes"][hi]["native"]["tracemalloc_peak_bytes"]
+                / max(1, engines["4bit"]["probes"][lo]["native"]["tracemalloc_peak_bytes"])
+            ),
+            numpy_peak_ratio_deep_vs_shallow=(
+                engines["4bit"]["probes"][hi]["numpy"]["tracemalloc_peak_bytes"]
+                / max(1, engines["4bit"]["probes"][lo]["numpy"]["tracemalloc_peak_bytes"])
+            ),
+        )
+    return {
+        "snapshot": "BENCH_6",
+        "platform": _platform_header(),
+        "kernels": kernels,
+        "acceptance": acceptance,
     }
 
 
@@ -549,6 +729,7 @@ def main() -> int:
     parser.add_argument("--out3", type=Path, default=root / "BENCH_3.json")
     parser.add_argument("--out4", type=Path, default=root / "BENCH_4.json")
     parser.add_argument("--out5", type=Path, default=root / "BENCH_5.json")
+    parser.add_argument("--out6", type=Path, default=root / "BENCH_6.json")
     parser.add_argument(
         "--index-sizes", default="10000,100000",
         help="comma-separated corpus sizes for the BENCH_3 engine table",
@@ -566,8 +747,28 @@ def main() -> int:
         help="write BENCH_5 (4-bit packed PQ + OPQ + drift requantization) only (CI smoke)",
     )
     parser.add_argument(
+        "--only-kernels", action="store_true",
+        help="write BENCH_6 (native ADC-scan kernels vs NumPy) only (CI smoke)",
+    )
+    parser.add_argument(
         "--compression-size", type=int, default=60_000,
         help="corpus size for the BENCH_5 engine table",
+    )
+    parser.add_argument(
+        "--kernel-size", type=int, default=500_000,
+        help="corpus size for the BENCH_6 kernel table",
+    )
+    parser.add_argument(
+        "--kernel-queries", type=int, default=32,
+        help="queries per measurement in the BENCH_6 kernel table",
+    )
+    parser.add_argument(
+        "--kernel-probes", default="16,128",
+        help="comma-separated probe depths for the BENCH_6 kernel table",
+    )
+    parser.add_argument(
+        "--kernel-cells", type=int, default=1024,
+        help="coarse cells for the BENCH_6 kernel table",
     )
     parser.add_argument(
         "--drift-size", type=int, default=12_000,
@@ -610,6 +811,52 @@ def main() -> int:
               f"queries during the swap")
         print(f"wrote {arguments.out5}")
 
+    def run_kernels() -> None:
+        probes = tuple(
+            int(p) for p in arguments.kernel_probes.split(",") if p.strip()
+        )
+        kernels = bench_kernels(
+            n=arguments.kernel_size,
+            n_queries=arguments.kernel_queries,
+            probe_counts=probes,
+            n_cells=arguments.kernel_cells,
+        )
+        bench6 = _bench6_snapshot(kernels)
+        arguments.out6.write_text(json.dumps(bench6, indent=2) + "\n")
+        for name, engine in kernels["engines"].items():
+            for n_probe, cell in engine["probes"].items():
+                numpy_row = cell["numpy"]
+                line = (
+                    f"BENCH_6 N={kernels['n_references']} {name} probe={n_probe}: "
+                    f"numpy {numpy_row['ms_per_query']:.3f} ms/q "
+                    f"({numpy_row['codes_gb_per_s']:.2f} GB/s)"
+                )
+                if "native" in cell:
+                    native_row = cell["native"]
+                    line += (
+                        f", native {native_row['ms_per_query']:.3f} ms/q "
+                        f"({native_row['codes_gb_per_s']:.2f} GB/s, "
+                        f"{cell['speedup_native_vs_numpy']:.2f}x, "
+                        f"bitwise={cell['bitwise_identical']})"
+                    )
+                print(line)
+        accept = bench6["acceptance"]
+        if kernels["native_available"]:
+            print(
+                f"BENCH_6 acceptance: 4-bit {accept['speedup_4bit_at_deepest_probe']:.2f}x, "
+                f"8-bit {accept['speedup_8bit_at_deepest_probe']:.2f}x, "
+                f"bitwise identical: {accept['bitwise_identical']}, "
+                f"native peak deep/shallow {accept['native_peak_ratio_deep_vs_shallow']:.2f} "
+                f"(numpy {accept['numpy_peak_ratio_deep_vs_shallow']:.2f})"
+            )
+        else:
+            print("BENCH_6: no system compiler — NumPy fallback only")
+        print(f"wrote {arguments.out6}")
+
+    if arguments.only_kernels:
+        run_kernels()
+        return 0
+
     if arguments.only_compression:
         run_compression()
         return 0
@@ -630,11 +877,7 @@ def main() -> int:
         embed = bench_embed()
         snapshot = {
             "snapshot": "BENCH_1",
-            "platform": {
-                "python": platform.python_version(),
-                "numpy": np.__version__,
-                "machine": platform.machine(),
-            },
+            "platform": _platform_header(),
             "predict": predict,
             "lstm_fwd_bwd": lstm,
             "embed_throughput": embed,
@@ -668,9 +911,11 @@ def main() -> int:
     print(f"wrote {arguments.out3}")
 
     if not arguments.only_index:
-        # The full snapshot regenerates BENCH_5 too; --only-index stays a
-        # cheap BENCH_3-only run (the CI smoke jobs rely on that).
+        # The full snapshot regenerates BENCH_5 and BENCH_6 too;
+        # --only-index stays a cheap BENCH_3-only run (the CI smoke jobs
+        # rely on that).
         run_compression()
+        run_kernels()
     return 0
 
 

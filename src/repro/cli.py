@@ -13,8 +13,9 @@ The subcommands cover the common workflows::
     python -m repro requantize DIR --check   # drift report on a saved deployment
 
 Index-engine knob help (``--n-cells``/``--n-probe``/``--n-subspaces``/
-``--bits``/``--opq``/``--rerank``) comes from the single source of truth
-in :mod:`repro.core.knobs`, which ``docs/index-tuning.md`` mirrors.
+``--bits``/``--opq``/``--rerank``/``--native-kernels``/
+``--max-cell-fraction``) comes from the single source of truth in
+:mod:`repro.core.knobs`, which ``docs/index-tuning.md`` mirrors.
 
 The ``experiment`` subcommand builds the shared
 :class:`~repro.experiments.setup.ExperimentContext` once and runs the
@@ -74,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--bits", type=int, default=8, help=INDEX_KNOB_HELP["bits"])
     experiment.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
     experiment.add_argument("--rerank", type=int, default=64, help=INDEX_KNOB_HELP["rerank"])
+    experiment.add_argument(
+        "--native-kernels", choices=("auto", "on", "off"), default="auto",
+        help=INDEX_KNOB_HELP["native_kernels"],
+    )
+    experiment.add_argument(
+        "--max-cell-fraction", type=float, default=None,
+        help=INDEX_KNOB_HELP["max_cell_fraction"],
+    )
 
     table3 = subparsers.add_parser("table3", help="print the Table III cost catalogue")
     table3.add_argument("--no-measure", action="store_true", help="catalogue only, skip measured timings")
@@ -100,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
     index_bench.add_argument("--bits", type=int, default=None, help=INDEX_KNOB_HELP["bits"])
     index_bench.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
     index_bench.add_argument("--rerank", type=int, default=None, help=INDEX_KNOB_HELP["rerank"])
+    index_bench.add_argument(
+        "--native-kernels", choices=("auto", "on", "off"), default="auto",
+        help=INDEX_KNOB_HELP["native_kernels"],
+    )
+    index_bench.add_argument(
+        "--max-cell-fraction", type=float, default=None,
+        help=INDEX_KNOB_HELP["max_cell_fraction"],
+    )
     index_bench.add_argument("--queries", type=int, default=128, help="queries per measurement")
     index_bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
 
@@ -131,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rerank", type=int, default=0, help=INDEX_KNOB_HELP["rerank"])
     serve.add_argument("--bits", type=int, default=8, help=INDEX_KNOB_HELP["bits"])
     serve.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
+    serve.add_argument(
+        "--native-kernels", choices=("auto", "on", "off"), default="auto",
+        help=INDEX_KNOB_HELP["native_kernels"],
+    )
+    serve.add_argument(
+        "--max-cell-fraction", type=float, default=None,
+        help=INDEX_KNOB_HELP["max_cell_fraction"],
+    )
     serve.add_argument(
         "--storage-dtype", default="float64", choices=("float64", "float32"),
         help="resident dtype of shard embedding buffers",
@@ -204,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--rerank", type=int, default=0, help=INDEX_KNOB_HELP["rerank"])
     serve_bench.add_argument("--bits", type=int, default=8, help=INDEX_KNOB_HELP["bits"])
     serve_bench.add_argument("--opq", action="store_true", help=INDEX_KNOB_HELP["opq"])
+    serve_bench.add_argument(
+        "--native-kernels", choices=("auto", "on", "off"), default="auto",
+        help=INDEX_KNOB_HELP["native_kernels"],
+    )
+    serve_bench.add_argument(
+        "--max-cell-fraction", type=float, default=None,
+        help=INDEX_KNOB_HELP["max_cell_fraction"],
+    )
     serve_bench.add_argument(
         "--storage-dtype", default="float64", choices=("float64", "float32"),
         help="resident dtype of shard embedding buffers (float32 halves segment bytes)",
@@ -296,6 +329,8 @@ def _run_experiments(
     bits: int = 8,
     opq: bool = False,
     rerank: int = 64,
+    native_kernels: str = "auto",
+    max_cell_fraction: Optional[float] = None,
 ) -> List[str]:
     # Imported lazily so `repro info` stays instant.
     from repro.experiments import (
@@ -317,6 +352,8 @@ def _run_experiments(
         bits=bits,
         opq=opq,
         rerank=rerank,
+        native_kernels=native_kernels,
+        max_cell_fraction=max_cell_fraction,
     )
     runners: Dict[str, Callable[[], List[str]]] = {
         "exp1": lambda: [run_experiment1(context).as_table()],
@@ -386,6 +423,7 @@ def _index_bench(arguments) -> List[str]:
         bits=arguments.bits,
         opq=arguments.opq,
         n_cells=arguments.n_cells,
+        max_cell_fraction=arguments.max_cell_fraction,
     )
     return [
         format_table(
@@ -432,7 +470,12 @@ def _serve(arguments) -> int:
             n_shards=arguments.shards,
             executor=replica_set,
             index_factory=_shard_index_factory(
-                arguments.index, arguments.rerank, bits=arguments.bits, opq=arguments.opq
+                arguments.index,
+                arguments.rerank,
+                bits=arguments.bits,
+                opq=arguments.opq,
+                native_kernels=arguments.native_kernels,
+                max_cell_fraction=arguments.max_cell_fraction,
             ),
             storage_dtype=arguments.storage_dtype,
         ),
@@ -516,6 +559,8 @@ def _serve_bench(arguments) -> List[str]:
             rerank=arguments.rerank,
             bits=arguments.bits,
             opq=arguments.opq,
+            native_kernels=arguments.native_kernels,
+            max_cell_fraction=arguments.max_cell_fraction,
             storage_dtype=arguments.storage_dtype,
             seed=arguments.seed,
             out=out,
@@ -537,6 +582,8 @@ def _serve_bench(arguments) -> List[str]:
         rerank=arguments.rerank,
         bits=arguments.bits,
         opq=arguments.opq,
+        native_kernels=arguments.native_kernels,
+        max_cell_fraction=arguments.max_cell_fraction,
         storage_dtype=arguments.storage_dtype,
         class_mix=arguments.class_mix if arguments.class_mix is not None else "uniform",
         zipf_s=arguments.zipf_s,
@@ -580,6 +627,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.command is None:
         parser.print_help()
         return 1
+    if getattr(arguments, "native_kernels", None) is not None:
+        # Set the process-global mode before any index is built so worker
+        # processes inherit it through the environment.
+        from repro.core.kernels import set_native_kernels_mode
+
+        set_native_kernels_mode(arguments.native_kernels)
     if arguments.command == "info":
         print(_info())
         return 0
@@ -595,6 +648,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             bits=arguments.bits,
             opq=arguments.opq,
             rerank=arguments.rerank,
+            native_kernels=arguments.native_kernels,
+            max_cell_fraction=arguments.max_cell_fraction,
         )
         for block in blocks:
             print(block)

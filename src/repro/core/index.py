@@ -48,6 +48,14 @@ Compression v2 layers three things on top of the IVF-PQ engine:
   and re-encodes every row (the serving layer wraps this in a
   zero-downtime ``DeploymentManager.requantize()`` swap).
 
+The IVF-PQ scan dispatches to the fused C kernels of
+:mod:`repro.core.kernels` when a system compiler is available (the
+``native_kernels`` knob: ``auto``/``on``/``off``): a blocked scan over a
+cell-major transposed code layout plus a streaming bounded-heap top-k,
+bitwise identical to the NumPy path.  Coarse cells can optionally be
+size-capped (``max_cell_fraction``) so one hot cell cannot blow up
+per-probe candidate counts on skewed corpora.
+
 Indexes never copy the reference vectors: the store owns the (amortised)
 embedding matrix and passes it to ``search``; an index only maintains its
 own side structures (centroids, cell assignments, PQ codes).  Ids are row
@@ -157,6 +165,104 @@ def top_k_by_distance(distances: np.ndarray, k: int) -> Tuple[np.ndarray, np.nda
             idx[row] = full
             dist[row] = distances[row, full]
     return dist, idx
+
+
+def _smallest_pairs_subset(seg_d: np.ndarray, seg_i: np.ndarray, n_select: int) -> np.ndarray:
+    """Positions of the ``n_select`` smallest ``(distance, id)`` pairs (unordered).
+
+    ``argpartition`` alone picks an *arbitrary* subset of the values tied
+    at the selection boundary; resolving the tie set by smallest id makes
+    the selected set deterministic under the (distance, id) total order —
+    exactly the set the native streaming top-k's bounded max-heap keeps,
+    which is what lets kernels-on and kernels-off agree bit for bit.
+    """
+    part = np.argpartition(seg_d, n_select - 1)[:n_select]
+    kth = seg_d[part].max()
+    below = np.flatnonzero(seg_d < kth)
+    need = n_select - below.size
+    tied = np.flatnonzero(seg_d == kth)
+    if need < tied.size:
+        keep = np.argpartition(seg_i[tied], need - 1)[:need]
+        tied = tied[keep]
+    return np.concatenate([below, tied])
+
+
+def _cap_cell_assignments(
+    vectors: np.ndarray,
+    centroids: np.ndarray,
+    assignments: np.ndarray,
+    max_fraction: float,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Rebalance ``assignments`` so no cell exceeds ``ceil(max_fraction * N)`` rows.
+
+    Over-full cells keep their ``cap`` members nearest the centroid (ties
+    by row id); spilled rows move to their nearest cell with room,
+    processed in ascending row order, so the result is deterministic.  An
+    infeasible cap (``cap * n_cells < N``) relaxes to the balanced floor
+    ``ceil(N / n_cells)``.
+    """
+    n = assignments.shape[0]
+    n_cells = centroids.shape[0]
+    cap = max(1, int(np.ceil(max_fraction * n)))
+    if cap * n_cells < n:
+        cap = int(np.ceil(n / n_cells))
+    assignments = assignments.astype(np.int64, copy=True)
+    counts = np.bincount(assignments, minlength=n_cells)
+    over = np.flatnonzero(counts > cap)
+    if over.size == 0:
+        return assignments
+    spilled = []
+    for cell in over:
+        members = np.flatnonzero(assignments == cell)
+        d = _metric_distances(vectors[members], centroids[cell : cell + 1], metric)[:, 0]
+        keep = np.lexsort((members, d))
+        spilled.append(members[keep[cap:]])
+        counts[cell] = cap
+    spilled = np.sort(np.concatenate(spilled))
+    for start in range(0, spilled.size, 4096):
+        block = spilled[start : start + 4096]
+        d_block = _metric_distances(vectors[block], centroids, metric)
+        order_block = np.argsort(d_block, axis=1, kind="stable")
+        for row_pos, row in enumerate(block):
+            for cell in order_block[row_pos]:
+                if counts[cell] < cap:
+                    assignments[row] = int(cell)
+                    counts[cell] += 1
+                    break
+    return assignments
+
+
+def _cap_added_assignments(
+    new_rows: np.ndarray,
+    centroids: np.ndarray,
+    counts: np.ndarray,
+    assignments: np.ndarray,
+    cap: int,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Redirect appended rows whose nearest cell is at capacity to their
+    nearest cell with room (sequential in row order, so deterministic).
+
+    ``counts`` holds the pre-existing per-cell sizes and is updated in
+    place.  When every cell is full the nearest assignment stands — the
+    cap is best-effort at add time and restored at the next rebuild.
+    """
+    assignments = assignments.astype(np.int64, copy=True)
+    for pos in range(assignments.shape[0]):
+        cell = int(assignments[pos])
+        if counts[cell] < cap:
+            counts[cell] += 1
+            continue
+        d = _metric_distances(new_rows[pos : pos + 1], centroids, metric)[0]
+        for candidate in np.argsort(d, kind="stable"):
+            if counts[candidate] < cap:
+                assignments[pos] = int(candidate)
+                counts[candidate] += 1
+                break
+        else:
+            counts[cell] += 1
+    return assignments
 
 
 class NearestNeighbourIndex:
@@ -396,6 +502,12 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         Below this store size the index answers exactly (brute force) and
         defers k-means until enough references exist — small stores gain
         nothing from quantization.
+    max_cell_fraction:
+        Optional cap on any one cell's share of the corpus: after k-means
+        assignment (and on every ``add``) no cell keeps more than
+        ``ceil(max_cell_fraction * N)`` members — overflow rows spill to
+        their nearest cell with room — so a hot cluster cannot blow up
+        per-probe candidate counts on skewed corpora.
 
     ``add`` assigns new vectors to their nearest *existing* centroid and
     ``remove`` drops assignments, so adaptation (replace/remove/add of a
@@ -418,6 +530,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         min_train_size: int = 256,
         train_iters: int = 10,
         seed: int = 0,
+        max_cell_fraction: Optional[float] = None,
     ) -> None:
         if metric not in SUPPORTED_METRICS:
             raise ValueError(f"unsupported metric {metric!r}; expected one of {SUPPORTED_METRICS}")
@@ -425,12 +538,15 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
             raise ValueError("n_cells must be positive")
         if n_probe <= 0:
             raise ValueError("n_probe must be positive")
+        if max_cell_fraction is not None and not 0.0 < float(max_cell_fraction) <= 1.0:
+            raise ValueError("max_cell_fraction must be in (0, 1]")
         self.metric = metric
         self.n_cells = n_cells
         self.n_probe = int(n_probe)
         self.min_train_size = int(min_train_size)
         self.train_iters = int(train_iters)
         self.seed = int(seed)
+        self.max_cell_fraction = None if max_cell_fraction is None else float(max_cell_fraction)
         self._centroids: Optional[np.ndarray] = None
         self._assignments: np.ndarray = np.empty(0, dtype=np.int64)
         self._cells: Optional[list] = None  # lazy id lists per cell
@@ -467,13 +583,18 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
             self._cells = None
             return
         n_cells = self._resolve_n_cells(n)
+        vectors = np.asarray(vectors, dtype=np.float64)
         self._centroids, self._assignments = _kmeans(
-            np.asarray(vectors, dtype=np.float64),
+            vectors,
             n_cells,
             metric=self.metric,
             n_iter=self.train_iters,
             seed=self.seed,
         )
+        if self.max_cell_fraction is not None:
+            self._assignments = _cap_cell_assignments(
+                vectors, self._centroids, self._assignments, self.max_cell_fraction, self.metric
+            )
         self._cells = None
 
     def refit(self, vectors: np.ndarray) -> None:
@@ -500,10 +621,15 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
         self._assignments = np.argmin(
             _metric_distances(vectors, self._centroids, self.metric), axis=1
         )
+        if self.max_cell_fraction is not None:
+            self._assignments = _cap_cell_assignments(
+                vectors, self._centroids, self._assignments, self.max_cell_fraction, self.metric
+            )
         self._cells = None
 
     def add(self, vectors: np.ndarray, n_new: int) -> None:
-        """Assign appended rows to their nearest existing cell (no k-means)."""
+        """Assign appended rows to their nearest existing cell (no k-means;
+        honouring ``max_cell_fraction`` when set)."""
         n = vectors.shape[0]
         if not self.trained:
             if n >= self.min_train_size:
@@ -511,6 +637,17 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
             return
         new_rows = vectors[n - n_new :]
         assignments = np.argmin(_metric_distances(new_rows, self._centroids, self.metric), axis=1)
+        if self.max_cell_fraction is not None:
+            cap = max(1, int(np.ceil(self.max_cell_fraction * n)))
+            counts = np.bincount(self._assignments, minlength=self._centroids.shape[0])
+            assignments = _cap_added_assignments(
+                np.asarray(new_rows, dtype=np.float64),
+                self._centroids,
+                counts,
+                assignments,
+                cap,
+                self.metric,
+            )
         self._assignments = np.concatenate([self._assignments, assignments])
         self._cells = None
 
@@ -615,6 +752,7 @@ class CoarseQuantizedIndex(NearestNeighbourIndex):
             "min_train_size": self.min_train_size,
             "train_iters": self.train_iters,
             "seed": self.seed,
+            "max_cell_fraction": self.max_cell_fraction,
         }
 
     def state(self) -> Dict[str, np.ndarray]:
@@ -833,6 +971,34 @@ class ProductQuantizer:
             tables[:, j, :] = sub @ self._codebooks[j, :, : self._sub_dims[j]].T
         return tables
 
+    def quantized_query_tables(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lut_u8, scale, bias)``: the float LUT affinely quantized per query.
+
+        ``lut_u8`` is ``(n, m, k_sub)`` uint8 with
+        ``float_table ~= scale[q] * lut_u8[q] + bias[q]``, so an ADC sum
+        over ``m`` gathers reconstructs as ``scale[q] * sum + m * bias[q]``.
+        Both engines scan this table: the uint32 gather-sum is an
+        order-independent integer reduction, which is what lets the native
+        kernels and the NumPy scan agree bit for bit (a float32 gather-sum
+        would pin the result to NumPy's pairwise-summation order).  The
+        quantization error is bounded by ``n_subspaces * scale / 2`` per
+        distance and only perturbs *candidate selection* — with ``rerank``
+        on, final rankings are re-scored exactly.
+        """
+        tables = self.query_tables(queries)
+        flat = tables.reshape(tables.shape[0], -1)
+        bias = flat.min(axis=1)
+        scale = (flat.max(axis=1) - bias) / 255.0
+        scale[scale == 0.0] = 1.0  # constant table: any scale reconstructs
+        lut = np.rint((tables - bias[:, None, None]) / scale[:, None, None])
+        return (
+            np.clip(lut, 0, 255).astype(np.uint8),
+            scale.astype(np.float32),
+            bias.astype(np.float32),
+        )
+
     def memory_bytes(self) -> int:
         """Resident bytes of codebooks (and the OPQ rotation when learned)."""
         total = int(self._codebooks.nbytes) if self._codebooks is not None else 0
@@ -908,27 +1074,6 @@ class PackedPQ(ProductQuantizer):
         codes[:, 1::2] = (packed >> 4)[:, : self.n_subspaces // 2]
         return codes
 
-    def quantized_query_tables(
-        self, queries: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """``(lut_u8, scale, bias)``: the float LUT affinely quantized per query.
-
-        ``lut_u8`` is ``(n, m, k_sub)`` uint8 with
-        ``float_table ~= scale[q] * lut_u8[q] + bias[q]``, so an ADC sum
-        over ``m`` gathers reconstructs as ``scale[q] * sum + m * bias[q]``.
-        """
-        tables = self.query_tables(queries)
-        flat = tables.reshape(tables.shape[0], -1)
-        bias = flat.min(axis=1)
-        scale = (flat.max(axis=1) - bias) / 255.0
-        scale[scale == 0.0] = 1.0  # constant table: any scale reconstructs
-        lut = np.rint((tables - bias[:, None, None]) / scale[:, None, None])
-        return (
-            np.clip(lut, 0, 255).astype(np.uint8),
-            scale.astype(np.float32),
-            bias.astype(np.float32),
-        )
-
 
 class IVFPQIndex(NearestNeighbourIndex):
     """IVF coarse cells whose members are product-quantized residuals.
@@ -992,10 +1137,15 @@ class IVFPQIndex(NearestNeighbourIndex):
         min_train_size: int = 256,
         train_iters: int = 10,
         seed: int = 0,
+        native_kernels: str = "auto",
+        max_cell_fraction: Optional[float] = None,
     ) -> None:
         """See the class docstring; ``bits <= 4`` switches to the packed
         quantizer and slim side-structure dtypes, ``opq`` adds the learned
-        rotation, and ``rerank`` trades ADC error for exact re-scoring."""
+        rotation, ``rerank`` trades ADC error for exact re-scoring,
+        ``native_kernels`` picks the fused C scan (``auto``/``on``/``off``,
+        bitwise identical either way) and ``max_cell_fraction`` caps any
+        one coarse cell's share of the corpus."""
         if metric != "euclidean":
             raise ValueError("IVFPQIndex supports only the euclidean metric (ADC is an L2 construct)")
         if n_cells is not None and n_cells <= 0:
@@ -1004,6 +1154,12 @@ class IVFPQIndex(NearestNeighbourIndex):
             raise ValueError("n_probe must be positive")
         if rerank < 0:
             raise ValueError("rerank must be >= 0 (0 disables exact re-ranking)")
+        if native_kernels not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown native_kernels mode {native_kernels!r}; expected 'auto', 'on' or 'off'"
+            )
+        if max_cell_fraction is not None and not 0.0 < float(max_cell_fraction) <= 1.0:
+            raise ValueError("max_cell_fraction must be in (0, 1]")
         self.metric = metric
         self.n_cells = n_cells
         self.n_probe = int(n_probe)
@@ -1012,6 +1168,8 @@ class IVFPQIndex(NearestNeighbourIndex):
         self.train_iters = int(train_iters)
         self.seed = int(seed)
         self.opq = bool(opq)
+        self.native_kernels = native_kernels
+        self.max_cell_fraction = None if max_cell_fraction is None else float(max_cell_fraction)
         quantizer = PackedPQ if bits <= 4 else ProductQuantizer
         self.pq = quantizer(
             n_subspaces=n_subspaces, bits=bits, opq=opq, train_iters=train_iters, seed=seed
@@ -1029,6 +1187,9 @@ class IVFPQIndex(NearestNeighbourIndex):
         self._const_buffer: np.ndarray = np.empty(0, dtype=self._const_dtype)
         self._n = 0
         self._cells: Optional[list] = None
+        # Native-scan layout (CSR cells + transposed codes), rebuilt lazily
+        # alongside _cells whenever the buffers churn.
+        self._scan_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
         # Drift statistics: the held-out train-time mean squared
         # reconstruction error vs a per-row error for rows encoded after
         # training (NaN marks train-time rows).  Per-row so that removal
@@ -1084,6 +1245,56 @@ class IVFPQIndex(NearestNeighbourIndex):
                 order[boundaries[c] : boundaries[c + 1]] for c in range(self._centroids.shape[0])
             ]
         return self._cells
+
+    def _scan_layout(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The native scan's cache-friendly view of the code buffers.
+
+        ``(cell_starts, members, consts, codes_t)``: cells become CSR
+        ranges (``cell_starts`` is ``(n_cells + 1,)`` int64) over a
+        cell-major member order, the float16/float32 member constants are
+        gathered into float32 alongside, and the code rows are transposed
+        to a contiguous ``(code_width, N)`` so the kernel streams one
+        subspace byte-row at a time.  Built lazily and invalidated
+        together with ``_cells`` wherever add/remove/rebuild/load_state
+        touch the underlying buffers, so the transpose stays consistent
+        through churn.
+        """
+        if self._scan_cache is None:
+            cells = self._cell_lists()
+            sizes = np.array([cell.size for cell in cells], dtype=np.int64)
+            cell_starts = np.zeros(sizes.size + 1, dtype=np.int64)
+            np.cumsum(sizes, out=cell_starts[1:])
+            members = (
+                np.concatenate(cells).astype(np.int64, copy=False)
+                if cells
+                else np.empty(0, dtype=np.int64)
+            )
+            consts = self._const_buffer[: self._n][members].astype(np.float32)
+            codes_t = np.ascontiguousarray(self._code_buffer[: self._n][members].T)
+            self._scan_cache = (cell_starts, members, consts, codes_t)
+        return self._scan_cache
+
+    def _active_kernels(self):
+        """The fused C kernels to dispatch the ADC scan to, or ``None``.
+
+        Combines the process-global mode with this index's
+        ``native_kernels`` knob (:func:`repro.core.kernels.resolve_mode`);
+        ``on`` raises when the kernels cannot be built, so a hard
+        requirement never silently degrades to the NumPy path.
+        """
+        from repro.core import kernels as native
+
+        mode = native.resolve_mode(self.native_kernels)
+        if mode == "off":
+            return None
+        library = native.ivfpq_kernels()
+        if library is None and mode == "on":
+            raise RuntimeError(
+                "native_kernels='on' but the fused C kernels are unavailable "
+                "(no working compiler, or the build failed); use 'auto' to "
+                "fall back to the NumPy scan"
+            )
+        return library
 
     def _reserve(self, extra: int) -> None:
         needed = self._n + extra
@@ -1150,6 +1361,7 @@ class IVFPQIndex(NearestNeighbourIndex):
             self._const_buffer = np.empty(0, dtype=self._const_dtype)
             self._n = 0
             self._cells = None
+            self._scan_cache = None
             self._train_distortion = None
             self._drift_buffer = np.empty(0, dtype=np.float16)
             self._drift_sum = 0.0
@@ -1188,6 +1400,12 @@ class IVFPQIndex(NearestNeighbourIndex):
         )
         self._centroids = centroids.astype(self._centroid_dtype)
         assignments = self._assign_to_centroids(vectors)
+        if self.max_cell_fraction is not None:
+            # Residuals (and so codes) are computed against the *capped*
+            # assignment, keeping encode/decode consistent with the cells.
+            assignments = _cap_cell_assignments(
+                vectors, self._centroids, assignments, self.max_cell_fraction
+            )
         residuals = vectors - self._centroids[assignments]
         if holdout is None:
             self.pq.fit(residuals, rng=np.random.default_rng(self.seed + 1))
@@ -1202,6 +1420,7 @@ class IVFPQIndex(NearestNeighbourIndex):
         self._const_buffer = self._member_consts(decoded, assignments)
         self._n = n
         self._cells = None
+        self._scan_cache = None
         baseline_rows = slice(None) if holdout is None else holdout
         self._train_distortion = float(
             self._reconstruction_error(
@@ -1228,6 +1447,15 @@ class IVFPQIndex(NearestNeighbourIndex):
         assignments = np.argmin(
             squared_euclidean_distances(new_rows, self._centroids), axis=1
         )
+        if self.max_cell_fraction is not None:
+            cap = max(1, int(np.ceil(self.max_cell_fraction * n)))
+            counts = np.bincount(
+                self._assign_buffer[: self._n].astype(np.int64),
+                minlength=self._centroids.shape[0],
+            )
+            assignments = _cap_added_assignments(
+                new_rows, self._centroids, counts, assignments, cap
+            )
         codes = self.pq.encode(new_rows - self._centroids[assignments])
         decoded = self.pq.decode(codes)
         self._reserve(n_new)
@@ -1249,6 +1477,7 @@ class IVFPQIndex(NearestNeighbourIndex):
         self._drift_count += n_new
         self._n += n_new
         self._cells = None
+        self._scan_cache = None
 
     # ------------------------------------------------------ drift / retrain
     def drift_ratio(self) -> float:
@@ -1307,31 +1536,79 @@ class IVFPQIndex(NearestNeighbourIndex):
         self._drift_buffer[:kept] = self._drift_buffer[: self._n][kept_mask]
         self._n = kept
         self._cells = None
+        self._scan_cache = None
 
     # --------------------------------------------------------------- search
+    def _adc_select_native(
+        self,
+        kernels,
+        coarse_d2: np.ndarray,
+        probe: np.ndarray,
+        lut: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        n_select: int,
+    ) -> Tuple[list, list]:
+        """Kernel dispatch: hand the scan layout and per-query LUTs to the
+        fused C scan (:meth:`repro.core.kernels.IVFPQKernels.search_topk`)
+        and unpack its fixed-width ``(distances, ids, counts)`` rows into
+        the per-query lists the NumPy path returns.  Peak transient memory
+        is the ``(n_chunk, n_probe)`` coarse block plus the
+        ``(n_chunk, n_select)`` outputs — independent of how many
+        candidates the probes cover."""
+        lut_u8, scale, bias = lut
+        cell_starts, members, consts, codes_t = self._scan_layout()
+        n_chunk = probe.shape[0]
+        probe = np.ascontiguousarray(probe, dtype=np.int64)
+        coarse = np.ascontiguousarray(
+            np.take_along_axis(coarse_d2, probe, axis=1).astype(np.float32)
+        )
+        out_d, out_ids, out_counts = kernels.search_topk(
+            lut_u8=np.ascontiguousarray(lut_u8),
+            scale=np.ascontiguousarray(scale, dtype=np.float32),
+            bias=np.ascontiguousarray(bias, dtype=np.float32),
+            coarse=coarse,
+            probe=probe,
+            cell_starts=cell_starts,
+            members=members,
+            consts=consts,
+            codes_t=codes_t,
+            packed=self.pq.packed,
+            n_select=int(n_select),
+        )
+        ids_out = [out_ids[q, : out_counts[q]] for q in range(n_chunk)]
+        adc_out = [out_d[q, : out_counts[q]] for q in range(n_chunk)]
+        return ids_out, adc_out
+
     def _adc_select(
         self,
         coarse_d2: np.ndarray,
         probe: np.ndarray,
-        lut: np.ndarray,
+        lut: Tuple[np.ndarray, np.ndarray, np.ndarray],
         n_select: int,
     ) -> Tuple[list, list]:
         """ADC top-``n_select`` per query over the probed cells' code lists.
 
-        One flat pass over every (query, probed cell) member: candidate ids,
-        their ADC distances and the per-query segmentation all come from
-        whole-array operations; only the final ``argpartition`` runs per
-        query (on its own small candidate segment), so there is no per-cell
-        inner loop and no padded candidate matrix.  Returns per-query
-        ``(ids, adc_distances)`` lists ordered by ``(adc, id)``.
+        ``lut`` is the ``(lut_u8, scale, bias)`` triple of
+        :meth:`ProductQuantizer.quantized_query_tables` for *both*
+        engines: the gather runs over the uint8 table, sums in uint32 (an
+        order-independent integer reduction) and reconstructs the float
+        distance from the per-query affine pair.  Returns per-query
+        ``(ids, adc_distances)`` lists ordered by ``(adc, id)`` ascending;
+        selection at the ``n_select`` boundary is deterministic under the
+        same total order (:func:`_smallest_pairs_subset`), which is what
+        makes the native and NumPy paths bitwise interchangeable.
 
-        ``lut`` is the float32 query table for the plain engine, or the
-        ``(lut_u8, scale, bias)`` triple of
-        :meth:`PackedPQ.quantized_query_tables` for the packed engine —
-        there the gather runs over the uint8 table (a quarter of the
-        working set), sums in uint32 and reconstructs the float sum from
-        the per-query affine pair.
+        Dispatches to the fused C kernels when available (the
+        ``native_kernels`` knob); the NumPy fallback below is one flat
+        pass over every (query, probed cell) member: candidate ids, their
+        ADC distances and the per-query segmentation all come from
+        whole-array operations; only the final selection runs per query
+        (on its own small candidate segment), so there is no per-cell
+        inner loop and no padded candidate matrix.
         """
+        kernels = self._active_kernels()
+        if kernels is not None:
+            return self._adc_select_native(kernels, coarse_d2, probe, lut, n_select)
+        lut_u8, scale, bias = lut
         n_chunk = probe.shape[0]
         cells = self._cell_lists()
         cell_sizes = np.array([len(cell) for cell in cells], dtype=np.int64)
@@ -1358,14 +1635,10 @@ class IVFPQIndex(NearestNeighbourIndex):
         idx = codes.astype(np.int32)
         idx += np.arange(m, dtype=np.int32)[None, :] * k_sub
         idx += (rows * (m * k_sub)).astype(np.int32)[:, None]
-        if self.pq.packed:
-            lut_u8, scale, bias = lut
-            sums = lut_u8.ravel().take(idx).sum(axis=1, dtype=np.uint32)
-            adc -= 2.0 * (
-                scale[rows] * sums.astype(np.float32) + np.float32(m) * bias[rows]
-            )
-        else:
-            adc -= 2.0 * lut.ravel().take(idx).sum(axis=1, dtype=np.float32)
+        sums = lut_u8.ravel().take(idx).sum(axis=1, dtype=np.uint32)
+        adc -= 2.0 * (
+            scale[rows] * sums.astype(np.float32) + np.float32(m) * bias[rows]
+        )
 
         # Candidates are query-major, so each query owns one contiguous
         # segment; select within it.
@@ -1377,9 +1650,9 @@ class IVFPQIndex(NearestNeighbourIndex):
             seg_d = adc[bounds[q] : bounds[q + 1]]
             seg_i = cand_ids[bounds[q] : bounds[q + 1]]
             if seg_d.size > n_select:
-                part = np.argpartition(seg_d, n_select - 1)[:n_select]
-                seg_d = seg_d[part]
-                seg_i = seg_i[part]
+                subset = _smallest_pairs_subset(seg_d, seg_i, n_select)
+                seg_d = seg_d[subset]
+                seg_i = seg_i[subset]
             order = np.lexsort((seg_i, seg_d))
             ids_out.append(seg_i[order])
             adc_out.append(seg_d[order])
@@ -1419,10 +1692,7 @@ class IVFPQIndex(NearestNeighbourIndex):
                 probe = np.broadcast_to(np.arange(n_cells), coarse_d2.shape).copy()
             else:
                 probe = np.argpartition(coarse_d2, n_probe - 1, axis=1)[:, :n_probe]
-            if self.pq.packed:
-                lut = self.pq.quantized_query_tables(chunk)
-            else:
-                lut = self.pq.query_tables(chunk).astype(np.float32)
+            lut = self.pq.quantized_query_tables(chunk)
             cand_lists, adc_lists = self._adc_select(coarse_d2, probe, lut, n_select)
 
             # Queries whose probed cells hold fewer than k members re-scan
@@ -1434,11 +1704,7 @@ class IVFPQIndex(NearestNeighbourIndex):
                     full_probe = np.broadcast_to(
                         np.arange(n_cells), (len(short), n_cells)
                     ).copy()
-                    lut_short = (
-                        tuple(part[short] for part in lut)
-                        if self.pq.packed
-                        else lut[short]
-                    )
+                    lut_short = tuple(part[short] for part in lut)
                     f_cands, f_adcs = self._adc_select(
                         coarse_d2[short], full_probe, lut_short, n_select
                     )
@@ -1500,6 +1766,8 @@ class IVFPQIndex(NearestNeighbourIndex):
             "min_train_size": self.min_train_size,
             "train_iters": self.train_iters,
             "seed": self.seed,
+            "native_kernels": self.native_kernels,
+            "max_cell_fraction": self.max_cell_fraction,
         }
 
     def state(self) -> Dict[str, np.ndarray]:
@@ -1547,6 +1815,7 @@ class IVFPQIndex(NearestNeighbourIndex):
             self._const_buffer = np.empty(0, dtype=self._const_dtype)
             self._n = 0
             self._cells = None
+            self._scan_cache = None
             self._train_distortion = None
             self._drift_buffer = np.empty(0, dtype=np.float16)
             self._drift_sum = 0.0
@@ -1581,6 +1850,7 @@ class IVFPQIndex(NearestNeighbourIndex):
                 "inconsistent IVFPQ state: codes, assignments and member_consts disagree on N"
             )
         self._cells = None
+        self._scan_cache = None
         pq = self.pq
         pq._codebooks = codebooks
         pq._splits = pq._boundaries(self._centroids.shape[1])
@@ -1627,6 +1897,7 @@ def index_from_spec(spec: Optional[Dict[str, object]]) -> NearestNeighbourIndex:
     kind = spec.get("kind", "exact")
     if kind == "exact":
         return ExactIndex(metric=str(spec.get("metric", "euclidean")))
+    max_cell_fraction = spec.get("max_cell_fraction")
     if kind == "ivf":
         n_cells = spec.get("n_cells")
         return CoarseQuantizedIndex(
@@ -1636,6 +1907,9 @@ def index_from_spec(spec: Optional[Dict[str, object]]) -> NearestNeighbourIndex:
             min_train_size=int(spec.get("min_train_size", 256)),
             train_iters=int(spec.get("train_iters", 10)),
             seed=int(spec.get("seed", 0)),
+            max_cell_fraction=(
+                float(max_cell_fraction) if max_cell_fraction is not None else None
+            ),
         )
     if kind == "ivfpq":
         n_cells = spec.get("n_cells")
@@ -1650,5 +1924,9 @@ def index_from_spec(spec: Optional[Dict[str, object]]) -> NearestNeighbourIndex:
             min_train_size=int(spec.get("min_train_size", 256)),
             train_iters=int(spec.get("train_iters", 10)),
             seed=int(spec.get("seed", 0)),
+            native_kernels=str(spec.get("native_kernels", "auto")),
+            max_cell_fraction=(
+                float(max_cell_fraction) if max_cell_fraction is not None else None
+            ),
         )
     raise ValueError(f"unknown index kind {kind!r}")

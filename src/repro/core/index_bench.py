@@ -96,6 +96,7 @@ def _build_engine(
     bits: Optional[int] = None,
     opq: bool = False,
     n_cells: Optional[int] = None,
+    max_cell_fraction: Optional[float] = None,
 ):
     if kind == "exact":
         return ExactIndex()
@@ -104,9 +105,15 @@ def _build_engine(
             n_cells=n_cells,
             n_probe=n_probe if n_probe is not None else 8,
             min_train_size=min(256, n),
+            max_cell_fraction=max_cell_fraction,
         )
     if kind == "ivfpq":
-        kwargs = {"min_train_size": min(256, n), "opq": opq, "n_cells": n_cells}
+        kwargs = {
+            "min_train_size": min(256, n),
+            "opq": opq,
+            "n_cells": n_cells,
+            "max_cell_fraction": max_cell_fraction,
+        }
         if rerank is not None:
             kwargs["rerank"] = rerank
         if n_subspaces is not None:
@@ -132,12 +139,16 @@ def measure_index_scaling(
     bits: Optional[int] = None,
     opq: bool = False,
     n_cells: Optional[int] = None,
+    max_cell_fraction: Optional[float] = None,
 ) -> List[ScalingRow]:
     """Per-query search time + accuracy/memory of each engine per corpus size.
 
     ``n_probe`` applies to the IVF engine; IVF-PQ keeps its own finer-cell
     defaults unless ``rerank``/``n_subspaces``/``bits``/``opq`` override
     the code layout (``bits <= 4`` selects the packed 4-bit engine).
+    ``max_cell_fraction`` caps coarse-cell occupancy on both clustered
+    engines (see :mod:`repro.core.knobs`); the native-kernel mode is
+    process-global (``repro.core.kernels.set_native_kernels_mode``).
     The exact engine is always measured — it is the accuracy baseline.
     """
     rows: List[ScalingRow] = []
@@ -152,7 +163,9 @@ def measure_index_scaling(
 
         exact_ids: Optional[np.ndarray] = None
         for kind in engines:
-            engine = _build_engine(kind, n, n_probe, rerank, n_subspaces, bits, opq, n_cells)
+            engine = _build_engine(
+                kind, n, n_probe, rerank, n_subspaces, bits, opq, n_cells, max_cell_fraction
+            )
             engine.rebuild(vectors)
             elapsed = _time_search(engine, vectors, queries, k_eff, repeats)
             _, ids = engine.search(vectors, queries, k_eff)

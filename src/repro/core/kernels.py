@@ -1,0 +1,480 @@
+"""Optional fused C kernels for the IVF-PQ ADC scan and streaming top-k.
+
+The IVF-PQ hot loop — gather per-candidate LUT entries, accumulate, select
+the ``n_select`` best per query — is interpreter-bound in NumPy: the scan
+materialises a flat candidate buffer (ids, gathered codes, int32 gather
+indices, per-candidate sums) whose size is the total number of probed
+candidates, then runs ``argpartition`` over each query's segment.  This
+module fuses the whole pass into C, compiled on first use with the system
+compiler and loaded through :mod:`ctypes` (the same discipline as
+:mod:`repro.nn.kernels`):
+
+* ``adc_scan_block_packed`` — blocked nibble scan over the per-subspace
+  transposed code layout: unpacks two 4-bit codes per byte and gathers
+  from the per-query uint8-quantized LUT in one pass, accumulating into
+  uint32 partial sums.
+* ``adc_scan_block_u8`` — the fused LUT-gather+accumulate for the 8-bit
+  path (uint8 codes -> uint32 partial sums; the float32 scale/bias
+  reconstruction that follows is byte-for-byte the NumPy math).
+* ``ivfpq_search_topk`` — the streaming driver: walks each query's probed
+  cells block by block through the scanners above and pushes every
+  candidate into a bounded max-heap ordered by ``(distance, id)``, so peak
+  scan memory is ``O(block + n_select)`` — independent of how many
+  candidates the probes cover — and the full candidate buffer is never
+  materialised.
+
+Results are **bitwise identical** to the NumPy fallback in
+:meth:`repro.core.index.IVFPQIndex._adc_select`: both paths gather from
+the same uint8-quantized LUT (integer sums are order-independent), apply
+the float32 scale/bias reconstruction in the same operation order
+(``-ffp-contract=off`` keeps the compiler from fusing it into FMAs), and
+select the ``n_select`` smallest ``(distance, id)`` pairs under the same
+total order.
+
+No new dependency: when no compiler is available or the build fails,
+:func:`ivfpq_kernels` returns ``None`` and the index runs its NumPy scan.
+Compiled objects are cached outside the source tree (see
+:mod:`repro.kernel_cache`), keyed by a hash of the C source and the host
+CPU.  The ``native_kernels`` knob (``auto`` / ``on`` / ``off``) is
+process-global through :func:`set_native_kernels_mode` (exported via the
+``REPRO_NATIVE_KERNELS`` environment variable so serving worker processes
+inherit it) and per-index through ``IVFPQIndex(native_kernels=...)``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kernel_cache import kernel_cache_dir
+
+_C_SOURCE = r"""
+/* Fused ADC scan + streaming top-k for the IVF-PQ engine.
+
+   Code layout: codes_t is the (code_width, N) transpose of the stored
+   code rows, reordered cell-major (column i holds the codes of the
+   reference listed in members[i]), so one cell's candidates are a
+   contiguous column range and each subspace row streams sequentially.
+   lut is the per-query uint8-quantized table, (m, k_sub) row-major per
+   query.  All float arithmetic must stay plain float32 adds/mults in
+   source order: the Python side compiles with -ffp-contract=off so the
+   results match the NumPy scan bit for bit. */
+
+#include <stdlib.h>
+
+#define BLOCK 512
+
+void adc_scan_block_packed(long n_rows, long m, long k_sub, long stride,
+                           const unsigned char *codes,
+                           const unsigned char *lut,
+                           unsigned int *sums)
+{
+    /* codes points at the block's first column inside the (cw, stride)
+       transposed layout; subspace j lives in byte row j/2 — even j in the
+       low nibble, odd j in the high nibble. */
+    long cw = (m + 1) / 2;
+    for (long i = 0; i < n_rows; ++i)
+        sums[i] = 0u;
+    for (long jj = 0; jj < cw; ++jj) {
+        const unsigned char *row = codes + jj * stride;
+        const unsigned char *lo = lut + (2 * jj) * k_sub;
+        if (2 * jj + 1 < m) {
+            const unsigned char *hi = lo + k_sub;
+            for (long i = 0; i < n_rows; ++i) {
+                unsigned char byte = row[i];
+                sums[i] += (unsigned int)lo[byte & 0x0F] + (unsigned int)hi[byte >> 4];
+            }
+        } else {
+            for (long i = 0; i < n_rows; ++i)
+                sums[i] += (unsigned int)lo[row[i] & 0x0F];
+        }
+    }
+}
+
+void adc_scan_block_u8(long n_rows, long m, long k_sub, long stride,
+                       const unsigned char *codes,
+                       const unsigned char *lut,
+                       unsigned int *sums)
+{
+    for (long i = 0; i < n_rows; ++i)
+        sums[i] = 0u;
+    for (long j = 0; j < m; ++j) {
+        const unsigned char *row = codes + j * stride;
+        const unsigned char *lutj = lut + j * k_sub;
+        for (long i = 0; i < n_rows; ++i)
+            sums[i] += (unsigned int)lutj[row[i]];
+    }
+}
+
+typedef struct { float d; long id; } pair_t;
+
+static int pair_gt(float da, long ia, float db, long ib)
+{
+    /* Total order by (distance, id): the heap root is the worst kept
+       candidate, matching NumPy's lexsort((ids, distances)) order. */
+    return da > db || (da == db && ia > ib);
+}
+
+static void sift_down(pair_t *heap, long size, long pos)
+{
+    for (;;) {
+        long left = 2 * pos + 1;
+        long right = left + 1;
+        long largest = pos;
+        if (left < size && pair_gt(heap[left].d, heap[left].id,
+                                   heap[largest].d, heap[largest].id))
+            largest = left;
+        if (right < size && pair_gt(heap[right].d, heap[right].id,
+                                    heap[largest].d, heap[largest].id))
+            largest = right;
+        if (largest == pos)
+            return;
+        pair_t tmp = heap[pos];
+        heap[pos] = heap[largest];
+        heap[largest] = tmp;
+        pos = largest;
+    }
+}
+
+int ivfpq_search_topk(long n_queries, long n_probe, long m, long k_sub,
+                      long packed, long n_select, long n_rows,
+                      const unsigned char *lut, const float *scale,
+                      const float *bias, const float *coarse,
+                      const long *probe, const long *cell_starts,
+                      const long *members, const float *consts,
+                      const unsigned char *codes_t,
+                      long *out_ids, float *out_d, long *out_counts)
+{
+    pair_t *heap = (pair_t *)malloc((size_t)n_select * sizeof(pair_t));
+    unsigned int sums[BLOCK];
+    if (heap == NULL)
+        return 1;
+    float mf = (float)m;
+    for (long q = 0; q < n_queries; ++q) {
+        long size = 0;
+        const unsigned char *lutq = lut + q * m * k_sub;
+        float sq = scale[q];
+        float bq = bias[q];
+        for (long p = 0; p < n_probe; ++p) {
+            long cell = probe[q * n_probe + p];
+            float base = coarse[q * n_probe + p];
+            long end = cell_starts[cell + 1];
+            for (long bs = cell_starts[cell]; bs < end; bs += BLOCK) {
+                long bn = (end - bs < BLOCK) ? end - bs : BLOCK;
+                if (packed)
+                    adc_scan_block_packed(bn, m, k_sub, n_rows, codes_t + bs, lutq, sums);
+                else
+                    adc_scan_block_u8(bn, m, k_sub, n_rows, codes_t + bs, lutq, sums);
+                for (long i = 0; i < bn; ++i) {
+                    /* adc = (coarse + const) - 2 (scale sum + m bias),
+                       float32 in exactly NumPy's operation order. */
+                    float a = base + consts[bs + i];
+                    a -= 2.0f * (sq * (float)sums[i] + mf * bq);
+                    long id = members[bs + i];
+                    if (size < n_select) {
+                        long pos = size++;
+                        heap[pos].d = a;
+                        heap[pos].id = id;
+                        while (pos > 0) {
+                            long parent = (pos - 1) / 2;
+                            if (pair_gt(heap[pos].d, heap[pos].id,
+                                        heap[parent].d, heap[parent].id)) {
+                                pair_t tmp = heap[pos];
+                                heap[pos] = heap[parent];
+                                heap[parent] = tmp;
+                                pos = parent;
+                            } else {
+                                break;
+                            }
+                        }
+                    } else if (pair_gt(heap[0].d, heap[0].id, a, id)) {
+                        heap[0].d = a;
+                        heap[0].id = id;
+                        sift_down(heap, n_select, 0);
+                    }
+                }
+            }
+        }
+        /* Heap-sort the survivors ascending by (distance, id). */
+        out_counts[q] = size;
+        long *ids_row = out_ids + q * n_select;
+        float *d_row = out_d + q * n_select;
+        long remaining = size;
+        while (remaining > 0) {
+            pair_t worst = heap[0];
+            heap[0] = heap[remaining - 1];
+            --remaining;
+            sift_down(heap, remaining, 0);
+            d_row[remaining] = worst.d;
+            ids_row[remaining] = worst.id;
+        }
+    }
+    free(heap);
+    return 0;
+}
+"""
+
+#: -ffp-contract=off: the scale/bias reconstruction must round after every
+#: float32 operation exactly like NumPy — a fused multiply-add would keep
+#: the intermediate product exact and (rarely) flip the last ulp, breaking
+#: the bitwise-identity contract with the fallback scan.
+_CFLAGS = ["-O3", "-march=native", "-ffp-contract=off", "-shared", "-fPIC"]
+
+_MODES = ("auto", "on", "off")
+_MODE_ENV = "REPRO_NATIVE_KERNELS"
+
+_cached: Optional["IVFPQKernels"] = None
+_build_attempted = False
+
+
+def _host_fingerprint() -> str:
+    """Identify the CPU the kernel is compiled for (``-march=native`` code
+    would SIGILL on a host without the same ISA extensions, so the cache
+    key must change when the cache directory moves between machines)."""
+    try:
+        with open("/proc/cpuinfo") as cpuinfo:
+            for line in cpuinfo:
+                if line.startswith("flags"):
+                    return line
+    except OSError:
+        pass
+    import platform
+
+    return f"{platform.machine()}-{platform.processor()}"
+
+
+def source_key() -> str:
+    """Hash of the C source + host CPU: the ``.so`` cache key, also
+    recorded in benchmark provenance headers so artifacts from different
+    kernel versions are distinguishable."""
+    return hashlib.sha256((_C_SOURCE + "\0" + _host_fingerprint()).encode()).hexdigest()[:16]
+
+
+def _build_library() -> Optional[ctypes.CDLL]:
+    cache_dir = kernel_cache_dir()
+    lib_path = cache_dir / f"_ivfpq_kernel_{source_key()}.so"
+    if not lib_path.exists():
+        compiler = os.environ.get("CC", "cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            c_file = Path(tmp) / "ivfpq_kernel.c"
+            c_file.write_text(_C_SOURCE)
+            # Compile straight into the cache directory (a cross-device
+            # rename out of the temp dir would fail), then rename
+            # atomically so concurrent builders cannot race.
+            tmp_so = cache_dir / f".build-{os.getpid()}-{source_key()}.so"
+            result = subprocess.run(
+                [compiler, *_CFLAGS, "-o", str(tmp_so), str(c_file)],
+                capture_output=True,
+                timeout=120,
+            )
+            if result.returncode != 0:
+                return None
+            os.replace(tmp_so, lib_path)
+    library = ctypes.CDLL(str(lib_path))
+    c_long = ctypes.c_long
+    u8p = ctypes.POINTER(ctypes.c_ubyte)
+    u32p = ctypes.POINTER(ctypes.c_uint)
+    f32p = ctypes.POINTER(ctypes.c_float)
+    i64p = ctypes.POINTER(ctypes.c_long)
+    for name in ("adc_scan_block_packed", "adc_scan_block_u8"):
+        fn = getattr(library, name)
+        fn.argtypes = [c_long, c_long, c_long, c_long, u8p, u8p, u32p]
+        fn.restype = None
+    library.ivfpq_search_topk.argtypes = (
+        [c_long] * 7
+        + [u8p, f32p, f32p, f32p, i64p, i64p, i64p, f32p, u8p]
+        + [i64p, f32p, i64p]
+    )
+    library.ivfpq_search_topk.restype = ctypes.c_int
+    return library
+
+
+def _u8(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte))
+
+
+def _f32(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_float))
+
+
+def _i64(array: np.ndarray):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_long))
+
+
+class IVFPQKernels:
+    """ctypes wrappers around the fused ADC scan + top-k kernels."""
+
+    def __init__(self, library: ctypes.CDLL) -> None:
+        self._lib = library
+
+    def search_topk(
+        self,
+        *,
+        lut_u8: np.ndarray,
+        scale: np.ndarray,
+        bias: np.ndarray,
+        coarse: np.ndarray,
+        probe: np.ndarray,
+        cell_starts: np.ndarray,
+        members: np.ndarray,
+        consts: np.ndarray,
+        codes_t: np.ndarray,
+        packed: bool,
+        n_select: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Streaming ADC scan + per-query top-``n_select``.
+
+        Every array must be C-contiguous in the documented dtype (uint8
+        LUT/codes, float32 coarse/scale/bias/consts, int64 everything
+        else); ``codes_t`` is the cell-major ``(code_width, N)`` transpose
+        whose columns follow ``members``.  Returns ``(distances, ids,
+        counts)`` — rows are ascending ``(distance, id)``, ``counts[q]``
+        entries valid.
+        """
+        n_queries, n_probe = probe.shape
+        n_queries_l, m, k_sub = lut_u8.shape
+        assert n_queries_l == n_queries
+        out_ids = np.empty((n_queries, n_select), dtype=np.int64)
+        out_d = np.empty((n_queries, n_select), dtype=np.float32)
+        out_counts = np.empty(n_queries, dtype=np.int64)
+        status = self._lib.ivfpq_search_topk(
+            n_queries,
+            n_probe,
+            m,
+            k_sub,
+            1 if packed else 0,
+            n_select,
+            members.shape[0],
+            _u8(lut_u8),
+            _f32(scale),
+            _f32(bias),
+            _f32(coarse),
+            _i64(probe),
+            _i64(cell_starts),
+            _i64(members),
+            _f32(consts),
+            _u8(codes_t),
+            _i64(out_ids),
+            _f32(out_d),
+            _i64(out_counts),
+        )
+        if status != 0:
+            raise MemoryError("ivfpq_search_topk could not allocate its top-k heap")
+        return out_d, out_ids, out_counts
+
+    def scan_sums(
+        self,
+        codes_t: np.ndarray,
+        lut_row: np.ndarray,
+        *,
+        packed: bool,
+        start: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Raw blocked scan over ``count`` columns of the transposed code
+        layout for one query's ``(m, k_sub)`` LUT — the uint32 partial
+        sums before scale/bias reconstruction.  Exposed for the
+        throughput benchmark and the kernel unit tests."""
+        stride = codes_t.shape[1]
+        count = stride - start if count is None else count
+        m, k_sub = lut_row.shape
+        sums = np.empty(count, dtype=np.uint32)
+        fn = self._lib.adc_scan_block_packed if packed else self._lib.adc_scan_block_u8
+        base = ctypes.cast(codes_t.ctypes.data + start, ctypes.POINTER(ctypes.c_ubyte))
+        fn(
+            count,
+            m,
+            k_sub,
+            stride,
+            base,
+            _u8(lut_row),
+            sums.ctypes.data_as(ctypes.POINTER(ctypes.c_uint)),
+        )
+        return sums
+
+
+def ivfpq_kernels() -> Optional[IVFPQKernels]:
+    """The compiled kernels, or ``None`` when unavailable (NumPy fallback).
+
+    The first call compiles (or loads the cached ``.so``); failures of any
+    kind — no compiler, unwritable cache, bad toolchain — latch to ``None``
+    for the rest of the process.  ``REPRO_DISABLE_KERNELS`` disables the
+    build entirely, mirroring :func:`repro.nn.kernels.lstm_kernels`.
+    """
+    global _cached, _build_attempted
+    if _build_attempted:
+        return _cached
+    _build_attempted = True
+    if os.environ.get("REPRO_DISABLE_KERNELS"):
+        return None
+    try:
+        library = _build_library()
+    except Exception:
+        library = None
+    _cached = IVFPQKernels(library) if library is not None else None
+    return _cached
+
+
+def set_native_kernels_mode(mode: str) -> None:
+    """Set the process-global native-kernel mode (the CLI's
+    ``--native-kernels`` flag): ``auto`` defers to each index's own
+    setting, ``on`` requires the kernels (searches raise if the build
+    fails), ``off`` forces the NumPy path everywhere.  Exported through
+    ``REPRO_NATIVE_KERNELS`` so spawned serving workers inherit it."""
+    if mode not in _MODES:
+        raise ValueError(f"unknown native-kernels mode {mode!r}; expected one of {_MODES}")
+    os.environ[_MODE_ENV] = mode
+
+
+def native_kernels_mode() -> str:
+    """The process-global mode (``auto`` when unset or unrecognised)."""
+    mode = os.environ.get(_MODE_ENV, "auto")
+    return mode if mode in _MODES else "auto"
+
+
+def resolve_mode(index_mode: str) -> str:
+    """Combine the process-global mode with one index's knob.
+
+    ``off`` anywhere wins (never dispatch), then ``on`` anywhere
+    (require), else ``auto`` (use when the build succeeds).
+    """
+    if index_mode not in _MODES:
+        raise ValueError(f"unknown native-kernels mode {index_mode!r}; expected one of {_MODES}")
+    global_mode = native_kernels_mode()
+    if "off" in (global_mode, index_mode):
+        return "off"
+    if "on" in (global_mode, index_mode):
+        return "on"
+    return "auto"
+
+
+def kernel_status() -> Dict[str, object]:
+    """Observable kernel state for ``info``/stats endpoints and benchmark
+    provenance: the effective mode, whether a compiler is on PATH, whether
+    the kernels actually loaded, the source hash and the cache directory.
+    """
+    mode = native_kernels_mode()
+    compiler = os.environ.get("CC", "cc")
+    active = False
+    if mode != "off" and not os.environ.get("REPRO_DISABLE_KERNELS"):
+        active = ivfpq_kernels() is not None
+    try:
+        cache = str(kernel_cache_dir())
+    except OSError:
+        cache = None
+    return {
+        "mode": mode,
+        "compiler": compiler,
+        "compiler_available": shutil.which(compiler) is not None,
+        "active": active,
+        "source_hash": source_key(),
+        "cache_dir": cache,
+    }

@@ -83,6 +83,8 @@ def experiment_index_factory(
     bits: int = 8,
     opq: bool = False,
     rerank: int = 64,
+    native_kernels: str = "auto",
+    max_cell_fraction: Optional[float] = None,
 ) -> Callable[[], NearestNeighbourIndex]:
     """Index factory for the experiment runners (``--index`` on the CLI).
 
@@ -93,7 +95,9 @@ def experiment_index_factory(
     uint8 codes shrink resident reference memory ~16-32x on top of that
     (``n_subspaces``/``bits`` size the codes — ``bits <= 4`` packs two per
     byte, ``opq`` adds the learned rotation, ``rerank`` exact-rescores the
-    top ADC candidates).
+    top ADC candidates).  ``native_kernels`` picks the fused C ADC-scan
+    path per index and ``max_cell_fraction`` caps coarse-cell occupancy
+    on the clustered engines (see :mod:`repro.core.knobs`).
     """
     if index_kind not in INDEX_KINDS:
         raise ValueError(f"unknown index kind {index_kind!r}; expected one of {INDEX_KINDS}")
@@ -109,9 +113,13 @@ def experiment_index_factory(
             opq=opq,
             rerank=rerank,
             metric=metric,
+            native_kernels=native_kernels,
+            max_cell_fraction=max_cell_fraction,
         )
     probe = n_probe if n_probe is not None else 8
-    return lambda: CoarseQuantizedIndex(n_cells=n_cells, n_probe=probe, metric=metric)
+    return lambda: CoarseQuantizedIndex(
+        n_cells=n_cells, n_probe=probe, metric=metric, max_cell_fraction=max_cell_fraction
+    )
 
 
 @dataclass
@@ -142,6 +150,8 @@ class ExperimentContext:
         bits: int = 8,
         opq: bool = False,
         rerank: int = 64,
+        native_kernels: str = "auto",
+        max_cell_fraction: Optional[float] = None,
     ) -> "ExperimentContext":
         """Build datasets, the Figure-5 split and the provisioned model.
 
@@ -149,7 +159,8 @@ class ExperimentContext:
         every reference store of the shared fingerprinter uses, so the CLI
         experiment runners can run paper-scale sweeps on the IVF index;
         ``n_subspaces``/``bits``/``opq``/``rerank`` size the IVF-PQ codes
-        when ``index_kind == "ivfpq"``.
+        when ``index_kind == "ivfpq"``; ``native_kernels``/
+        ``max_cell_fraction`` pass through to the same engines.
         """
         if isinstance(scale, str):
             scale = get_scale(scale)
@@ -211,6 +222,8 @@ class ExperimentContext:
                 bits=bits,
                 opq=opq,
                 rerank=rerank,
+                native_kernels=native_kernels,
+                max_cell_fraction=max_cell_fraction,
             ),
         )
         history = fingerprinter.provision(wiki_split.set_a)

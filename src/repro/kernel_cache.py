@@ -1,0 +1,45 @@
+"""Where compiled kernel objects live: a cache directory *outside* the tree.
+
+Both kernel modules (:mod:`repro.nn.kernels` and :mod:`repro.core.kernels`)
+compile a C source string on first use and cache the resulting shared
+object keyed by a hash of the source and the host CPU.  Early versions
+cached the ``.so`` next to the module file, which meant build artifacts
+landed inside the (git-tracked) source tree — one even got committed.
+This helper gives both modules one out-of-tree location:
+
+1. ``$REPRO_KERNEL_CACHE`` when set (tests point it at a temp dir),
+2. ``$XDG_CACHE_HOME/repro/kernels`` or ``~/.cache/repro/kernels``,
+3. a per-user directory under the system temp dir as a last resort
+   (e.g. read-only home directories in hardened containers).
+
+The directory is created on first call; if nothing is writable the caller
+sees the ``OSError`` and falls back to its NumPy path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["kernel_cache_dir"]
+
+
+def kernel_cache_dir() -> Path:
+    """The writable directory compiled kernel ``.so`` files are cached in."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        path = Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    path = base / "repro" / "kernels"
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    except OSError:
+        pass
+    path = Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -13,8 +13,10 @@ LSTM layer falls back to the equivalent NumPy implementation.  The kernels
 are numerically the same computation (IEEE semantics, no -ffast-math);
 only the operation fusion differs.
 
-The shared object is cached next to this file, keyed by a hash of the C
-source, so each machine compiles at most once per kernel version.
+The shared object is cached outside the source tree (see
+:mod:`repro.kernel_cache`), keyed by a hash of the C source and the host
+CPU, so each machine compiles at most once per kernel version and build
+artifacts never land in the git-tracked tree.
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ from pathlib import Path
 from typing import Optional
 
 import numpy as np
+
+from repro.kernel_cache import kernel_cache_dir
 
 _C_SOURCE = r"""
 /* Fused elementwise kernels for the tanh-domain LSTM cell.
@@ -127,13 +131,17 @@ def _host_fingerprint() -> str:
 
 def _build_library() -> Optional[ctypes.CDLL]:
     key = hashlib.sha256((_C_SOURCE + "\0" + _host_fingerprint()).encode()).hexdigest()[:16]
-    lib_path = Path(__file__).with_name(f"_lstm_kernel_{key}.so")
+    cache_dir = kernel_cache_dir()
+    lib_path = cache_dir / f"_lstm_kernel_{key}.so"
     if not lib_path.exists():
         compiler = os.environ.get("CC", "cc")
         with tempfile.TemporaryDirectory() as tmp:
             c_file = Path(tmp) / "lstm_kernel.c"
             c_file.write_text(_C_SOURCE)
-            tmp_so = Path(tmp) / "lstm_kernel.so"
+            # Compile straight into the cache directory (a cross-device
+            # rename out of the temp dir would fail), then rename
+            # atomically so concurrent builders cannot race.
+            tmp_so = cache_dir / f".build-{os.getpid()}-{key}.so"
             result = subprocess.run(
                 [compiler, *_CFLAGS, "-o", str(tmp_so), str(c_file)],
                 capture_output=True,
@@ -141,7 +149,6 @@ def _build_library() -> Optional[ctypes.CDLL]:
             )
             if result.returncode != 0:
                 return None
-            # Atomic move so concurrent builders cannot race.
             os.replace(tmp_so, lib_path)
     library = ctypes.CDLL(str(lib_path))
     c_long = ctypes.c_long

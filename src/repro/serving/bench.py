@@ -86,14 +86,28 @@ def _replay(
     return result, scheduler.stats
 
 
-def _shard_index_factory(index_kind: str, rerank: int, *, bits: int = 8, opq: bool = False):
+def _shard_index_factory(
+    index_kind: str,
+    rerank: int,
+    *,
+    bits: int = 8,
+    opq: bool = False,
+    native_kernels: str = "auto",
+    max_cell_fraction: Optional[float] = None,
+):
     """Per-shard k-NN engine for the bench (engine defaults otherwise)."""
     if index_kind == "exact":
         return lambda: ExactIndex()
     if index_kind == "ivf":
-        return lambda: CoarseQuantizedIndex()
+        return lambda: CoarseQuantizedIndex(max_cell_fraction=max_cell_fraction)
     if index_kind == "ivfpq":
-        return lambda: IVFPQIndex(rerank=rerank, bits=bits, opq=opq)
+        return lambda: IVFPQIndex(
+            rerank=rerank,
+            bits=bits,
+            opq=opq,
+            native_kernels=native_kernels,
+            max_cell_fraction=max_cell_fraction,
+        )
     raise ValueError(f"index_kind must be one of 'exact', 'ivf', 'ivfpq', got {index_kind!r}")
 
 
@@ -116,6 +130,8 @@ def run_serving_bench(
     rerank: int = 0,
     bits: int = 8,
     opq: bool = False,
+    native_kernels: str = "auto",
+    max_cell_fraction: Optional[float] = None,
     storage_dtype: str = "float64",
     class_mix: str = "uniform",
     zipf_s: float = 1.2,
@@ -139,7 +155,14 @@ def run_serving_bench(
     corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
     flat = ReferenceStore(dim)
     flat.add(corpus, labels)
-    index_factory = _shard_index_factory(index_kind, rerank, bits=bits, opq=opq)
+    index_factory = _shard_index_factory(
+        index_kind,
+        rerank,
+        bits=bits,
+        opq=opq,
+        native_kernels=native_kernels,
+        max_cell_fraction=max_cell_fraction,
+    )
     config = ClassifierConfig(k=k)
     queries, is_unmonitored = open_world_mix(
         corpus,
@@ -266,12 +289,15 @@ def run_serving_bench(
         finally:
             shard_executor.close()
 
+    from repro.core.kernels import kernel_status
+
     snapshot = {
         "snapshot": "BENCH_2",
         "platform": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "native_kernels": kernel_status(),
         },
         "workload": {
             "n_references": n_references,
@@ -288,6 +314,8 @@ def run_serving_bench(
             "assignment": assignment,
             "index": index_kind,
             "rerank": rerank,
+            "native_kernels": native_kernels,
+            "max_cell_fraction": max_cell_fraction,
             "storage_dtype": storage_dtype,
             "class_mix": class_mix,
             "zipf_s": zipf_s if class_mix == "zipf" else None,
@@ -398,6 +426,8 @@ def run_frontend_bench(
     rerank: int = 0,
     bits: int = 8,
     opq: bool = False,
+    native_kernels: str = "auto",
+    max_cell_fraction: Optional[float] = None,
     storage_dtype: str = "float64",
     seed: int = 0,
     out: Optional[Path] = None,
@@ -437,7 +467,14 @@ def run_frontend_bench(
     corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
     flat = ReferenceStore(dim)
     flat.add(corpus, labels)
-    index_factory = _shard_index_factory(index_kind, rerank, bits=bits, opq=opq)
+    index_factory = _shard_index_factory(
+        index_kind,
+        rerank,
+        bits=bits,
+        opq=opq,
+        native_kernels=native_kernels,
+        max_cell_fraction=max_cell_fraction,
+    )
     config = ClassifierConfig(k=k)
     queries, is_unmonitored = open_world_mix(
         corpus,
@@ -512,6 +549,8 @@ def run_frontend_bench(
 
     one = sections[str(replica_counts[0])]["network"]["throughput_qps"]
     cpu_count = os.cpu_count() or 1
+    from repro.core.kernels import kernel_status
+
     snapshot = {
         "snapshot": "BENCH_4",
         "platform": {
@@ -519,6 +558,7 @@ def run_frontend_bench(
             "numpy": np.__version__,
             "machine": platform.machine(),
             "cpu_count": cpu_count,
+            "native_kernels": kernel_status(),
         },
         "workload": {
             "n_references": n_references,
@@ -543,6 +583,8 @@ def run_frontend_bench(
             "assignment": assignment,
             "index": index_kind,
             "rerank": rerank,
+            "native_kernels": native_kernels,
+            "max_cell_fraction": max_cell_fraction,
             "storage_dtype": storage_dtype,
             "transport": "tcp",
         },

@@ -325,13 +325,14 @@ class FrontendServer:
         if op == "ping":
             return protocol.encode_json(protocol.CONTROL, {"ok": True})
         if op == "stats":
-            return protocol.encode_json(
-                protocol.CONTROL,
-                {
-                    "frontend": self.stats.as_dict(),
-                    "scheduler": self.scheduler.stats.as_dict(),
-                },
-            )
+            stats: Dict = {
+                "frontend": self.stats.as_dict(),
+                "scheduler": self.scheduler.stats.as_dict(),
+            }
+            store = self._store()
+            if store is not None:
+                stats["native_kernels"] = store.kernel_status()
+            return protocol.encode_json(protocol.CONTROL, stats)
         if op == "info":
             store = self._store()
             info: Dict = {"ok": True}
@@ -345,6 +346,8 @@ class FrontendServer:
                     shard_sizes=store.shard_sizes(),
                     drift_ratio=float(store.drift_ratio()),
                     retrain_needed=bool(store.retrain_needed()),
+                    index_spec=store.index_spec(),
+                    native_kernels=store.kernel_status(),
                 )
                 replicas = getattr(store.executor, "n_replicas", None)
                 if replicas is not None:

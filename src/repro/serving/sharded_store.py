@@ -897,6 +897,27 @@ class ShardedReferenceStore:
         """
         return self._shards[0].store.index.spec()
 
+    def kernel_status(self) -> Dict[str, object]:
+        """Native ADC-kernel status of the scan path the shards run.
+
+        Merges the process-global compiler/build state
+        (:func:`repro.core.kernels.kernel_status`) with the per-index
+        ``native_kernels`` mode from the shard spec, so ``repro serve``
+        operators can see from ``info``/``stats`` whether queries actually
+        hit the fused C scan or the NumPy fallback.  Worker processes
+        inherit the mode through the environment, so the front-end
+        process's view is authoritative for the whole replica set.
+        """
+        from repro.core.kernels import kernel_status, resolve_mode
+
+        status = dict(kernel_status())
+        index_mode = self.index_spec().get("native_kernels")
+        if index_mode is not None:
+            status["index_mode"] = index_mode
+            status["resolved_mode"] = resolve_mode(str(index_mode))
+            status["active"] = bool(status["active"]) and status["resolved_mode"] != "off"
+        return status
+
     def shard_sizes(self) -> List[int]:
         """Row count per shard (the rebalance trigger reads the spread)."""
         return [len(shard.store) for shard in self._shards]

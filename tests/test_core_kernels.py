@@ -1,0 +1,363 @@
+"""Native ADC-scan kernel contract: bitwise parity, fallback, knobs.
+
+The fused C kernels (:mod:`repro.core.kernels`) are an *optional*
+acceleration of the IVF-PQ scan, so the contract under test is strict:
+
+* kernels-on and kernels-off searches return **bitwise identical**
+  ``(distances, ids)`` — across bit widths, OPQ, uneven subspace dims,
+  degenerate probes, ``k`` larger than the probed candidates, and after
+  add/remove churn invalidates the transposed scan layout;
+* the raw blocked scanners reproduce the NumPy uint32 LUT sums exactly;
+* without a working compiler everything still runs on the NumPy path
+  (exercised in a subprocess with ``CC=/bin/false`` and a fresh cache,
+  because the build result latches process-wide), and
+  ``native_kernels="on"`` raises instead of silently degrading;
+* the ``auto``/``on``/``off`` mode lattice (process-global env knob x
+  per-index knob) resolves with ``off`` winning, then ``on``;
+* ``max_cell_fraction`` (the skew knob that rides along with the scan
+  work) actually caps coarse-cell occupancy on both clustered engines.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kern
+from repro.core.index import (
+    CoarseQuantizedIndex,
+    ExactIndex,
+    IVFPQIndex,
+    index_from_spec,
+)
+from repro.core.index_bench import clustered_corpus
+from repro.kernel_cache import kernel_cache_dir
+
+KERNELS = kern.ivfpq_kernels()
+needs_kernels = pytest.mark.skipif(
+    KERNELS is None, reason="no system C compiler / kernel build failed"
+)
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def corpus(n=4000, dim=24, seed=1):
+    return clustered_corpus(n, dim, n_clusters=max(8, n // 50), seed=seed)
+
+
+def queries_near(vectors, n_queries=48, seed=2, noise=0.1):
+    rng = np.random.default_rng(seed)
+    picks = vectors[rng.choice(vectors.shape[0], n_queries, replace=False)]
+    return picks + noise * rng.standard_normal(picks.shape)
+
+
+def search_both_ways(index, vectors, queries, k):
+    """Search with the native kernels forced on and forced off; assert the
+    results are bitwise identical and return them."""
+    index.native_kernels = "off"
+    d_off, i_off = index.search(vectors, queries, k)
+    index.native_kernels = "on"
+    d_on, i_on = index.search(vectors, queries, k)
+    index.native_kernels = "auto"
+    np.testing.assert_array_equal(i_on, i_off)
+    np.testing.assert_array_equal(d_on, d_off)
+    return d_on, i_on
+
+
+# ------------------------------------------------------------- bitwise parity
+@needs_kernels
+@pytest.mark.parametrize(
+    "bits,opq,rerank",
+    [(4, False, 0), (4, True, 64), (8, False, 0), (8, True, 64)],
+)
+def test_native_scan_bitwise_identical(bits, opq, rerank):
+    vectors = corpus()
+    queries = queries_near(vectors)
+    index = IVFPQIndex(bits=bits, opq=opq, rerank=rerank, min_train_size=256)
+    index.rebuild(vectors)
+    search_both_ways(index, vectors, queries, k=10)
+
+
+@needs_kernels
+@pytest.mark.parametrize("bits", [4, 8])
+def test_native_scan_uneven_subspaces(bits):
+    # dim=30 with m=7 subspaces: subspace dims 5/5/4/4/4/4/4, and for the
+    # packed engine an odd m leaves a half-used last byte the scanner must
+    # not read past.
+    vectors = corpus(n=2500, dim=30)
+    queries = queries_near(vectors, n_queries=32)
+    index = IVFPQIndex(bits=bits, n_subspaces=7, rerank=0, min_train_size=256)
+    index.rebuild(vectors)
+    search_both_ways(index, vectors, queries, k=12)
+
+
+@needs_kernels
+def test_native_scan_short_probe_and_k_exceeding_candidates():
+    # n_probe=1 on a small corpus: some queries see fewer candidates than
+    # k, so both paths must agree on the short result rows too.
+    vectors = corpus(n=400, dim=12)
+    queries = queries_near(vectors, n_queries=16)
+    index = IVFPQIndex(
+        n_cells=16, n_probe=1, rerank=0, min_train_size=64
+    )
+    index.rebuild(vectors)
+    d, ids = search_both_ways(index, vectors, queries, k=60)
+    assert ids.shape[0] == queries.shape[0]
+
+
+@needs_kernels
+def test_native_scan_full_probe():
+    vectors = corpus(n=1500, dim=16)
+    queries = queries_near(vectors, n_queries=24)
+    index = IVFPQIndex(n_probe=10**6, rerank=0, min_train_size=64)
+    index.rebuild(vectors)
+    search_both_ways(index, vectors, queries, k=10)
+
+
+@needs_kernels
+@pytest.mark.parametrize("bits", [4, 8])
+def test_native_scan_survives_add_remove_churn(bits):
+    # The transposed cell-major code layout is a lazy cache; add/remove
+    # must invalidate it, and the rebuilt layout must stay bitwise-parity
+    # with the NumPy scan.
+    rng = np.random.default_rng(7)
+    vectors = corpus(n=3000, dim=16, seed=5)
+    queries = queries_near(vectors, n_queries=32, seed=6)
+    index = IVFPQIndex(bits=bits, rerank=0, min_train_size=256)
+    index.rebuild(vectors)
+    search_both_ways(index, vectors, queries, k=10)  # builds the layout
+
+    extra = vectors[:200] + 0.3 * rng.standard_normal((200, vectors.shape[1]))
+    grown = np.vstack([vectors, extra])
+    index.add(grown, extra.shape[0])
+    kept = np.ones(grown.shape[0], dtype=bool)
+    kept[50:150] = False
+    index.remove(kept)
+    search_both_ways(index, grown[kept], queries, k=10)
+
+
+@needs_kernels
+@pytest.mark.parametrize("bits", [4, 8])
+def test_raw_scan_sums_match_numpy(bits):
+    vectors = corpus(n=1200, dim=16, seed=9)
+    queries = queries_near(vectors, n_queries=4, seed=10)
+    index = IVFPQIndex(bits=bits, rerank=0, min_train_size=128)
+    index.rebuild(vectors)
+    lut_u8, _, _ = index.pq.quantized_query_tables(queries)
+    _, members, _, codes_t = index._scan_layout()
+
+    packed = bits <= 4
+    rows = index._code_buffer[: index._n][members]
+    codes = index.pq.unpack_codes(rows) if packed else rows
+    expected = (
+        lut_u8[0][np.arange(index.pq.n_subspaces), codes.astype(np.int64)]
+        .sum(axis=1, dtype=np.uint32)
+    )
+    sums = KERNELS.scan_sums(codes_t, lut_u8[0], packed=packed)
+    np.testing.assert_array_equal(sums, expected)
+    # A windowed scan must see the same columns.
+    window = KERNELS.scan_sums(codes_t, lut_u8[0], packed=packed, start=100, count=64)
+    np.testing.assert_array_equal(window, expected[100:164])
+
+
+# ------------------------------------------------------- fallback + mode knobs
+def test_forced_fallback_runs_numpy_path(tmp_path):
+    # CC=/bin/false + an empty cache directory: the build must fail, the
+    # failure must latch to the NumPy path (searches still work), and
+    # native_kernels="on" must raise instead of silently degrading.  A
+    # subprocess is required because ivfpq_kernels() latches per process.
+    code = "\n".join(
+        [
+            "import numpy as np",
+            "from repro.core.index import IVFPQIndex",
+            "from repro.core.index_bench import clustered_corpus",
+            "from repro.core.kernels import ivfpq_kernels, kernel_status",
+            "assert ivfpq_kernels() is None",
+            "status = kernel_status()",
+            "assert status['active'] is False",
+            "vectors = clustered_corpus(1200, 16, seed=3)",
+            "index = IVFPQIndex(min_train_size=64, rerank=0)",
+            "index.rebuild(vectors)",
+            "d, ids = index.search(None, vectors[:8], 5)",
+            "assert ids.shape == (8, 5)",
+            "on = IVFPQIndex(min_train_size=64, native_kernels='on')",
+            "on.rebuild(vectors)",
+            "try:",
+            "    on.search(vectors, vectors[:4], 5)",
+            "except RuntimeError:",
+            "    pass",
+            "else:",
+            "    raise AssertionError('native_kernels=on must raise without a compiler')",
+            "print('fallback-ok')",
+        ]
+    )
+    env = dict(os.environ)
+    env.update(CC="/bin/false", REPRO_KERNEL_CACHE=str(tmp_path / "kcache"))
+    env.pop("REPRO_NATIVE_KERNELS", None)
+    env.pop("REPRO_DISABLE_KERNELS", None)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True, timeout=300
+    )
+    assert result.returncode == 0, result.stderr
+    assert "fallback-ok" in result.stdout
+
+
+def test_native_on_raises_when_kernels_unavailable(monkeypatch):
+    monkeypatch.delenv("REPRO_NATIVE_KERNELS", raising=False)
+    monkeypatch.setattr(kern, "_build_attempted", True)
+    monkeypatch.setattr(kern, "_cached", None)
+    vectors = corpus(n=600, dim=12)
+    index = IVFPQIndex(native_kernels="on", min_train_size=64)
+    index.rebuild(vectors)
+    with pytest.raises(RuntimeError, match="native_kernels"):
+        index.search(vectors, vectors[:4], 5)
+
+
+def test_mode_resolution_lattice(monkeypatch):
+    monkeypatch.delenv("REPRO_NATIVE_KERNELS", raising=False)
+    assert kern.native_kernels_mode() == "auto"
+    assert kern.resolve_mode("auto") == "auto"
+    assert kern.resolve_mode("on") == "on"
+    assert kern.resolve_mode("off") == "off"
+
+    kern.set_native_kernels_mode("on")
+    assert kern.resolve_mode("auto") == "on"
+    assert kern.resolve_mode("off") == "off"  # off anywhere wins
+
+    kern.set_native_kernels_mode("off")
+    assert kern.resolve_mode("on") == "off"
+
+    monkeypatch.setenv("REPRO_NATIVE_KERNELS", "bogus")
+    assert kern.native_kernels_mode() == "auto"  # unrecognised -> auto
+    with pytest.raises(ValueError):
+        kern.set_native_kernels_mode("bogus")
+    with pytest.raises(ValueError):
+        kern.resolve_mode("bogus")
+
+
+def test_invalid_knobs_raise():
+    with pytest.raises(ValueError):
+        IVFPQIndex(native_kernels="sometimes")
+    with pytest.raises(ValueError):
+        IVFPQIndex(max_cell_fraction=0.0)
+    with pytest.raises(ValueError):
+        IVFPQIndex(max_cell_fraction=1.5)
+    with pytest.raises(ValueError):
+        CoarseQuantizedIndex(max_cell_fraction=-0.1)
+
+
+def test_kernel_status_shape(monkeypatch):
+    monkeypatch.delenv("REPRO_NATIVE_KERNELS", raising=False)
+    status = kern.kernel_status()
+    assert set(status) >= {
+        "mode", "compiler", "compiler_available", "active", "source_hash", "cache_dir"
+    }
+    assert status["mode"] == "auto"
+    assert isinstance(status["compiler_available"], bool)
+    assert len(status["source_hash"]) == 16
+    # Mode off reports inactive regardless of the build result.
+    monkeypatch.setenv("REPRO_NATIVE_KERNELS", "off")
+    assert kern.kernel_status()["active"] is False
+
+
+def test_kernel_cache_dir_override(monkeypatch, tmp_path):
+    target = tmp_path / "kernels-here"
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(target))
+    assert kernel_cache_dir() == target
+    assert target.is_dir()
+
+
+def test_no_build_artifacts_in_source_tree():
+    # The whole point of repro.kernel_cache: compiled objects never land in
+    # the git-tracked tree again (one .so got committed once).
+    assert not list(SRC_DIR.rglob("*.so"))
+
+
+# --------------------------------------------------------- max_cell_fraction
+def skewed_corpus(n=3000, dim=16, seed=0, hot_fraction=0.9):
+    """A corpus where one tight blob holds ``hot_fraction`` of all rows —
+    k-means reliably gives it a dominant cell without a cap."""
+    rng = np.random.default_rng(seed)
+    n_hot = int(n * hot_fraction)
+    hot = 0.05 * rng.standard_normal((n_hot, dim))
+    cold = 8.0 * rng.standard_normal((n - n_hot, dim)) + 25.0
+    return np.vstack([hot, cold])
+
+
+def cell_occupancy(index) -> np.ndarray:
+    if isinstance(index, IVFPQIndex):
+        assignments = index._assign_buffer[: index._n].astype(np.int64)
+    else:
+        assignments = index._assignments.astype(np.int64)
+    return np.bincount(assignments, minlength=index._centroids.shape[0])
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda frac: CoarseQuantizedIndex(
+            n_cells=16, n_probe=4, min_train_size=64, max_cell_fraction=frac
+        ),
+        lambda frac: IVFPQIndex(
+            n_cells=16, n_probe=4, rerank=32, min_train_size=64, max_cell_fraction=frac
+        ),
+    ],
+    ids=["ivf", "ivfpq"],
+)
+def test_max_cell_fraction_caps_skewed_occupancy(factory):
+    vectors = skewed_corpus()
+    n = vectors.shape[0]
+
+    uncapped = factory(None)
+    uncapped.rebuild(vectors)
+    cap = int(np.ceil(0.2 * n))
+    assert cell_occupancy(uncapped).max() > cap  # the corpus really is skewed
+
+    capped = factory(0.2)
+    capped.rebuild(vectors)
+    counts = cell_occupancy(capped)
+    assert counts.max() <= cap
+    assert counts.sum() == n  # every row still assigned somewhere
+
+    # The capped index still answers queries over the whole corpus.
+    queries = queries_near(vectors, n_queries=16, seed=3)
+    _, ids = capped.search(vectors, queries, 10)
+    assert ids.shape == (16, 10)
+    assert (ids >= 0).all()
+
+    # Churn keeps the (growing) cap enforced: append 300 more hot rows.
+    rng = np.random.default_rng(11)
+    fresh = 0.05 * rng.standard_normal((300, vectors.shape[1]))
+    capped.add(np.vstack([vectors, fresh]), fresh.shape[0])
+    grown_cap = int(np.ceil(0.2 * (n + 300)))
+    assert cell_occupancy(capped).max() <= grown_cap
+
+
+def test_max_cell_fraction_infeasible_cap_relaxes():
+    # f so small that n_cells * cap < N: the cap must relax to an even
+    # spread instead of dropping rows.
+    vectors = skewed_corpus(n=1000)
+    index = CoarseQuantizedIndex(
+        n_cells=4, n_probe=4, min_train_size=64, max_cell_fraction=0.01
+    )
+    index.rebuild(vectors)
+    counts = cell_occupancy(index)
+    assert counts.sum() == 1000
+    assert counts.max() <= int(np.ceil(1000 / 4))
+
+
+def test_knobs_survive_spec_roundtrip():
+    vectors = corpus(n=800, dim=12)
+    for index in (
+        CoarseQuantizedIndex(n_cells=8, min_train_size=64, max_cell_fraction=0.3),
+        IVFPQIndex(
+            n_cells=8, min_train_size=64, native_kernels="off", max_cell_fraction=0.25
+        ),
+    ):
+        index.rebuild(vectors)
+        clone = index_from_spec(index.spec())
+        assert clone.spec() == index.spec()
