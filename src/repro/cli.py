@@ -10,6 +10,8 @@ The subcommands cover the common workflows::
     python -m repro serve-bench              # serving layer -> BENCH_2.json
     python -m repro serve-bench --transport tcp --replicas 4   # -> BENCH_4.json
     python -m repro serve --port 7010        # TCP serving front-end
+    python -m repro serve --port 7010 --metrics-port 9110   # + Prometheus scrape
+    python -m repro stats 127.0.0.1:7010     # stats + metrics of a running server
     python -m repro requantize DIR --check   # drift report on a saved deployment
 
 Index-engine knob help (``--n-cells``/``--n-probe``/``--n-subspaces``/
@@ -168,6 +170,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=4096, help="LRU result-cache entries (0 disables)"
     )
     serve.add_argument("--seed", type=int, default=0, help="synthetic corpus seed")
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve Prometheus text exposition over HTTP on this port "
+             "(GET /metrics; 0 = ephemeral). The `metrics` control op works "
+             "either way.",
+    )
+    serve.add_argument(
+        "--trace-sample", type=int, default=0,
+        help="collect per-stage trace spans for 1-in-N queries (0 disables "
+             "sampling; the slow-query log stays on regardless)",
+    )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=250.0,
+        help="log any query slower than this many milliseconds (0 disables)",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="query a running `repro serve` front-end for stats and metrics",
+    )
+    stats.add_argument(
+        "target", help="HOST:PORT of a running front-end (e.g. 127.0.0.1:7010)"
+    )
+    stats.add_argument(
+        "--raw", action="store_true",
+        help="print the raw Prometheus exposition instead of the summary table",
+    )
 
     serve_bench = subparsers.add_parser(
         "serve-bench",
@@ -438,6 +467,7 @@ def _serve(arguments) -> int:
     from repro.config import ClassifierConfig
     from repro.core.index_bench import clustered_corpus
     from repro.core.reference_store import ReferenceStore
+    from repro.obs import MetricsHTTPServer, MetricsRegistry, Tracer
     from repro.serving import (
         BatchScheduler,
         DeploymentManager,
@@ -481,28 +511,50 @@ def _serve(arguments) -> int:
         ),
         ClassifierConfig(k=arguments.k),
     )
+    registry = MetricsRegistry()
+    tracer = Tracer(
+        registry,
+        sample_every=arguments.trace_sample,
+        slow_threshold_s=(
+            arguments.slow_query_ms / 1e3 if arguments.slow_query_ms > 0 else None
+        ),
+    )
+    manager.attach_metrics(registry)
     scheduler = BatchScheduler(
         manager,
         max_batch_size=arguments.batch_size,
         max_latency_s=arguments.max_latency_ms / 1e3,
         cache_size=arguments.cache_size,
         n_executors=arguments.replicas,
+        registry=registry,
+        tracer=tracer,
     )
     server = FrontendServer(
         scheduler, manager=manager, host=arguments.host, port=arguments.port
     )
+    metrics_server = (
+        MetricsHTTPServer(registry, host=arguments.host, port=arguments.metrics_port)
+        if arguments.metrics_port is not None
+        else None
+    )
     with scheduler, server:
+        metrics_note = (
+            f", metrics at {metrics_server.url()}" if metrics_server is not None else ""
+        )
         print(
             f"serving {len(flat)} references / {arguments.classes} classes on "
             f"{server.host}:{server.port} ({arguments.shards} shards, "
             f"{arguments.replicas} {arguments.executor} replica(s), "
-            f"index={arguments.index}); Ctrl-C to stop"
+            f"index={arguments.index}{metrics_note}); Ctrl-C to stop"
         )
         try:
             while True:
                 time.sleep(3600)
         except KeyboardInterrupt:
             print("stopping")
+        finally:
+            if metrics_server is not None:
+                metrics_server.close()
     manager.close()
     return 0
 
@@ -593,6 +645,27 @@ def _serve_bench(arguments) -> List[str]:
     return format_summary(snapshot) + [f"wrote {out}"]
 
 
+def _stats(arguments) -> int:
+    import json
+
+    from repro.obs import format_metrics_table
+    from repro.serving.protocol import FrontendClient
+
+    host, _, port_text = arguments.target.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"--target must be HOST:PORT, got {arguments.target!r}")
+    with FrontendClient(host, int(port_text)) as client:
+        stats = client.stats()
+        exposition = client.metrics()["exposition"]
+    if arguments.raw:
+        print(exposition, end="")
+        return 0
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    print()
+    print(format_metrics_table(exposition))
+    return 0
+
+
 def _requantize(arguments) -> int:
     from repro.core.deployment import load_deployment, save_deployment
 
@@ -667,6 +740,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if arguments.command == "serve":
         return _serve(arguments)
+    if arguments.command == "stats":
+        return _stats(arguments)
     if arguments.command == "requantize":
         return _requantize(arguments)
     if arguments.command == "serve-bench":

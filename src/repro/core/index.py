@@ -69,10 +69,13 @@ the property the classifier's tie-breaking relies on.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.spatial.distance import cdist
+
+from repro.obs import tracing as obs_tracing
 
 SUPPORTED_METRICS = ("euclidean", "cosine", "cityblock")
 
@@ -321,6 +324,17 @@ class NearestNeighbourIndex:
         codebooks) into shared memory instead of the raw float matrix.
         """
         return True
+
+    def kernels_active(self) -> bool:
+        """Whether searches dispatch to the fused native C kernels.
+
+        ``False`` for every pure-NumPy engine; :class:`IVFPQIndex`
+        reports its live dispatch decision.  Telemetry (the per-shard
+        ``native=yes|no`` scan histograms) reads this rather than the
+        process-global kernel mode, which an index-level knob can
+        override.
+        """
+        return False
 
     def drift_ratio(self) -> float:
         """How far rows added since training drifted from the training
@@ -1274,6 +1288,14 @@ class IVFPQIndex(NearestNeighbourIndex):
             self._scan_cache = (cell_starts, members, consts, codes_t)
         return self._scan_cache
 
+    def kernels_active(self) -> bool:
+        """Whether ADC scans currently dispatch to the native C kernels
+        (the process-global mode combined with this index's knob)."""
+        try:
+            return self._active_kernels() is not None
+        except RuntimeError:
+            return False
+
     def _active_kernels(self):
         """The fused C kernels to dispatch the ADC scan to, or ``None``.
 
@@ -1685,8 +1707,12 @@ class IVFPQIndex(NearestNeighbourIndex):
 
         out_d = np.empty((queries.shape[0], k))
         out_i = np.empty((queries.shape[0], k), dtype=np.int64)
+        # Span hooks are one thread-local read when no trace collector is
+        # active (the common case); see repro.obs.tracing.
+        trace_spans = obs_tracing.enabled()
         for start in range(0, queries.shape[0], chunk_size):
             chunk = queries[start : start + chunk_size]
+            scan_start = time.perf_counter() if trace_spans else 0.0
             coarse_d2 = squared_euclidean_distances(chunk, self._centroids)
             if n_probe >= n_cells:
                 probe = np.broadcast_to(np.arange(n_cells), coarse_d2.shape).copy()
@@ -1711,6 +1737,15 @@ class IVFPQIndex(NearestNeighbourIndex):
                     for position, q in enumerate(short):
                         cand_lists[q] = f_cands[position]
                         adc_lists[q] = f_adcs[position]
+
+            if trace_spans:
+                obs_tracing.record(
+                    "pq_scan",
+                    time.perf_counter() - scan_start,
+                    native=self.kernels_active(),
+                    n_queries=chunk.shape[0],
+                )
+                rerank_start = time.perf_counter()
 
             if self.rerank > 0:
                 # Exact re-rank: true squared distances for the ADC top
@@ -1738,6 +1773,13 @@ class IVFPQIndex(NearestNeighbourIndex):
                 tie_order = np.lexsort((chunk_i, chunk_d), axis=1)
                 chunk_d = np.take_along_axis(chunk_d, tie_order, axis=1)
                 chunk_i = np.take_along_axis(chunk_i, tie_order, axis=1)
+                if trace_spans:
+                    obs_tracing.record(
+                        "rerank",
+                        time.perf_counter() - rerank_start,
+                        n_queries=chunk.shape[0],
+                        rerank=self.rerank,
+                    )
             else:
                 chunk_d = np.empty((chunk.shape[0], k))
                 chunk_i = np.empty((chunk.shape[0], k), dtype=np.int64)

@@ -1,0 +1,354 @@
+"""Prometheus text-format exposition, a strict parser, and an HTTP endpoint.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into text-format 0.0.4 exposition — the format every Prometheus-compatible
+scraper speaks.  It is served two ways: the front-end's ``metrics``
+control op (any RSF1 client can ask, no extra port) and
+:class:`MetricsHTTPServer` behind ``repro serve --metrics-port`` (a plain
+``GET /metrics`` for real scrapers).
+
+:func:`parse_prometheus` is the deliberately strict inverse used by the
+test suite, the CI ``obs`` job, and ``repro stats``: it validates the
+line grammar, requires ``# TYPE`` before samples, and checks histogram
+invariants (cumulative bucket monotonicity, ``+Inf`` bucket equal to
+``_count``) so a malformed exposition fails loudly instead of scraping
+as garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+#: The content type of text-format 0.0.4 exposition, sent by the HTTP
+#: endpoint and echoed in the ``metrics`` control-op reply.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in ``registry`` as text-format 0.0.4 exposition.
+
+    Counters and gauges emit one sample per label set; histograms emit
+    cumulative ``_bucket{le="..."}`` samples (ending in ``+Inf``) plus
+    ``_sum`` and ``_count``, exactly as Prometheus' own client libraries
+    do, so recording rules like ``histogram_quantile`` work unchanged.
+    """
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            for labels, bins, total in metric.samples():
+                cumulative = 0
+                for edge, count in zip(metric.buckets, bins):
+                    cumulative += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(edge)
+                    lines.append(
+                        f"{metric.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                cumulative += bins[-1]
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = "+Inf"
+                lines.append(
+                    f"{metric.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+                lines.append(f"{metric.name}_sum{_format_labels(labels)} {_format_value(total)}")
+                lines.append(f"{metric.name}_count{_format_labels(labels)} {cumulative}")
+        else:
+            samples = metric.samples()
+            if not samples and not metric.label_names:
+                samples = [({}, 0.0)]
+            for labels, value in samples:
+                lines.append(f"{metric.name}{_format_labels(labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+_LABEL_ESCAPE_RE = re.compile(r"\\(.)")
+_LABEL_ESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label_value(value: str) -> str:
+    # One left-to-right pass: sequential str.replace would mis-unescape
+    # r"\\n" (escaped backslash + literal n) into a newline.
+    return _LABEL_ESCAPE_RE.sub(
+        lambda match: _LABEL_ESCAPES.get(match.group(1), "\\" + match.group(1)), value
+    )
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    consumed = 0
+    for match in _LABEL_PAIR_RE.finditer(text):
+        labels[match.group(1)] = _unescape_label_value(match.group(2))
+        consumed = match.end()
+        if consumed < len(text) and text[consumed] == ",":
+            consumed += 1
+    if consumed != len(text):
+        raise ValueError(f"malformed label set {{{text}}}")
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Strictly parse text-format exposition into ``{name: family}`` dicts.
+
+    Each family is ``{"type", "help", "samples"}`` where samples is a
+    list of ``(sample_name, labels, value)``.  Raises :class:`ValueError`
+    on any grammar violation: samples before their ``# TYPE``, invalid
+    names, malformed labels, non-monotone cumulative histogram buckets,
+    or a ``+Inf`` bucket disagreeing with ``_count``.
+    """
+    families: Dict[str, Dict] = {}
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"malformed HELP line: {line!r}")
+            families.setdefault(parts[2], {"type": None, "help": None, "samples": []})[
+                "help"
+            ] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"unknown metric type in: {line!r}")
+            families.setdefault(parts[2], {"type": None, "help": None, "samples": []})[
+                "type"
+            ] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                family_name = sample_name[: -len(suffix)]
+                break
+        family = families.get(family_name)
+        if family is None or family["type"] is None:
+            raise ValueError(f"sample {sample_name!r} appears before its # TYPE line")
+        family["samples"].append((sample_name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: Dict[str, Dict]) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        for sample_name, labels, value in family["samples"]:
+            if sample_name == f"{name}_bucket":
+                key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+                buckets.setdefault(key, []).append((_parse_value(labels["le"]), value))
+            elif sample_name == f"{name}_count":
+                counts[tuple(sorted(labels.items()))] = value
+        for key, edges in buckets.items():
+            ordered = sorted(edges)
+            values = [count for _, count in ordered]
+            if any(b < a for a, b in zip(values, values[1:])):
+                raise ValueError(f"histogram {name!r} buckets are not cumulative")
+            if ordered and ordered[-1][0] != float("inf"):
+                raise ValueError(f"histogram {name!r} is missing its +Inf bucket")
+            if key in counts and ordered and ordered[-1][1] != counts[key]:
+                raise ValueError(f"histogram {name!r} +Inf bucket disagrees with _count")
+
+
+def histogram_quantile(family: Dict, q: float, labels: Optional[Dict[str, str]] = None) -> float:
+    """Estimate a quantile from a parsed histogram family (scraper-side).
+
+    Mirrors :meth:`~repro.obs.metrics.Histogram.quantile` but runs on the
+    parsed exposition, so the CI ``obs`` job can check server-side
+    percentiles against client-side ones without importing server state.
+    ``labels`` filters bucket samples; returns ``nan`` on no data.
+    """
+    want = {k: str(v) for k, v in (labels or {}).items()}
+    edges: List[Tuple[float, float]] = []
+    for sample_name, sample_labels, value in family["samples"]:
+        if not sample_name.endswith("_bucket"):
+            continue
+        plain = {k: v for k, v in sample_labels.items() if k != "le"}
+        if want and any(plain.get(k) != v for k, v in want.items()):
+            continue
+        edges.append((_parse_value(sample_labels["le"]), value))
+    edges.sort()
+    if not edges or edges[-1][1] == 0:
+        return float("nan")
+    total = edges[-1][1]
+    target = q * total
+    previous_edge, previous_count = 0.0, 0.0
+    for edge, cumulative in edges:
+        if cumulative >= target:
+            if edge == float("inf"):
+                return previous_edge
+            span = cumulative - previous_count
+            fraction = (target - previous_count) / span if span else 0.0
+            return previous_edge + min(1.0, max(0.0, fraction)) * (edge - previous_edge)
+        previous_edge, previous_count = edge, cumulative
+    return previous_edge
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``GET /metrics``; everything else is a 404."""
+
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Answer the scrape (or 404 for any other path)."""
+        if self.path.split("?")[0] not in ("/metrics", "/metrics/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = render_prometheus(self.server.registry).encode("utf-8")  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route access logs to the ``repro.obs`` logger, not stderr."""
+        import logging
+
+        logging.getLogger("repro.obs").debug("metrics http: " + format, *args)
+
+
+class MetricsHTTPServer:
+    """A background ``GET /metrics`` endpoint for Prometheus scrapers.
+
+    ``repro serve --metrics-port N`` runs one of these next to the TCP
+    front-end; ``port=0`` binds an ephemeral port (read ``.port`` after
+    construction).  Usable as a context manager; :meth:`close` joins the
+    serving thread.
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry
+        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._httpd.registry = registry  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self.host = self._httpd.server_address[0]
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics-http", daemon=True
+        )
+        self._thread.start()
+
+    def url(self) -> str:
+        """The scrape URL, e.g. ``http://127.0.0.1:9109/metrics``."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the background thread."""
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        """Context-manager entry (the server is already running)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the endpoint."""
+        self.close()
+
+
+def format_metrics_table(text: str) -> str:
+    """Pretty-print exposition for humans (the ``repro stats`` CLI).
+
+    Counters and gauges render as ``name{labels} value`` lines; each
+    histogram renders one line with count, mean, and estimated p50/p99.
+    """
+    families = parse_prometheus(text)
+    lines: List[str] = []
+    for name, family in families.items():
+        if family["type"] == "histogram":
+            by_labels: Dict[str, Tuple[float, float]] = {}
+            for sample_name, labels, value in family["samples"]:
+                key = json.dumps(
+                    {k: v for k, v in labels.items() if k != "le"}, sort_keys=True
+                )
+                total, count = by_labels.get(key, (0.0, 0.0))
+                if sample_name == f"{name}_sum":
+                    total = value
+                elif sample_name == f"{name}_count":
+                    count = value
+                by_labels[key] = (total, count)
+            for key, (total, count) in by_labels.items():
+                labels = json.loads(key)
+                p50 = histogram_quantile(family, 0.50, labels)
+                p99 = histogram_quantile(family, 0.99, labels)
+                mean = total / count if count else float("nan")
+                label_text = _format_labels(labels)
+                lines.append(
+                    f"{name}{label_text}  count={count:.0f} mean={mean:.6g} "
+                    f"p50={p50:.6g} p99={p99:.6g}"
+                )
+        else:
+            for sample_name, labels, value in family["samples"]:
+                lines.append(f"{sample_name}{_format_labels(labels)} {_format_value(value)}")
+    return "\n".join(lines)

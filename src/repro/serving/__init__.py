@@ -28,6 +28,12 @@ mode (an adversary monitoring pages for months, adapting as they change):
 * :class:`~repro.serving.sharded_store.ReplicaSet` — R read replicas of the
   shard scatter behind a round-robin/least-loaded router; process replicas
   attach one shared publication of the (PQ-compressed) index segments.
+
+Every component reports through :mod:`repro.obs`: scheduler, front-end,
+store and deployment metrics live in one
+:class:`~repro.obs.metrics.MetricsRegistry` (scraped via the ``metrics``
+control op or ``repro serve --metrics-port``), and sampled queries carry
+per-stage :mod:`~repro.obs.tracing` spans — see ``docs/observability.md``.
 """
 
 from repro.serving.frontend import FrontendServer, FrontendStats

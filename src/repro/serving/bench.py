@@ -86,6 +86,44 @@ def _replay(
     return result, scheduler.stats
 
 
+def _obs_section(result, registry) -> Dict:
+    """Latency-telemetry cross-check recorded alongside each bench section.
+
+    Re-derives the replay's p50/p99 from the client-side obs histogram
+    (fixed log-spaced buckets) and flags whether each percentile falls
+    within one bucket width of the exact ``report_from_latencies`` number —
+    the acceptance criterion for the scraped metrics.  Also renders the
+    scheduler registry through the strict Prometheus parser so every bench
+    run doubles as an exposition round-trip test.
+    """
+    from repro.obs import parse_prometheus, render_prometheus
+    from repro.serving.loadgen import report_from_histogram
+
+    histogram = result.latency_histogram
+    exact = result.report
+    section: Dict = {"histogram_report": None, "percentile_within_one_bucket": None}
+    if histogram is not None and histogram.count() > 0:
+        approx = report_from_histogram(histogram, exact.duration_s, exact.failed)
+        within: Dict[str, bool] = {}
+        for name in ("p50_ms", "p99_ms"):
+            exact_s = getattr(exact, name) / 1e3
+            estimate_s = getattr(approx, name) / 1e3
+            lower, upper = histogram.bucket_bounds(exact_s)
+            width = upper - lower  # inf for the overflow bucket
+            within[name] = abs(estimate_s - exact_s) <= width
+        section["histogram_report"] = approx.as_dict()
+        section["percentile_within_one_bucket"] = within
+    if registry is not None:
+        exposition = render_prometheus(registry)
+        try:
+            parse_prometheus(exposition)
+            section["exposition_valid"] = True
+        except ValueError as error:  # pragma: no cover - regression guard
+            section["exposition_valid"] = False
+            section["exposition_error"] = str(error)
+    return section
+
+
 def _shard_index_factory(
     index_kind: str,
     rerank: int,
@@ -278,6 +316,7 @@ def run_serving_bench(
                 "shard_sizes": manager.store.shard_sizes(),
                 "shard_memory_bytes": manager.store.shard_memory_bytes(),
                 "shm_segment_bytes": shm_bytes,
+                "obs": _obs_section(result, scheduler.registry),
                 "identical_to_exact_baseline": identical,
                 "adaptation": {
                     "swap_ms": swap_ms.get(mode),
@@ -375,6 +414,16 @@ def format_summary(snapshot: Dict) -> List[str]:
             f"    mid-run replace_class('{snapshot['adaptation']['replaced_class']}'): "
             f"swap {adaptation['swap_ms']:.1f} ms, failed queries: {adaptation['failed_queries']}"
         )
+        obs = section.get("obs") or {}
+        if obs.get("histogram_report"):
+            hist_report = obs["histogram_report"]
+            within = obs.get("percentile_within_one_bucket") or {}
+            lines.append(
+                f"    obs histogram: p50 {hist_report['p50_ms']:.2f} ms, "
+                f"p99 {hist_report['p99_ms']:.2f} ms "
+                f"(within one bucket of exact: {all(within.values()) if within else False}, "
+                f"exposition valid: {obs.get('exposition_valid')})"
+            )
         resident = section.get("shard_memory_bytes")
         if resident:
             lines.append(
@@ -540,6 +589,7 @@ def run_frontend_bench(
                 "in_process": in_process.report.as_dict(),
                 "network": network.report.as_dict(),
                 "routed_counts": replica_set.routed_counts(),
+                "obs": _obs_section(network, scheduler.registry),
                 "identical_to_exact_baseline": identical,
                 "failed_queries": network.failed + in_process.failed,
                 "shm_segment_bytes": shm_bytes,
@@ -648,6 +698,16 @@ def format_frontend_summary(snapshot: Dict) -> List[str]:
             lines.append(
                 f"    shared shm segments: {', '.join(f'{b/1024:.0f} KiB' for b in segments)} "
                 f"(one publication for all {name} replicas)"
+            )
+        obs = section.get("obs") or {}
+        if obs.get("histogram_report"):
+            hist_report = obs["histogram_report"]
+            within = obs.get("percentile_within_one_bucket") or {}
+            lines.append(
+                f"    obs histogram (client-side): p50 {hist_report['p50_ms']:.2f} ms, "
+                f"p99 {hist_report['p99_ms']:.2f} ms "
+                f"(within one bucket of exact: {all(within.values()) if within else False}, "
+                f"exposition valid: {obs.get('exposition_valid')})"
             )
     if snapshot.get("scaling_limited_by_cpu_count"):
         lines.append(

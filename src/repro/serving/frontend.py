@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.export import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import MetricsRegistry
 from repro.serving import protocol
 from repro.serving.protocol import ProtocolError
 from repro.serving.scheduler import BatchScheduler
@@ -41,21 +43,87 @@ from repro.serving.sharded_store import ServingError
 _RESULT_TIMEOUT_S = 60.0
 
 
-@dataclass
 class FrontendStats:
-    """Counters the front-end reports through ``stats`` control requests."""
+    """Counters the front-end reports through ``stats`` control requests.
 
-    connections: int = 0
-    open_connections: int = 0
-    frames: int = 0
-    queries: int = 0
-    errors: int = 0
-    errors_by_code: Dict[str, int] = field(default_factory=dict)
+    Backed by ``repro_frontend_*`` registry metrics (errors are one
+    labelled counter, ``repro_frontend_errors_total{code=...}``); the
+    attribute API and ``as_dict()`` keys are unchanged from the
+    pre-registry dataclass.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._connections = registry.counter(
+            "repro_frontend_connections_total", "TCP connections accepted."
+        )
+        self._open_connections = registry.gauge(
+            "repro_frontend_open_connections", "Connections currently open."
+        )
+        self._frames = registry.counter(
+            "repro_frontend_frames_total", "Well-framed client frames received."
+        )
+        self._queries = registry.counter(
+            "repro_frontend_queries_total", "Query embeddings received over the wire."
+        )
+        self._errors = registry.counter(
+            "repro_frontend_errors_total",
+            "Error frames sent, by machine-readable code.",
+            labels=("code",),
+        )
+
+    @property
+    def connections(self) -> int:
+        """Connections accepted since start."""
+        return int(self._connections.value())
+
+    @property
+    def open_connections(self) -> int:
+        """Connections currently open."""
+        return int(self._open_connections.value())
+
+    @property
+    def frames(self) -> int:
+        """Well-framed frames received."""
+        return int(self._frames.value())
+
+    @property
+    def queries(self) -> int:
+        """Query embeddings received."""
+        return int(self._queries.value())
+
+    @property
+    def errors(self) -> int:
+        """Error frames sent (all codes)."""
+        return int(self._errors.total())
+
+    @property
+    def errors_by_code(self) -> Dict[str, int]:
+        """Error frames sent, per machine-readable code."""
+        return {labels["code"]: int(value) for labels, value in self._errors.samples()}
+
+    def count_connection_opened(self) -> None:
+        """Count a newly accepted connection."""
+        self._connections.inc()
+        self._open_connections.inc()
+
+    def count_connection_closed(self) -> None:
+        """Count a connection teardown."""
+        self._open_connections.dec()
+
+    def count_frame(self) -> None:
+        """Count one well-framed client frame."""
+        self._frames.inc()
+
+    def count_queries(self, n: int) -> None:
+        """Count ``n`` query embeddings received."""
+        self._queries.inc(n)
 
     def count_error(self, code: str) -> None:
         """Count one error frame under its machine-readable code."""
-        self.errors += 1
-        self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
+        self._errors.inc(code=code)
 
     def as_dict(self) -> Dict:
         """The counters as a JSON-serialisable dict (the stats control op)."""
@@ -65,7 +133,7 @@ class FrontendStats:
             "frames": self.frames,
             "queries": self.queries,
             "errors": self.errors,
-            "errors_by_code": dict(self.errors_by_code),
+            "errors_by_code": self.errors_by_code,
         }
 
 
@@ -86,6 +154,7 @@ class FrontendServer:
         port: int = 0,
         n_handler_threads: int = 8,
         result_timeout_s: float = _RESULT_TIMEOUT_S,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if n_handler_threads <= 0:
             raise ValueError("n_handler_threads must be positive")
@@ -94,7 +163,22 @@ class FrontendServer:
         self.host = host
         self.port = int(port)  # 0 = ephemeral; rewritten once bound
         self.result_timeout_s = float(result_timeout_s)
-        self.stats = FrontendStats()
+        # Share the scheduler's registry by default so one scrape (the
+        # metrics op / --metrics-port) covers the whole pipeline.
+        if registry is None:
+            registry = scheduler.registry
+        self.registry = registry
+        self.stats = FrontendStats(registry)
+        self._decode_hist = registry.histogram(
+            "repro_frontend_decode_seconds", "Time decoding QUERY frame payloads."
+        )
+        self._encode_hist = registry.histogram(
+            "repro_frontend_encode_seconds", "Time encoding RESULT frame payloads."
+        )
+        self._request_hist = registry.histogram(
+            "repro_frontend_request_seconds",
+            "Whole QUERY frame handling time (decode through encode).",
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=n_handler_threads, thread_name_prefix="frontend-classify"
         )
@@ -186,14 +270,13 @@ class FrontendServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.stats.connections += 1
-        self.stats.open_connections += 1
+        self.stats.count_connection_opened()
         try:
             await self._serve_connection(reader, writer)
         except asyncio.CancelledError:
             pass  # server shutting down with this connection open
         finally:
-            self.stats.open_connections -= 1
+            self.stats.count_connection_closed()
             try:
                 writer.close()
             except Exception:
@@ -230,7 +313,7 @@ class FrontendServer:
                 payload = await reader.readexactly(length) if length else b""
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
-            self.stats.frames += 1
+            self.stats.count_frame()
             try:
                 response = await self._dispatch(frame_type, payload)
             except ProtocolError as error:
@@ -275,7 +358,9 @@ class FrontendServer:
         )
 
     async def _handle_query(self, payload: bytes) -> bytes:
+        request_start = time.perf_counter()
         batch, top_n = protocol.decode_query(payload)
+        self._decode_hist.observe(time.perf_counter() - request_start)
         store = self._store()
         if store is not None and batch.shape[1] != store.embedding_dim:
             raise ProtocolError(
@@ -291,8 +376,12 @@ class FrontendServer:
         generation, ranked = await loop.run_in_executor(
             self._executor, self._classify_block, batch, top_n
         )
-        self.stats.queries += batch.shape[0]
-        return protocol.encode_result(generation, ranked)
+        self.stats.count_queries(batch.shape[0])
+        encode_start = time.perf_counter()
+        response = protocol.encode_result(generation, ranked)
+        self._encode_hist.observe(time.perf_counter() - encode_start)
+        self._request_hist.observe(time.perf_counter() - request_start)
+        return response
 
     def _classify_block(
         self, batch: np.ndarray, top_n: int
@@ -332,7 +421,30 @@ class FrontendServer:
             store = self._store()
             if store is not None:
                 stats["native_kernels"] = store.kernel_status()
+                executor = store.executor
+                if hasattr(executor, "routed_counts"):
+                    # A ReplicaSet router: expose per-replica routing and
+                    # in-flight depth so health checks can spot a stuck or
+                    # starved replica.
+                    replicas: Dict = {
+                        "router": getattr(executor, "router", None),
+                        "n_replicas": getattr(executor, "n_replicas", None),
+                        "routed_counts": executor.routed_counts(),
+                    }
+                    if hasattr(executor, "inflight_counts"):
+                        replicas["in_flight"] = executor.inflight_counts()
+                    stats["replicas"] = replicas
             return protocol.encode_json(protocol.CONTROL, stats)
+        if op == "metrics":
+            # Prometheus text exposition over the wire: any RSF1 client
+            # can scrape without the optional --metrics-port endpoint.
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "content_type": CONTENT_TYPE,
+                    "exposition": render_prometheus(self.registry),
+                },
+            )
         if op == "info":
             store = self._store()
             info: Dict = {"ok": True}

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.classifier import Prediction
+from repro.obs.metrics import Histogram
 from repro.serving.protocol import FrontendClient, ProtocolError
 from repro.serving.scheduler import BatchScheduler, QueryTicket
 from repro.serving.sharded_store import ServingError
@@ -166,6 +167,10 @@ class ReplayResult:
     predictions: List[Optional[Prediction]]
     tickets: List[QueryTicket]
     report: LatencyReport
+    # The same latencies folded into a fixed-bucket obs histogram, so bench
+    # sections can cross-check histogram-derived percentiles against the
+    # exact ones (must agree within one bucket width) and merge replays.
+    latency_histogram: Optional[Histogram] = field(default=None, repr=False)
 
     @property
     def failed(self) -> int:
@@ -190,6 +195,41 @@ def report_from_latencies(
         max_ms=float(latencies.max() * 1e3),
         failed=failed,
     )
+
+
+def report_from_histogram(
+    histogram: Histogram, duration_s: float, failed: int, **labels: str
+) -> LatencyReport:
+    """A :class:`LatencyReport` estimated from an obs latency histogram.
+
+    Percentiles interpolate within the histogram's fixed log-spaced
+    buckets, so they agree with :func:`report_from_latencies` over the
+    same samples to within one bucket width — the acceptance bound the
+    serving bench asserts.  ``max_ms`` is the estimated 100th percentile
+    (the top edge of the highest occupied bucket).
+    """
+    count = histogram.count(**labels)
+    total_s = histogram.sum(**labels)
+    return LatencyReport(
+        n_queries=count,
+        duration_s=duration_s,
+        throughput_qps=count / duration_s if duration_s > 0 else float("inf"),
+        p50_ms=float(histogram.quantile(0.50, **labels) * 1e3) if count else 0.0,
+        p99_ms=float(histogram.quantile(0.99, **labels) * 1e3) if count else 0.0,
+        mean_ms=float(total_s / count * 1e3) if count else 0.0,
+        max_ms=float(histogram.quantile(1.0, **labels) * 1e3) if count else 0.0,
+        failed=failed,
+    )
+
+
+def _latency_histogram(latencies_s: Sequence[float]) -> Histogram:
+    """Fold client-side latencies into a standard obs latency histogram."""
+    histogram = Histogram(
+        "repro_client_latency_seconds", "Client-observed per-query latency."
+    )
+    for latency in latencies_s:
+        histogram.observe(latency)
+    return histogram
 
 
 def latency_report(tickets: List[QueryTicket], duration_s: float, failed: int) -> LatencyReport:
@@ -244,6 +284,9 @@ class LoadGenerator:
             predictions=predictions,
             tickets=tickets,
             report=latency_report(tickets, duration, failed),
+            latency_histogram=_latency_histogram(
+                [ticket.latency_s for ticket in tickets if ticket.latency_s is not None]
+            ),
         )
 
 
@@ -262,6 +305,10 @@ class NetworkReplayResult:
     predictions: List[Optional[Tuple[List[str], List[float]]]]
     report: LatencyReport
     generations: List[int]
+    # Client-side round-trip latencies in an obs histogram (same fixed
+    # buckets as the server's repro_query_latency_seconds, so scraped
+    # server percentiles and client percentiles are directly comparable).
+    latency_histogram: Optional[Histogram] = field(default=None, repr=False)
 
     @property
     def failed(self) -> int:
@@ -364,4 +411,5 @@ class NetworkLoadGenerator:
                 np.array(latencies), self.queries.shape[0], duration, sum(failures)
             ),
             generations=generations,
+            latency_histogram=_latency_histogram(latencies),
         )

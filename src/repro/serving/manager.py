@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -34,6 +35,7 @@ from repro.core.classifier import KNNClassifier, Prediction
 from repro.core.deployment import load_deployment, save_deployment
 from repro.core.fingerprinter import AdaptiveFingerprinter
 from repro.core.openworld import OpenWorldDetector
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.sharded_store import ServingError, ShardedReferenceStore
 
 PathLike = Union[str, os.PathLike]
@@ -98,7 +100,62 @@ class DeploymentManager:
         self.open_world = open_world
         self._fingerprinter = fingerprinter
         self._swap_lock = threading.Lock()
+        self._swaps_total = None
+        self._swap_seconds = None
         self._snapshot = self._build_snapshot(store, generation=0)
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Register deployment telemetry on ``registry``.
+
+        Callback gauges sample live state at scrape time — generation,
+        ``drift_ratio``, native-kernel dispatch, and (behind a
+        :class:`~repro.serving.sharded_store.ReplicaSet`) per-replica
+        routed/in-flight depths; ``repro_deployment_swaps_total`` /
+        ``repro_deployment_swap_seconds`` time every copy-on-write swap.
+        Also attaches the live store's search instruments
+        (:meth:`ShardedReferenceStore.attach_metrics`), which clones
+        inherit across swaps.
+        """
+        registry.gauge(
+            "repro_deployment_generation", "Serving generation (bumps on every swap)."
+        ).set_function(lambda: float(self.generation))
+        registry.gauge(
+            "repro_deployment_drift_ratio",
+            "Worst per-shard quantizer drift ratio of the live store.",
+        ).set_function(lambda: float(self.drift_ratio()))
+        registry.gauge(
+            "repro_kernels_native_active",
+            "Whether shard scans dispatch to the fused native C kernels (1) or NumPy (0).",
+        ).set_function(lambda: 1.0 if self.store.kernel_status().get("active") else 0.0)
+        self._swaps_total = registry.counter(
+            "repro_deployment_swaps_total", "Copy-on-write snapshot swaps applied."
+        )
+        self._swap_seconds = registry.histogram(
+            "repro_deployment_swap_seconds",
+            "Time building + swapping one copy-on-write snapshot.",
+        )
+        executor = self.store.executor
+        if hasattr(executor, "routed_counts"):
+            routed = registry.gauge(
+                "repro_replicas_routed",
+                "Searches routed per replica.",
+                labels=("replica",),
+            )
+            inflight = registry.gauge(
+                "repro_replicas_in_flight",
+                "Searches currently executing per replica.",
+                labels=("replica",),
+            )
+            for position in range(getattr(executor, "n_replicas", 0)):
+                routed.set_function(
+                    lambda p=position: float(executor.routed_counts()[p]), replica=str(position)
+                )
+                if hasattr(executor, "inflight_counts"):
+                    inflight.set_function(
+                        lambda p=position: float(executor.inflight_counts()[p]),
+                        replica=str(position),
+                    )
+        self.store.attach_metrics(registry)
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -187,12 +244,20 @@ class DeploymentManager:
 
     # ----------------------------------------------- zero-downtime adaptation
     def _swap(self, build_store) -> ServingSnapshot:
+        swap_start = time.perf_counter()
         with self._swap_lock:
             old = self._snapshot
             new_store = build_store(old.store)
             snapshot = self._build_snapshot(new_store, old.generation + 1)
             self._snapshot = snapshot
+        self._count_swap(time.perf_counter() - swap_start)
         return snapshot
+
+    def _count_swap(self, seconds: float) -> None:
+        if self._swaps_total is not None:
+            self._swaps_total.inc()
+        if self._swap_seconds is not None:
+            self._swap_seconds.observe(seconds)
 
     def add_class(self, label: str, embeddings: np.ndarray) -> ServingSnapshot:
         """Start monitoring a page (copy-on-write shard swap)."""
@@ -218,11 +283,14 @@ class DeploymentManager:
         when already balanced, in which case no swap happens and in-flight
         caches stay warm).
         """
+        swap_start = time.perf_counter()
         with self._swap_lock:
             old = self._snapshot
             new_store, moves = old.store.with_rebalanced(threshold=threshold, max_moves=max_moves)
             if moves:
                 self._snapshot = self._build_snapshot(new_store, old.generation + 1)
+        if moves:
+            self._count_swap(time.perf_counter() - swap_start)
         return moves
 
     def drift_ratio(self) -> float:

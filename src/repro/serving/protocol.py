@@ -13,8 +13,8 @@ fuzzing:
   halves bandwidth; the server widens to float64 before classifying, the
   same contract as ``ReferenceStore(storage_dtype="float32")``.
 * ``CONTROL`` frames carry a JSON object (``{"op": "ping" | "stats" |
-  "info" | "rebalance" | "requantize", ...}``) and are answered with a
-  ``CONTROL`` frame.
+  "info" | "metrics" | "rebalance" | "requantize", ...}``) and are
+  answered with a ``CONTROL`` frame.
 * ``RESULT`` frames answer queries: JSON with the serving generation and
   one ``{"labels": [...], "scores": [...]}`` entry per query.
 * ``ERROR`` frames are the *only* way the server reports a bad request or
@@ -286,6 +286,15 @@ class FrontendClient:
     def info(self) -> Dict:
         """Deployment shape: references, classes, shards, drift, generation."""
         return self.control({"op": "info"})
+
+    def metrics(self) -> Dict:
+        """Prometheus text exposition of the server's metrics registry.
+
+        Returns ``{"content_type": ..., "exposition": ...}``; feed the
+        exposition to :func:`repro.obs.parse_prometheus` or any
+        Prometheus-compatible scraper.
+        """
+        return self.control({"op": "metrics"})
 
     def rebalance(self, *, threshold: Optional[float] = None) -> Dict:
         """Trigger a zero-downtime shard rebalance; returns the moves made."""

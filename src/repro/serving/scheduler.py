@@ -37,34 +37,123 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.classifier import Prediction
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.serving.sharded_store import ServingError
 
 _DEFAULT_RESULT_TIMEOUT_S = 60.0
 
 
-@dataclass
 class SchedulerStats:
-    """Counters the serving bench reports."""
+    """Scheduler counters, backed by the metrics registry.
 
-    submitted: int = 0
-    completed: int = 0
-    failed: int = 0
-    batches: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    largest_batch: int = 0
+    The attribute API (``stats.submitted``, ``stats.cache_hits``, …) and
+    ``as_dict()`` keys are unchanged from the pre-registry dataclass so
+    bench snapshots and tests keep working, but the numbers now live in
+    ``repro_scheduler_*`` registry metrics — one scrape of the shared
+    registry sees exactly what ``as_dict()`` reports.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._submitted = registry.counter(
+            "repro_scheduler_queries_submitted_total", "Queries submitted to the scheduler."
+        )
+        self._completed = registry.counter(
+            "repro_scheduler_queries_completed_total", "Queries answered with a prediction."
+        )
+        self._failed = registry.counter(
+            "repro_scheduler_queries_failed_total", "Queries completed with an error."
+        )
+        self._batches = registry.counter(
+            "repro_scheduler_batches_total", "Micro-batches executed."
+        )
+        self._cache_hits = registry.counter(
+            "repro_scheduler_cache_hits_total", "Prediction-cache hits."
+        )
+        self._cache_misses = registry.counter(
+            "repro_scheduler_cache_misses_total", "Prediction-cache misses."
+        )
+        self._largest_batch = registry.gauge(
+            "repro_scheduler_largest_batch", "Largest micro-batch executed so far."
+        )
+
+    @property
+    def submitted(self) -> int:
+        """Queries submitted."""
+        return int(self._submitted.value())
+
+    @property
+    def completed(self) -> int:
+        """Queries answered with a prediction (cache hits included)."""
+        return int(self._completed.value())
+
+    @property
+    def failed(self) -> int:
+        """Queries that completed with an error."""
+        return int(self._failed.value())
+
+    @property
+    def batches(self) -> int:
+        """Micro-batches executed."""
+        return int(self._batches.value())
+
+    @property
+    def cache_hits(self) -> int:
+        """Prediction-cache hits."""
+        return int(self._cache_hits.value())
+
+    @property
+    def cache_misses(self) -> int:
+        """Prediction-cache misses."""
+        return int(self._cache_misses.value())
+
+    @property
+    def largest_batch(self) -> int:
+        """Largest batch executed so far."""
+        return int(self._largest_batch.value())
 
     @property
     def cache_hit_rate(self) -> float:
         """Hits over lookups (0.0 before any lookup happened)."""
-        looked_up = self.cache_hits + self.cache_misses
-        return self.cache_hits / looked_up if looked_up else 0.0
+        hits, misses = self.cache_hits, self.cache_misses
+        looked_up = hits + misses
+        return hits / looked_up if looked_up else 0.0
+
+    def count_submitted(self) -> None:
+        """Record one submission."""
+        self._submitted.inc()
+
+    def count_cache_hit(self) -> None:
+        """Record a cache hit (which also completes the query)."""
+        self._cache_hits.inc()
+        self._completed.inc()
+
+    def count_cache_miss(self) -> None:
+        """Record a cache miss."""
+        self._cache_misses.inc()
+
+    def count_batch(self, size: int) -> None:
+        """Record one executed batch of ``size`` queries."""
+        self._batches.inc()
+        self._largest_batch.set_max(size)
+
+    def count_completed(self, n: int) -> None:
+        """Record ``n`` successfully answered queries."""
+        self._completed.inc(n)
+
+    def count_failed(self, n: int) -> None:
+        """Record ``n`` failed queries."""
+        self._failed.inc(n)
 
     def as_dict(self) -> Dict[str, float]:
         """The counters as a JSON-serialisable dict (bench snapshots)."""
@@ -84,7 +173,8 @@ class QueryTicket:
     """Handle for one submitted query; :meth:`result` blocks until classified."""
 
     __slots__ = (
-        "_done", "_prediction", "_error", "submitted_at", "completed_at", "cached", "generation"
+        "_done", "_prediction", "_error", "submitted_at", "completed_at", "cached", "generation",
+        "trace",
     )
 
     def __init__(self, submitted_at: float) -> None:
@@ -94,6 +184,9 @@ class QueryTicket:
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
         self.cached = False
+        # Span trace for sampled queries (None on the unsampled fast path);
+        # see repro.obs.tracing.
+        self.trace = None
         # Generation of the snapshot that actually served the prediction —
         # a swap can land between submit and execute, so callers reporting
         # generations (the front-end's RESULT frames) must read it here,
@@ -157,6 +250,8 @@ class BatchScheduler:
         cache_size: int = 4096,
         cache_decimals: int = 6,
         n_executors: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``source`` is anything with ``snapshot() -> ServingSnapshot``
         (a :class:`~repro.serving.manager.DeploymentManager` in practice).
@@ -165,6 +260,14 @@ class BatchScheduler:
         concurrently in background mode; match it to the store's replica
         count so a :class:`~repro.serving.sharded_store.ReplicaSet` can
         spread them.
+
+        ``registry`` receives the scheduler's metrics (a private
+        :class:`~repro.obs.metrics.MetricsRegistry` by default, so unit
+        tests never share counters; ``repro serve`` passes one shared
+        registry through the whole pipeline).  ``tracer`` controls
+        per-query span sampling and the slow-query log; by default a
+        tracer with sampling off (and no slow threshold) is created on
+        the same registry.
         """
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -183,7 +286,27 @@ class BatchScheduler:
         self._pending: List[Tuple[np.ndarray, Optional[Tuple[object, bytes]], QueryTicket]] = []
         self._wakeup = threading.Condition()
         self._cache: "OrderedDict[Tuple[object, bytes], Prediction]" = OrderedDict()
-        self.stats = SchedulerStats()
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.stats = SchedulerStats(registry)
+        self.tracer = tracer if tracer is not None else Tracer(registry)
+        self._latency_hist = registry.histogram(
+            "repro_query_latency_seconds",
+            "End-to-end query latency from submit to fulfilment (cache hits included).",
+        )
+        self._queue_wait_hist = registry.histogram(
+            "repro_scheduler_queue_wait_seconds",
+            "Time queries wait in the pending queue before batch execution.",
+        )
+        self._batch_size_hist = registry.histogram(
+            "repro_scheduler_batch_size",
+            "Executed micro-batch sizes.",
+            buckets=obs_metrics.SIZE_BUCKETS,
+        )
+        registry.gauge(
+            "repro_scheduler_queue_depth", "Queries currently waiting for a batch."
+        ).set_function(lambda: float(len(self._pending)))
         self._thread: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._running = False
@@ -250,22 +373,34 @@ class BatchScheduler:
         """Queue one query embedding; returns immediately with a ticket."""
         embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
         ticket = QueryTicket(time.monotonic())
+        ticket.trace = self.tracer.maybe_trace()
         snapshot = self._source.snapshot()
         key = self._cache_key(embedding, self._snapshot_token(snapshot))
         inline_batch = None
         with self._wakeup:
-            self.stats.submitted += 1
+            self.stats.count_submitted()
             if key is not None:
+                lookup_start = time.perf_counter() if ticket.trace is not None else 0.0
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._cache.move_to_end(key)
-                    self.stats.cache_hits += 1
-                    self.stats.completed += 1
+                    self.stats.count_cache_hit()
                     ticket._fulfil(
                         cached, time.monotonic(), cached=True, generation=snapshot.generation
                     )
+                    if ticket.trace is not None:
+                        ticket.trace.add(
+                            "cache_lookup", time.perf_counter() - lookup_start, hit=True
+                        )
+                    latency = ticket.latency_s
+                    self._latency_hist.observe(latency)
+                    self.tracer.finish(ticket.trace, latency, cached=True)
                     return ticket
-                self.stats.cache_misses += 1
+                self.stats.count_cache_miss()
+                if ticket.trace is not None:
+                    ticket.trace.add(
+                        "cache_lookup", time.perf_counter() - lookup_start, hit=False
+                    )
             self._pending.append((embedding, key, ticket))
             if len(self._pending) >= self.max_batch_size:
                 if self._thread is None:
@@ -327,23 +462,30 @@ class BatchScheduler:
     # ------------------------------------------------------------------ execute
     def _execute(self, batch: Sequence[Tuple[np.ndarray, Optional[Tuple[int, bytes]], QueryTicket]]) -> None:
         snapshot = self._source.snapshot()
-        embeddings = np.stack([embedding for embedding, _, _ in batch])
+        execute_start = time.monotonic()
+        traced = any(ticket.trace is not None for _, _, ticket in batch)
+        collector = obs_tracing.push() if traced else None
         try:
-            predictions = snapshot.predict(embeddings)
-        except Exception as error:
-            now = time.monotonic()
-            with self._wakeup:
-                self.stats.batches += 1
-                self.stats.failed += len(batch)
-            message = f"{type(error).__name__}: {error}"
-            for _, _, ticket in batch:
-                ticket._fail(message, now)
-            return
+            with obs_tracing.timed("batch_assemble", batch_size=len(batch)):
+                embeddings = np.stack([embedding for embedding, _, _ in batch])
+            try:
+                predictions = snapshot.predict(embeddings)
+            except Exception as error:
+                now = time.monotonic()
+                self.stats.count_batch(len(batch))
+                self.stats.count_failed(len(batch))
+                message = f"{type(error).__name__}: {error}"
+                self._observe_batch(batch, execute_start, now, collector, failed=True)
+                for _, _, ticket in batch:
+                    ticket._fail(message, now)
+                return
+        finally:
+            if collector is not None:
+                obs_tracing.pop()
         now = time.monotonic()
         with self._wakeup:
-            self.stats.batches += 1
-            self.stats.completed += len(batch)
-            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            self.stats.count_batch(len(batch))
+            self.stats.count_completed(len(batch))
             if self.cache_size:
                 served_token = self._snapshot_token(snapshot)
                 for (_, key, _), prediction in zip(batch, predictions):
@@ -355,5 +497,36 @@ class BatchScheduler:
                     self._cache.move_to_end((served_token, key[1]))
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
+        self._observe_batch(batch, execute_start, now, collector, failed=False)
         for (_, _, ticket), prediction in zip(batch, predictions):
             ticket._fulfil(prediction, now, generation=snapshot.generation)
+
+    def _observe_batch(self, batch, execute_start, resolved_at, collector, *, failed: bool) -> None:
+        """Feed histograms and finish traces as a batch resolves.
+
+        Called *before* the tickets are fulfilled, so a client that has its
+        result (and a scrape racing it) is guaranteed the batch's telemetry
+        already landed; ``resolved_at`` is the same timestamp the tickets are
+        fulfilled with, making these latencies identical to
+        ``ticket.latency_s``.  Runs for every batch; span distribution only
+        touches the tickets that were actually sampled.
+        """
+        self._batch_size_hist.observe(len(batch))
+        batch_seconds = time.monotonic() - execute_start
+        queue_waits = []
+        latencies = []
+        for _, _, ticket in batch:
+            queue_wait = execute_start - ticket.submitted_at
+            queue_waits.append(queue_wait)
+            latency = resolved_at - ticket.submitted_at
+            latencies.append(latency)
+            trace = ticket.trace
+            if trace is not None:
+                trace.add("queue_wait", queue_wait)
+                trace.add("batch_execute", batch_seconds, batch_size=len(batch))
+                if collector:
+                    trace.extend(collector)
+            self.tracer.finish(trace, latency, failed=failed)
+        # Batched observes: two lock round-trips per batch, not per query.
+        self._queue_wait_hist.observe_many(queue_waits)
+        self._latency_hist.observe_many(latencies)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import threading
+import time
 import zlib
 from collections import Counter
 from multiprocessing import shared_memory
@@ -46,6 +47,8 @@ from scipy.spatial.distance import cdist
 
 from repro.core.index import NearestNeighbourIndex, index_from_spec, top_k_by_distance
 from repro.core.reference_store import LabelEncoding, ReferenceStore, validate_reference_batch
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import MetricsRegistry
 
 
 class ServingError(RuntimeError):
@@ -216,10 +219,16 @@ def _shard_worker(requests, responses) -> None:
                     index.rebuild(vectors)
                 cache[uid] = (version, segment, vectors, index, n_rows)
             _, _, vectors, index, n_rows = cache[uid]
+            scan_start = time.perf_counter()
             distances, ids = _search_shard_vectors(vectors, index, queries, k, metric, n_rows)
-            responses.put((request_id, distances, ids, None))
+            scan_s = time.perf_counter() - scan_start
+            # Piggyback the scan timing + kernel-dispatch flag on the
+            # response tuple: shard-level histograms aggregate in the
+            # parent with zero extra IPC.
+            native = index.kernels_active()
+            responses.put((request_id, distances, ids, None, scan_s, native))
         except Exception as error:  # keep the worker alive; surface the failure
-            responses.put((request_id, None, None, f"{type(error).__name__}: {error}"))
+            responses.put((request_id, None, None, f"{type(error).__name__}: {error}", 0.0, False))
     for _, segment, _, _, _ in cache.values():
         segment.close()
 
@@ -235,7 +244,19 @@ class InProcessShardExecutor:
         self, shards: Sequence[_Shard], queries: np.ndarray, k: int, metric: str
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Per-shard ``(distances, local ids)``, answered serially in-process."""
-        return [shard.store.search(queries, k, metric=metric) for shard in shards]
+        if not obs_tracing.enabled():
+            return [shard.store.search(queries, k, metric=metric) for shard in shards]
+        results = []
+        for shard in shards:
+            scan_start = time.perf_counter()
+            results.append(shard.store.search(queries, k, metric=metric))
+            obs_tracing.record(
+                "shard_scan",
+                time.perf_counter() - scan_start,
+                shard=shard.uid,
+                native=shard.store.index.kernels_active(),
+            )
+        return results
 
     def close(self) -> None:
         """Nothing owned; exists so every executor shares one lifecycle."""
@@ -541,9 +562,10 @@ class ProcessShardExecutor:
             pending[request_id] = position
         results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(shards)
         failure: Optional[str] = None
+        trace_spans = obs_tracing.enabled()
         while pending:
             try:
-                request_id, distances, ids, error = self._responses.get(
+                request_id, distances, ids, error, scan_s, native = self._responses.get(
                     timeout=self._RESPONSE_TIMEOUT_S
                 )
             except Exception as exc:
@@ -554,6 +576,12 @@ class ProcessShardExecutor:
             if error is not None:
                 failure = failure or error
                 continue
+            if trace_spans:
+                # The worker measured its own scan; replay it into the
+                # parent's collector so shard histograms aggregate here.
+                obs_tracing.record(
+                    "shard_scan", scan_s, shard=shards[position].uid, native=bool(native)
+                )
             results[position] = (distances, ids)
         if failure is not None:
             raise ServingError(f"shard worker failed: {failure}")
@@ -672,6 +700,13 @@ class ReplicaSet:
         with self._lock:
             return list(self._routed)
 
+    def inflight_counts(self) -> List[int]:
+        """Searches currently executing per replica (health telemetry: a
+        replica whose depth only grows is stuck, one pinned at zero under
+        load is starved)."""
+        with self._lock:
+            return list(self._inflight)
+
     def published_bytes(self) -> Dict[int, int]:
         """Segment bytes of the shared publication (empty for in-process
         replicas, which attach nothing)."""
@@ -784,6 +819,7 @@ class ShardedReferenceStore:
         self._codes: np.ndarray = np.empty(0, dtype=np.int64)
         self._size = 0
         self._generation = 0
+        self._obs: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -896,6 +932,36 @@ class ShardedReferenceStore:
         never share cached predictions, even at equal generation numbers.
         """
         return self._shards[0].store.index.spec()
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Register the store's search instruments on ``registry``.
+
+        Until attached, ``search`` pays nothing for telemetry (copy-on-write
+        clones inherit the attachment, so one call covers every swapped
+        store).  Registers: ``repro_store_searches_total``,
+        ``repro_store_scatter_seconds``, ``repro_store_merge_seconds`` and
+        ``repro_store_shard_scan_seconds{native=yes|no}`` — the shard-scan
+        histogram aggregates the per-call timings worker processes
+        piggyback on their scatter responses.
+        """
+        self._obs = {
+            "searches": registry.counter(
+                "repro_store_searches_total", "Merged scatter-gather searches answered."
+            ),
+            "scatter": registry.histogram(
+                "repro_store_scatter_seconds",
+                "Time scattering one query block across the live shards.",
+            ),
+            "merge": registry.histogram(
+                "repro_store_merge_seconds",
+                "Time merging per-shard candidates by (distance, global id).",
+            ),
+            "shard_scan": registry.histogram(
+                "repro_store_shard_scan_seconds",
+                "Per-shard scan time, split by native-kernel vs NumPy-fallback dispatch.",
+                labels=("native",),
+            ),
+        }
 
     def kernel_status(self) -> Dict[str, object]:
         """Native ADC-kernel status of the scan path the shards run.
@@ -1200,6 +1266,7 @@ class ShardedReferenceStore:
         clone.storage_dtype = self.storage_dtype
         clone.index_factory = self.index_factory
         clone._executor = self._executor
+        clone._obs = self._obs  # swapped clones keep reporting to the same instruments
         clone._class_shard = dict(self._class_shard)
         clone._encoding = self._encoding.clone()
         clone._codes = self._codes.copy()
@@ -1261,7 +1328,46 @@ class ShardedReferenceStore:
             )
         k = min(int(k), self._size)
         live = [shard for shard in self._shards if len(shard.store)]
-        results = self._executor.search(live, queries, k, metric)
+        obs = self._obs
+        outer_trace = obs_tracing.enabled()
+        if obs is None and not outer_trace:
+            # The untelemetered fast path: no clocks, no collector.
+            results = self._executor.search(live, queries, k, metric)
+            return self._merge(live, results, k)
+        # Collect per-shard scan records (recorded by the executors, or
+        # piggybacked from worker processes) in a nested collector, then
+        # fold them into the attached histograms and the outer trace.
+        collector = obs_tracing.push()
+        try:
+            scatter_start = time.perf_counter()
+            results = self._executor.search(live, queries, k, metric)
+            scatter_s = time.perf_counter() - scatter_start
+        finally:
+            obs_tracing.pop()
+        merge_start = time.perf_counter()
+        merged = self._merge(live, results, k)
+        merge_s = time.perf_counter() - merge_start
+        if obs is not None:
+            obs["searches"].inc()
+            obs["scatter"].observe(scatter_s)
+            obs["merge"].observe(merge_s)
+            scan_hist = obs["shard_scan"]
+            for span in collector:
+                if span.stage == "shard_scan":
+                    scan_hist.observe(
+                        span.seconds, native="yes" if span.detail.get("native") else "no"
+                    )
+        if outer_trace:
+            obs_tracing.record("scatter", scatter_s, n_shards=len(live))
+            for span in collector:
+                obs_tracing.record_span(span)
+            obs_tracing.record("merge", merge_s)
+        return merged
+
+    def _merge(
+        self, live: List[_Shard], results: List[Tuple[np.ndarray, np.ndarray]], k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge per-shard candidates into the global (distance, id) top-k."""
         merged_d = np.concatenate([distances for distances, _ in results], axis=1)
         merged_g = np.concatenate(
             [shard.global_ids[ids] for shard, (_, ids) in zip(live, results)], axis=1

@@ -36,6 +36,10 @@ DOCUMENTED_MODULES = [
     "repro.serving.protocol",
     "repro.serving.loadgen",
     "repro.serving.bench",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.obs.export",
 ]
 
 
