@@ -1,8 +1,9 @@
 """Timing snapshot: seed vs optimised hot paths (BENCH_1), the
 query-engine memory/speed comparison (BENCH_3), the network serving
 replica-scaling table (BENCH_4), the compression-v2 table (BENCH_5:
-4-bit packed PQ, OPQ, drift-aware requantization), and the native-kernel
-ADC scan table (BENCH_6: fused C scan + streaming top-k vs NumPy).
+4-bit packed PQ, OPQ, drift-aware requantization), the native-kernel
+ADC scan table (BENCH_6: fused C scan + streaming top-k vs NumPy), and
+the storage-tier table (BENCH_7: hot-shm vs cold-mmap RSG1 segments).
 
 Runs the seed implementations (reimplemented inline below, verbatim) and
 the current optimised code **in the same process on the same data**, so the
@@ -41,6 +42,13 @@ effective GB/s of code bytes scanned, tracemalloc peak (the NumPy path
 materialises the probed-candidate buffer; the streaming kernel's peak is
 flat in probe depth) and whether the rankings are bitwise identical.
 
+The **BENCH_7** table (``repro.serving.bench.run_storage_tier_bench``)
+publishes the same shards once into POSIX shared memory and once as
+mmap'd spill files (``docs/segment-format.md``), and records throughput,
+bytes published per medium, and the acceptance check that every
+configuration — including a live ``set_storage_tier`` flip and a
+``replace_class`` churn — answers bit-identically.
+
 Every snapshot carries the same provenance header (:func:`_platform_header`):
 python/numpy/machine plus the native-kernel status — compiler
 availability, kernel source hash and cache dir — so a JSON artifact
@@ -50,14 +58,15 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out BENCH_1.json]
         [--out3 BENCH_3.json] [--out4 BENCH_4.json] [--out5 BENCH_5.json]
-        [--out6 BENCH_6.json] [--index-sizes 10000,100000] [--only-index]
-        [--only-frontend] [--only-compression] [--only-kernels]
+        [--out6 BENCH_6.json] [--out7 BENCH_7.json]
+        [--index-sizes 10000,100000] [--only-index]
+        [--only-frontend] [--only-compression] [--only-kernels] [--only-storage]
         [--compression-size 60000] [--kernel-size 500000]
         [--frontend-references 6000] [--frontend-queries 2000]
 
 ``--only-index`` / ``--only-frontend`` / ``--only-compression`` /
-``--only-kernels`` skip the other sections (used by the CI smoke jobs,
-which run reduced sizes).
+``--only-kernels`` / ``--only-storage`` skip the other sections (used by
+the CI smoke jobs, which run reduced sizes).
 """
 
 from __future__ import annotations
@@ -730,6 +739,7 @@ def main() -> int:
     parser.add_argument("--out4", type=Path, default=root / "BENCH_4.json")
     parser.add_argument("--out5", type=Path, default=root / "BENCH_5.json")
     parser.add_argument("--out6", type=Path, default=root / "BENCH_6.json")
+    parser.add_argument("--out7", type=Path, default=root / "BENCH_7.json")
     parser.add_argument(
         "--index-sizes", default="10000,100000",
         help="comma-separated corpus sizes for the BENCH_3 engine table",
@@ -749,6 +759,14 @@ def main() -> int:
     parser.add_argument(
         "--only-kernels", action="store_true",
         help="write BENCH_6 (native ADC-scan kernels vs NumPy) only (CI smoke)",
+    )
+    parser.add_argument(
+        "--only-storage", action="store_true",
+        help="write BENCH_7 (shm vs mmap storage tiers over RSG1 segments) only (CI smoke)",
+    )
+    parser.add_argument(
+        "--storage-size", type=int, default=60_000,
+        help="corpus size for the BENCH_7 storage-tier table",
     )
     parser.add_argument(
         "--compression-size", type=int, default=60_000,
@@ -852,6 +870,22 @@ def main() -> int:
         else:
             print("BENCH_6: no system compiler — NumPy fallback only")
         print(f"wrote {arguments.out6}")
+
+    def run_storage() -> None:
+        from repro.serving.bench import format_storage_summary, run_storage_tier_bench
+
+        snapshot = run_storage_tier_bench(
+            n_references=arguments.storage_size,
+            n_classes=max(20, arguments.storage_size // 100),
+            out=arguments.out7,
+        )
+        for line in format_storage_summary(snapshot):
+            print(f"BENCH_7 {line.strip()}")
+        print(f"wrote {arguments.out7}")
+
+    if arguments.only_storage:
+        run_storage()
+        return 0
 
     if arguments.only_kernels:
         run_kernels()

@@ -11,8 +11,10 @@ The subcommands cover the common workflows::
     python -m repro serve-bench --transport tcp --replicas 4   # -> BENCH_4.json
     python -m repro serve --port 7010        # TCP serving front-end
     python -m repro serve --port 7010 --metrics-port 9110   # + Prometheus scrape
+    python -m repro serve-bench --storage-tier tiered   # shm vs mmap -> BENCH_7.json
     python -m repro stats 127.0.0.1:7010     # stats + metrics of a running server
     python -m repro requantize DIR --check   # drift report on a saved deployment
+    python -m repro migrate DIR              # legacy npz archives -> RSG1 segments
 
 Index-engine knob help (``--n-cells``/``--n-probe``/``--n-subspaces``/
 ``--bits``/``--opq``/``--rerank``/``--native-kernels``/
@@ -162,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--storage-dtype", default="float64", choices=("float64", "float32"),
         help="resident dtype of shard embedding buffers",
     )
+    serve.add_argument(
+        "--storage-tier", default="shm", choices=("shm", "mmap"),
+        help="shard segment publication: shm = resident shared memory (hot), "
+             "mmap = spill files read off the page cache (cold); answers are "
+             "bit-identical (docs/segment-format.md)",
+    )
     serve.add_argument("--batch-size", type=int, default=64, help="micro-batch size cap")
     serve.add_argument(
         "--max-latency-ms", type=float, default=2.0, help="micro-batch age-out latency budget"
@@ -271,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resident dtype of shard embedding buffers (float32 halves segment bytes)",
     )
     serve_bench.add_argument(
+        "--storage-tier", default="shm", choices=("shm", "mmap", "tiered"),
+        help="shard segment publication for the replay (shm or mmap), or "
+             "'tiered' to run the hot-vs-cold comparison -> BENCH_7.json",
+    )
+    serve_bench.add_argument(
         "--assignment", default="hash", choices=("hash", "balanced"), help="class -> shard placement"
     )
     serve_bench.add_argument(
@@ -310,6 +323,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     requantize.add_argument(
         "--force", action="store_true", help="requantize even when drift is below threshold"
+    )
+
+    migrate = subparsers.add_parser(
+        "migrate",
+        help="convert legacy references.npz deployment archives to the RSG1 "
+             "segment format in place (docs/segment-format.md)",
+    )
+    migrate.add_argument(
+        "directory", type=Path,
+        help="a deployment directory, or a parent directory holding several",
     )
     return parser
 
@@ -508,6 +531,7 @@ def _serve(arguments) -> int:
                 max_cell_fraction=arguments.max_cell_fraction,
             ),
             storage_dtype=arguments.storage_dtype,
+            storage_tier=arguments.storage_tier,
         ),
         ClassifierConfig(k=arguments.k),
     )
@@ -562,9 +586,11 @@ def _serve(arguments) -> int:
 def _serve_bench(arguments) -> List[str]:
     from repro.serving.bench import (
         format_frontend_summary,
+        format_storage_summary,
         format_summary,
         run_frontend_bench,
         run_serving_bench,
+        run_storage_tier_bench,
     )
 
     if arguments.shards < 2:
@@ -579,7 +605,23 @@ def _serve_bench(arguments) -> List[str]:
             k=arguments.k,
             n_queries=arguments.queries,
         )
+    if arguments.storage_tier == "tiered":
+        if arguments.transport == "tcp":
+            raise SystemExit("--storage-tier tiered runs in-process; drop --transport tcp")
+        out = arguments.out if arguments.out is not None else Path("BENCH_7.json")
+        snapshot = run_storage_tier_bench(
+            **preset,
+            n_shards=arguments.shards,
+            index_kind=arguments.index,
+            rerank=arguments.rerank,
+            bits=arguments.bits,
+            seed=arguments.seed,
+            out=out,
+        )
+        return format_storage_summary(snapshot) + [f"wrote {out}"]
     if arguments.transport == "tcp":
+        if arguments.storage_tier != "shm":
+            raise SystemExit("--transport tcp publishes through ReplicaSet shm; use the default --storage-tier shm")
         executor = arguments.executor if arguments.executor is not None else "process"
         if executor == "both":
             raise SystemExit("--transport tcp takes --executor serial or process")
@@ -637,6 +679,7 @@ def _serve_bench(arguments) -> List[str]:
         native_kernels=arguments.native_kernels,
         max_cell_fraction=arguments.max_cell_fraction,
         storage_dtype=arguments.storage_dtype,
+        storage_tier=arguments.storage_tier,
         class_mix=arguments.class_mix if arguments.class_mix is not None else "uniform",
         zipf_s=arguments.zipf_s,
         seed=arguments.seed,
@@ -694,6 +737,18 @@ def _requantize(arguments) -> int:
     return 0
 
 
+def _migrate(arguments) -> int:
+    from repro.core.deployment import migrate_deployment
+
+    migrated = migrate_deployment(arguments.directory)
+    if not migrated:
+        print(f"{arguments.directory}: nothing to migrate (already on the segment format)")
+        return 0
+    for deployment in migrated:
+        print(f"migrated {deployment / 'references.npz'} -> {deployment / 'references.rsg'}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -744,6 +799,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _stats(arguments)
     if arguments.command == "requantize":
         return _requantize(arguments)
+    if arguments.command == "migrate":
+        return _migrate(arguments)
     if arguments.command == "serve-bench":
         for line in _serve_bench(arguments):
             print(line)

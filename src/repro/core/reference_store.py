@@ -18,6 +18,7 @@ retraining-free.
 from __future__ import annotations
 
 import copy
+import json
 import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -25,9 +26,23 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy.spatial.distance import cdist
 
+from repro.core import segment as segment_format
 from repro.core.index import ExactIndex, NearestNeighbourIndex, top_k_by_distance
 
 PathLike = Union[str, os.PathLike]
+
+#: Suffix of the native RSG1 archives :meth:`ReferenceStore.save` writes;
+#: legacy ``.npz`` archives remain loadable.
+SEGMENT_SUFFIX = ".rsg"
+
+
+def _json_pack(payload: object) -> np.ndarray:
+    """A JSON document as a uint8 array (segments hold arrays only)."""
+    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+
+
+def _json_unpack(array: np.ndarray) -> object:
+    return json.loads(np.asarray(array, dtype=np.uint8).tobytes().decode("utf-8"))
 
 _INITIAL_CAPACITY = 32
 
@@ -324,24 +339,27 @@ class ReferenceStore:
     def save(self, path: PathLike) -> Path:
         """Persist embeddings, labels, the storage dtype *and* the trained
         index state (e.g. IVF-PQ codebooks + codes), so :meth:`load` can
-        restore the index without re-running k-means."""
+        restore the index without re-running k-means.
+
+        Archives are ``RSG1`` segments (see :mod:`repro.core.segment`) —
+        the suffix is normalised to ``.rsg`` — and the write is atomic:
+        the bytes land in a temp file next to ``path`` and are renamed
+        into place, so a crash mid-save never corrupts a previous archive.
+        """
         path = Path(path)
-        if path.suffix != ".npz":
-            path = path.with_suffix(".npz")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        state = {
-            f"{self._INDEX_STATE_PREFIX}{name}": array
-            for name, array in self._index.state().items()
+        if path.suffix != SEGMENT_SUFFIX:
+            path = path.with_suffix(SEGMENT_SUFFIX)
+        arrays: Dict[str, np.ndarray] = {
+            "embeddings": self.embeddings,
+            "label_codes": self.label_codes,
+            "class_names": _json_pack(self.class_names),
+            "meta": _json_pack(
+                {"embedding_dim": self.embedding_dim, "storage_dtype": self.storage_dtype}
+            ),
         }
-        np.savez_compressed(
-            path,
-            embeddings=self.embeddings,
-            labels=self.labels,
-            embedding_dim=np.array(self.embedding_dim),
-            storage_dtype=np.array(self.storage_dtype),
-            **state,
-        )
-        return path
+        for name, array in self._index.state().items():
+            arrays[f"{self._INDEX_STATE_PREFIX}{name}"] = array
+        return segment_format.write_segment_file(path, arrays)
 
     def _fill(self, embeddings: np.ndarray, labels: List[str]) -> None:
         """Bulk-populate an empty store without notifying the index (the
@@ -353,6 +371,37 @@ class ReferenceStore:
         self._size = n_new
 
     @classmethod
+    def _restore(
+        cls,
+        store: "ReferenceStore",
+        embeddings: np.ndarray,
+        labels: List[str],
+        state: Dict[str, np.ndarray],
+    ) -> "ReferenceStore":
+        """Populate a freshly constructed store from archive contents.
+
+        Index state is adopted whenever present — *regardless* of the row
+        count, so a trained-but-empty store (fitted codebooks, zero rows)
+        keeps its quantizer across a save/load round trip.  Only when no
+        state could be adopted and rows exist does the index rebuild.
+        """
+        if len(labels):
+            embeddings, labels = validate_reference_batch(
+                embeddings, labels, store.embedding_dim
+            )
+            store._fill(embeddings, labels)
+        adopted = False
+        if state:
+            try:
+                store._index.load_state(state)
+                adopted = True
+            except (KeyError, ValueError):
+                adopted = False  # mismatched index; retrain below
+        if not adopted and len(store):
+            store._index.rebuild(store.embeddings)
+        return store
+
+    @classmethod
     def load(
         cls,
         path: PathLike,
@@ -360,9 +409,61 @@ class ReferenceStore:
         *,
         storage_dtype: Optional[str] = None,
     ) -> "ReferenceStore":
+        """Restore an archive written by :meth:`save`.
+
+        Dispatches on the file's magic bytes: native ``RSG1`` segments and
+        legacy ``.npz`` archives both load.  When ``path`` itself is
+        missing, its ``.rsg``/``.npz`` sibling is tried, so pre-segment
+        call sites that pass an ``.npz`` path keep working.
+        """
         path = Path(path)
         if not path.exists():
-            raise FileNotFoundError(f"reference store archive not found: {path}")
+            for suffix in (SEGMENT_SUFFIX, ".npz"):
+                sibling = path.with_suffix(suffix)
+                if sibling.exists():
+                    path = sibling
+                    break
+            else:
+                raise FileNotFoundError(f"reference store archive not found: {path}")
+        if segment_format.is_segment_file(path):
+            return cls._load_segment(path, index, storage_dtype)
+        return cls._load_npz(path, index, storage_dtype)
+
+    @classmethod
+    def _load_segment(
+        cls,
+        path: Path,
+        index: Optional[NearestNeighbourIndex],
+        storage_dtype: Optional[str],
+    ) -> "ReferenceStore":
+        arrays = segment_format.load_segment_file(path)
+        try:
+            meta = _json_unpack(arrays["meta"])
+            class_names = _json_unpack(arrays["class_names"])
+            codes = np.asarray(arrays["label_codes"], dtype=np.int64)
+            embeddings = arrays["embeddings"]
+        except (KeyError, ValueError, json.JSONDecodeError) as error:
+            raise segment_format.SegmentFormatError(
+                f"{path} is not a reference-store segment: {error}"
+            ) from error
+        if storage_dtype is None:
+            storage_dtype = str(meta.get("storage_dtype", "float64"))
+        store = cls(int(meta["embedding_dim"]), index=index, storage_dtype=storage_dtype)
+        labels = [str(class_names[code]) for code in codes.tolist()]
+        state = {
+            name[len(cls._INDEX_STATE_PREFIX) :]: array
+            for name, array in arrays.items()
+            if name.startswith(cls._INDEX_STATE_PREFIX)
+        }
+        return cls._restore(store, embeddings, labels, state)
+
+    @classmethod
+    def _load_npz(
+        cls,
+        path: Path,
+        index: Optional[NearestNeighbourIndex],
+        storage_dtype: Optional[str],
+    ) -> "ReferenceStore":
         with np.load(path, allow_pickle=True) as archive:
             if storage_dtype is None:
                 storage_dtype = (
@@ -375,18 +476,5 @@ class ReferenceStore:
                 for name in archive.files
                 if name.startswith(cls._INDEX_STATE_PREFIX)
             }
-            if len(labels):
-                embeddings, labels = validate_reference_batch(
-                    archive["embeddings"], labels, store.embedding_dim
-                )
-                store._fill(embeddings, labels)
-                adopted = False
-                if state:
-                    try:
-                        store._index.load_state(state)
-                        adopted = True
-                    except (KeyError, ValueError):
-                        adopted = False  # mismatched index; retrain below
-                if not adopted:
-                    store._index.rebuild(store.embeddings)
-        return store
+            embeddings = archive["embeddings"] if len(labels) else np.empty((0, store.embedding_dim))
+            return cls._restore(store, embeddings, labels, state)

@@ -15,6 +15,12 @@ records the numbers that matter for the deployment story:
 Usage::
 
     PYTHONPATH=src python -m repro serve-bench [--smoke] [--out BENCH_2.json]
+    PYTHONPATH=src python -m repro serve-bench --storage-tier tiered  # BENCH_7
+
+``run_storage_tier_bench`` (``--storage-tier tiered``) compares hot
+shared-memory shard publication against cold mmap'd spill files — same
+RSG1 segment bytes, bit-identical answers, different residency
+(``docs/segment-format.md``).
 """
 
 from __future__ import annotations
@@ -171,6 +177,7 @@ def run_serving_bench(
     native_kernels: str = "auto",
     max_cell_fraction: Optional[float] = None,
     storage_dtype: str = "float64",
+    storage_tier: str = "shm",
     class_mix: str = "uniform",
     zipf_s: float = 1.2,
     seed: int = 0,
@@ -240,6 +247,7 @@ def run_serving_bench(
                     executor=shard_executor,
                     index_factory=index_factory,
                     storage_dtype=storage_dtype,
+                    storage_tier=storage_tier,
                 ),
                 config,
             )
@@ -278,6 +286,7 @@ def run_serving_bench(
                     executor=shard_executor,
                     index_factory=index_factory,
                     storage_dtype=storage_dtype,
+                    storage_tier=storage_tier,
                 ),
                 config,
             )
@@ -356,6 +365,7 @@ def run_serving_bench(
             "native_kernels": native_kernels,
             "max_cell_fraction": max_cell_fraction,
             "storage_dtype": storage_dtype,
+            "storage_tier": storage_tier,
             "class_mix": class_mix,
             "zipf_s": zipf_s if class_mix == "zipf" else None,
         },
@@ -440,6 +450,161 @@ def format_summary(snapshot: Dict) -> List[str]:
             lines.append(
                 f"    shm segment per shard: {', '.join(f'{b/1024:.0f} KiB' for b in segments)}{ratio}"
             )
+    return lines
+
+
+# ------------------------------------------------------------ BENCH_7: storage
+def run_storage_tier_bench(
+    *,
+    n_references: int = 20000,
+    n_classes: int = 200,
+    dim: int = 32,
+    k: int = 50,
+    n_queries: int = 512,
+    n_shards: int = 3,
+    n_workers: int = 2,
+    index_kind: str = "ivfpq",
+    rerank: int = 0,
+    bits: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+    out: Optional[Path] = None,
+) -> Dict:
+    """BENCH_7: hot-shm vs cold-mmap shard publication, same RSG1 bytes.
+
+    Runs the identical query batch through a :class:`ProcessShardExecutor`
+    with every shard published to shared memory (``storage_tier="shm"``)
+    and again with every shard spilled to disk and mmap'd by the workers
+    (``storage_tier="mmap"``), then flips a live shm store to mmap with
+    :meth:`ShardedReferenceStore.set_storage_tier`.  Records throughput
+    per tier, the bytes published per medium, and the acceptance check:
+    every configuration must return **bit-identical** ``(distances, ids)``
+    — the cold tier trades residency for page-cache reads, never answers.
+    """
+    corpus, labels = _build_corpus(n_references, n_classes, dim, seed)
+    flat = ReferenceStore(dim)
+    flat.add(corpus, labels)
+    rng = np.random.default_rng(seed + 1)
+    picks = rng.integers(0, n_references, n_queries)
+    queries = corpus[picks] + 0.01 * rng.standard_normal((n_queries, dim))
+    index_factory = _shard_index_factory(index_kind, rerank, bits=bits)
+    victim = labels[0]
+    per_class = max(4, n_references // n_classes)
+    fresh = corpus[:per_class] + 0.05 * rng.standard_normal((per_class, dim))
+
+    sections: Dict[str, Dict] = {}
+    answers: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    churned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for tier in ("shm", "mmap"):
+        shard_executor = ProcessShardExecutor(n_workers=n_workers)
+        try:
+            sharded = ShardedReferenceStore.from_reference_store(
+                flat,
+                n_shards=n_shards,
+                executor=shard_executor,
+                index_factory=index_factory,
+                storage_tier=tier,
+            )
+            sharded.search(queries[:16], k)  # publish + attach + warm caches
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                answers[tier] = sharded.search(queries, k)
+                best = min(best, time.perf_counter() - start)
+            tier_bytes = sharded.published_tier_bytes()
+            # Churn on this tier: the copy-on-write replace republishes the
+            # touched shard through the same medium.
+            clone = sharded.with_class_replaced(victim, fresh)
+            churned[tier] = clone.search(queries, k)
+            sections[tier] = {
+                "throughput_qps": n_queries / best,
+                "ms_per_query": 1e3 * best / n_queries,
+                "published_tier_bytes": tier_bytes,
+                "resident_shm_bytes": tier_bytes.get("shm", 0),
+                "shard_tiers": sharded.shard_tiers(),
+            }
+        finally:
+            shard_executor.close()
+
+    def _identical(a, b) -> bool:
+        return bool(np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1]))
+
+    bit_identical = _identical(answers["shm"], answers["mmap"])
+    churn_identical = _identical(churned["shm"], churned["mmap"])
+
+    # Live tier flip: a hot store goes cold without changing one answer.
+    flip_executor = ProcessShardExecutor(n_workers=n_workers)
+    try:
+        sharded = ShardedReferenceStore.from_reference_store(
+            flat,
+            n_shards=n_shards,
+            executor=flip_executor,
+            index_factory=index_factory,
+            storage_tier="shm",
+        )
+        before = sharded.search(queries, k)
+        sharded.set_storage_tier("mmap")
+        after = sharded.search(queries, k)
+        flip = {
+            "identical": _identical(before, after),
+            "published_tier_bytes": sharded.published_tier_bytes(),
+        }
+    finally:
+        flip_executor.close()
+
+    snapshot = {
+        "snapshot": "BENCH_7",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workload": {
+            "n_references": n_references,
+            "n_classes": n_classes,
+            "dim": dim,
+            "k": k,
+            "n_queries": n_queries,
+            "n_shards": n_shards,
+            "n_workers": n_workers,
+            "index": index_kind,
+            "rerank": rerank,
+            "bits": bits,
+            "repeats": repeats,
+        },
+        "tiers": sections,
+        "bit_identical_shm_vs_mmap": bit_identical,
+        "bit_identical_after_replace_class": churn_identical,
+        "live_tier_flip": flip,
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    return snapshot
+
+
+def format_storage_summary(snapshot: Dict) -> List[str]:
+    """Human-readable lines for the BENCH_7 storage-tier snapshot."""
+    workload = snapshot["workload"]
+    lines = [
+        f"storage-tier bench: N={workload['n_references']} refs, "
+        f"{workload['n_shards']} shards / {workload['n_workers']} workers, "
+        f"index={workload['index']}, {workload['n_queries']} queries"
+    ]
+    for tier, section in snapshot["tiers"].items():
+        published = section["published_tier_bytes"]
+        lines.append(
+            f"  {tier}: {section['throughput_qps']:.0f} q/s, "
+            f"{section['ms_per_query']:.3f} ms/query, published "
+            + ", ".join(f"{kind}={size / 1024:.0f} KiB" for kind, size in sorted(published.items()))
+            + f" (resident shm {section['resident_shm_bytes'] / 1024:.0f} KiB)"
+        )
+    lines.append(
+        f"  bit-identical shm vs mmap: {snapshot['bit_identical_shm_vs_mmap']} "
+        f"(after replace_class: {snapshot['bit_identical_after_replace_class']}, "
+        f"live flip: {snapshot['live_tier_flip']['identical']})"
+    )
     return lines
 
 

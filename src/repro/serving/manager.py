@@ -166,6 +166,7 @@ class DeploymentManager:
         n_shards: int = 2,
         assignment: str = "hash",
         executor: Optional[object] = None,
+        storage_tier: str = "shm",
         classifier_config: Optional[ClassifierConfig] = None,
         open_world: Optional[OpenWorldConfig] = None,
     ) -> "DeploymentManager":
@@ -175,6 +176,7 @@ class DeploymentManager:
             n_shards=n_shards,
             assignment=assignment,
             executor=executor,
+            storage_tier=storage_tier,
         )
         return cls(
             store,
@@ -270,6 +272,18 @@ class DeploymentManager:
     def replace_class(self, label: str, embeddings: np.ndarray) -> ServingSnapshot:
         """Refresh a drifted page's references (copy-on-write shard swap)."""
         return self._swap(lambda store: store.with_class_replaced(label, embeddings))
+
+    def set_storage_tier(self, tier: str, shard_ids: Optional[Sequence[int]] = None) -> None:
+        """Flip how the live store publishes shard segments to workers.
+
+        ``"shm"`` keeps segments resident in POSIX shared memory (hot),
+        ``"mmap"`` spills them to disk and lets workers read them off the
+        page cache (cold).  Answers are bit-identical either way, so no
+        snapshot swap is needed — affected shards simply republish on the
+        next scatter.
+        """
+        with self._swap_lock:
+            self._snapshot.store.set_storage_tier(tier, shard_ids)
 
     def rebalance(
         self, *, threshold: float = 0.25, max_moves: Optional[int] = None

@@ -27,26 +27,36 @@ Shard scatter runs through a pluggable executor:
 :class:`ProcessShardExecutor` fans shards out to worker processes that
 attach each shard's payload — trained index state (e.g. IVF-PQ codes +
 codebooks) plus the embedding matrix only when the index needs raw
-vectors — through read-mostly POSIX shared-memory segments, republished
-only when a shard actually changes.
+vectors — as :mod:`repro.core.segment` ``RSG1`` segments, republished only
+when a shard actually changes.  Each shard's ``storage_tier`` picks the
+medium: ``shm`` keeps the segment resident in POSIX shared memory (hot
+shards), ``mmap`` spills the identical bytes to a file that workers map
+read-only, so cold shards are served straight off the page cache.
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import mmap
 import multiprocessing
+import os
+import shutil
+import tempfile
 import threading
 import time
 import zlib
 from collections import Counter
 from multiprocessing import shared_memory
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 from scipy.spatial.distance import cdist
 
 from repro.core.index import NearestNeighbourIndex, index_from_spec, top_k_by_distance
 from repro.core.reference_store import LabelEncoding, ReferenceStore, validate_reference_batch
+from repro.core.segment import read_segment, segment_size, write_segment, write_segment_file
 from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import MetricsRegistry
 
@@ -57,6 +67,12 @@ class ServingError(RuntimeError):
 
 _shard_uids = itertools.count()
 
+#: Where a shard's published segment lives: ``"shm"`` copies it into POSIX
+#: shared memory (hot shards, zero-syscall attach), ``"mmap"`` spills it to
+#: a file that workers map read-only so the ADC scan reads codes straight
+#: off the page cache (cold shards cost no dedicated resident memory).
+STORAGE_TIERS = ("shm", "mmap")
+
 
 class _Shard:
     """One partition: a reference store plus its local-row -> global-row map.
@@ -65,10 +81,11 @@ class _Shard:
     *shares* the underlying store keeps the uid, so executor-side caches
     stay warm) and ``version`` counts mutations of the underlying store
     (bumped whenever the embedding matrix changes, so executors know when
-    to republish).
+    to republish).  ``tier`` picks the publication medium (see
+    :data:`STORAGE_TIERS`).
     """
 
-    __slots__ = ("store", "global_ids", "uid", "version")
+    __slots__ = ("store", "global_ids", "uid", "version", "tier")
 
     def __init__(
         self,
@@ -77,11 +94,13 @@ class _Shard:
         *,
         uid: Optional[int] = None,
         version: int = 0,
+        tier: str = "shm",
     ) -> None:
         self.store = store
         self.global_ids = global_ids
         self.uid = next(_shard_uids) if uid is None else uid
         self.version = version
+        self.tier = tier
 
 
 # --------------------------------------------------------------------- executors
@@ -134,36 +153,99 @@ def _shard_payload(store: ReferenceStore) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def _pack_arrays(
-    arrays: Dict[str, np.ndarray],
-) -> Tuple[shared_memory.SharedMemory, List[Tuple[str, str, Tuple[int, ...], int]]]:
-    """Concatenate named arrays into one shared-memory segment.
+class _ShmSegmentHandle:
+    """Publisher-side handle of a hot-tier publication: one RSG1 segment
+    written into a POSIX shared-memory block."""
 
-    Returns the segment plus a picklable meta list of
-    ``(name, dtype, shape, offset)`` a worker uses to reconstruct views.
-    """
-    metas: List[Tuple[str, str, Tuple[int, ...], int]] = []
-    contiguous: List[np.ndarray] = []
-    offset = 0
-    for name, array in arrays.items():
-        array = np.ascontiguousarray(array)
-        offset = (offset + 63) & ~63  # 64-byte alignment per array
-        metas.append((name, array.dtype.str, array.shape, offset))
-        contiguous.append(array)
-        offset += array.nbytes
-    segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
-    for (name, dtype, shape, start), array in zip(metas, contiguous):
-        np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)[...] = array
-    return segment, metas
+    kind = "shm"
+    __slots__ = ("_segment", "size")
+
+    def __init__(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.size = segment_size(arrays)
+        self._segment = shared_memory.SharedMemory(create=True, size=self.size)
+        write_segment(self._segment.buf, arrays)
+
+    @property
+    def location(self) -> str:
+        return self._segment.name
+
+    @property
+    def resident(self) -> bool:
+        return True
+
+    def unlink(self) -> None:
+        try:
+            self._segment.close()
+            self._segment.unlink()
+        except Exception:
+            pass
 
 
-def _unpack_arrays(
-    segment: shared_memory.SharedMemory, metas: List[Tuple[str, str, Tuple[int, ...], int]]
-) -> Dict[str, np.ndarray]:
-    return {
-        name: np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
-        for name, dtype, shape, offset in metas
-    }
+class _FileSegmentHandle:
+    """Publisher-side handle of a cold-tier publication: the same RSG1
+    bytes spilled to a file that workers mmap read-only, so the shard's
+    codes live in the page cache instead of dedicated shared memory."""
+
+    kind = "mmap"
+    __slots__ = ("_path", "size")
+
+    def __init__(self, arrays: Dict[str, np.ndarray], path: Path) -> None:
+        write_segment_file(path, arrays)
+        self._path = path
+        self.size = path.stat().st_size
+
+    @property
+    def location(self) -> str:
+        return str(self._path)
+
+    @property
+    def resident(self) -> bool:
+        return False
+
+    def unlink(self) -> None:
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass
+
+
+class _SegmentAttachment:
+    """A worker-side attachment of one published segment (shm or mmap);
+    ``arrays`` are read-only zero-copy views over the shared bytes."""
+
+    __slots__ = ("arrays", "_closer")
+
+    def __init__(self, arrays: Dict[str, np.ndarray], closer: object) -> None:
+        self.arrays = arrays
+        self._closer = closer
+
+    def close(self) -> None:
+        try:
+            self._closer.close()
+        except Exception:
+            pass  # live views keep the mapping alive until GC
+
+
+def _attach_segment(kind: str, location: str) -> _SegmentAttachment:
+    """Attach a published segment by tier kind and parse it (CRC-checked
+    once per attach; steady-state requests reuse the cached attachment)."""
+    if kind == "shm":
+        segment = shared_memory.SharedMemory(name=location)
+        _untrack_shared_memory(segment)
+        return _SegmentAttachment(read_segment(segment.buf), segment)
+    if kind != "mmap":
+        raise ServingError(f"unknown segment tier {kind!r}; expected one of {STORAGE_TIERS}")
+    with open(location, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        arrays = read_segment(mapped)
+    except BaseException:
+        # The in-flight exception's traceback can still reference buffer
+        # views of the mapping; GC releases it once the error is handled.
+        with contextlib.suppress(BufferError):
+            mapped.close()
+        raise
+    return _SegmentAttachment(arrays, mapped)
 
 
 def _untrack_shared_memory(segment: shared_memory.SharedMemory) -> None:
@@ -191,33 +273,44 @@ def _shard_worker(requests, responses) -> None:
     codebooks / codes directly instead of re-running k-means per version.
     """
     cache: Dict[
-        int, Tuple[int, shared_memory.SharedMemory, Optional[np.ndarray], NearestNeighbourIndex, int]
+        int, Tuple[int, _SegmentAttachment, Optional[np.ndarray], NearestNeighbourIndex, int]
     ] = {}
     while True:
         task = requests.get()
         if task is None:
             break
-        request_id, uid, version, shm_name, metas, n_rows, index_spec, queries, k, metric = task
+        request_id, uid, version, tier, location, n_rows, index_spec, queries, k, metric = task
         try:
             entry = cache.get(uid)
             if entry is None or entry[0] != version:
+                # Attach and restore the *new* version before touching the
+                # old attachment: if the attach or the state adoption
+                # raises, the stale cache entry is evicted (never left
+                # pointing at a closed segment) and the old mapping is
+                # released; on success the old attachment is closed only
+                # after the new one fully took over.
+                try:
+                    attachment = _attach_segment(tier, location)
+                    arrays = attachment.arrays
+                    vectors = arrays.get("vectors")
+                    state = {
+                        name[len(_STATE_PREFIX) :]: array
+                        for name, array in arrays.items()
+                        if name.startswith(_STATE_PREFIX)
+                    }
+                    index = index_from_spec(index_spec)
+                    if state:
+                        index.load_state(state)
+                    elif vectors is not None:
+                        index.rebuild(vectors)
+                except BaseException:
+                    stale = cache.pop(uid, None)
+                    if stale is not None:
+                        stale[1].close()
+                    raise
                 if entry is not None:
                     entry[1].close()
-                segment = shared_memory.SharedMemory(name=shm_name)
-                _untrack_shared_memory(segment)
-                arrays = _unpack_arrays(segment, metas)
-                vectors = arrays.get("vectors")
-                state = {
-                    name[len(_STATE_PREFIX) :]: array
-                    for name, array in arrays.items()
-                    if name.startswith(_STATE_PREFIX)
-                }
-                index = index_from_spec(index_spec)
-                if state:
-                    index.load_state(state)
-                elif vectors is not None:
-                    index.rebuild(vectors)
-                cache[uid] = (version, segment, vectors, index, n_rows)
+                cache[uid] = (version, attachment, vectors, index, n_rows)
             _, _, vectors, index, n_rows = cache[uid]
             scan_start = time.perf_counter()
             distances, ids = _search_shard_vectors(vectors, index, queries, k, metric, n_rows)
@@ -229,8 +322,8 @@ def _shard_worker(requests, responses) -> None:
             responses.put((request_id, distances, ids, None, scan_s, native))
         except Exception as error:  # keep the worker alive; surface the failure
             responses.put((request_id, None, None, f"{type(error).__name__}: {error}", 0.0, False))
-    for _, segment, _, _, _ in cache.values():
-        segment.close()
+    for _, attachment, _, _, _ in cache.values():
+        attachment.close()
 
 
 class InProcessShardExecutor:
@@ -282,10 +375,10 @@ class SegmentPublisher:
     # its shard appearing; in-flight snapshots re-publish on demand.
     _EVICT_AFTER_CALLS = 8
 
-    def __init__(self) -> None:
-        # uid -> (version, segment | None, metas); a ``None`` segment marks
-        # a slot another thread is packing right now.
-        self._published: Dict[int, Tuple[int, Optional[shared_memory.SharedMemory], list]] = {}
+    def __init__(self, spill_dir: Union[str, os.PathLike, None] = None) -> None:
+        # uid -> (version, handle | None); a ``None`` handle marks a slot
+        # another thread is packing right now.
+        self._published: Dict[int, Tuple[int, Optional[object]]] = {}
         self._last_used: Dict[int, int] = {}
         # uid -> number of in-flight searches using the segment.  A pinned
         # segment is never unlinked — not by eviction and not by a
@@ -293,30 +386,48 @@ class SegmentPublisher:
         # publish and its attach, and removing the name under it would
         # fail the attach.
         self._pins: Dict[int, int] = {}
-        # uid -> superseded segments still pinned; unlinked when the uid's
-        # last pin is released.
-        self._retired: Dict[int, List[shared_memory.SharedMemory]] = {}
+        # uid -> superseded segment handles still pinned; unlinked when the
+        # uid's last pin is released.
+        self._retired: Dict[int, List[object]] = {}
         self._search_calls = 0
         self._cond = threading.Condition()
         self._closed = False
+        # mmap-tier shards spill their segment files here; a publisher that
+        # creates its own directory removes it on close.
+        self._spill_dir: Optional[Path] = Path(spill_dir) if spill_dir is not None else None
+        self._owns_spill_dir = False
 
     @staticmethod
-    def _unlink(segment: shared_memory.SharedMemory) -> None:
-        try:
-            segment.close()
-            segment.unlink()
-        except Exception:
-            pass
+    def _unlink(handle: object) -> None:
+        handle.unlink()
+
+    def _spill_path(self, uid: int, version: int) -> Path:
+        with self._cond:
+            if self._spill_dir is None:
+                self._spill_dir = Path(tempfile.mkdtemp(prefix="repro-segments-"))
+                self._owns_spill_dir = True
+            spill_dir = self._spill_dir
+        spill_dir.mkdir(parents=True, exist_ok=True)
+        return spill_dir / f"shard-{uid}-v{version}.rsg"
+
+    def _pack(self, shard: _Shard) -> object:
+        """Serialise one shard's payload into its tier's medium."""
+        arrays = _shard_payload(shard.store)
+        tier = getattr(shard, "tier", "shm")
+        if tier == "mmap":
+            return _FileSegmentHandle(arrays, self._spill_path(shard.uid, shard.version))
+        return _ShmSegmentHandle(arrays)
 
     def begin_search(self) -> None:
         """Tick the search clock the stale-segment eviction runs against."""
         with self._cond:
             self._search_calls += 1
 
-    def publish(self, shard: _Shard) -> Tuple[str, list]:
-        """The ``(segment name, metas)`` for a shard, packing at most once
-        per shard version and **pinning** the segment for the caller's
-        search (pair every successful call with :meth:`release`).
+    def publish(self, shard: _Shard) -> Tuple[str, str]:
+        """The ``(tier kind, location)`` of a shard's RSG1 segment — a shm
+        block name or a spilled file path — packing at most once per shard
+        version and **pinning** the segment for the caller's search (pair
+        every successful call with :meth:`release`).
 
         Packing runs *outside* the lock: one replica republishing a large
         shard after an adaptation swap must not stall the other replicas'
@@ -333,7 +444,7 @@ class SegmentPublisher:
                 if entry is not None and entry[0] == version:
                     if entry[1] is not None:
                         self._pins[uid] = self._pins.get(uid, 0) + 1
-                        return entry[1].name, entry[2]
+                        return entry[1].kind, entry[1].location
                     self._cond.wait()  # another thread is packing this version
                     continue
                 if entry is not None and entry[1] is None:
@@ -342,10 +453,10 @@ class SegmentPublisher:
                     self._cond.wait()
                     continue
                 old = entry
-                self._published[uid] = (version, None, [])  # claim the slot
+                self._published[uid] = (version, None)  # claim the slot
                 break
         try:
-            segment, metas = _pack_arrays(_shard_payload(shard.store))
+            handle = self._pack(shard)
         except BaseException:
             with self._cond:
                 if old is not None and not self._closed:
@@ -355,11 +466,7 @@ class SegmentPublisher:
                     if old is not None and old[1] is not None:
                         # close() already ran and never saw the old segment
                         # (the dict held our pending slot): unlink it here.
-                        try:
-                            old[1].close()
-                            old[1].unlink()
-                        except Exception:
-                            pass
+                        old[1].unlink()
                 self._cond.notify_all()
             raise
         with self._cond:
@@ -374,18 +481,14 @@ class SegmentPublisher:
                     # attach again.
                     self._unlink(old[1])
             if self._closed:
-                try:
-                    segment.close()
-                    segment.unlink()
-                except Exception:
-                    pass
+                handle.unlink()
                 self._published.pop(uid, None)
                 self._cond.notify_all()
                 raise ServingError("the segment publisher has been closed")
-            self._published[uid] = (version, segment, metas)
+            self._published[uid] = (version, handle)
             self._pins[uid] = self._pins.get(uid, 0) + 1
             self._cond.notify_all()
-            return segment.name, metas
+            return handle.kind, handle.location
 
     def release(self, uids: Iterable[int]) -> None:
         """Drop the pins a search took via :meth:`publish` (call once the
@@ -397,18 +500,30 @@ class SegmentPublisher:
                     self._pins[uid] = remaining
                 else:
                     self._pins.pop(uid, None)
-                    for segment in self._retired.pop(uid, ()):
-                        self._unlink(segment)
+                    for handle in self._retired.pop(uid, ()):
+                        self._unlink(handle)
 
     def published_bytes(self) -> Dict[int, int]:
-        """Shared-memory segment size per published shard uid (monitoring:
-        this is what the PQ/float32 publication path shrinks)."""
+        """Segment size per published shard uid (monitoring: this is what
+        the PQ/float32 publication path shrinks)."""
         with self._cond:
             return {
                 uid: entry[1].size
                 for uid, entry in self._published.items()
                 if entry[1] is not None
             }
+
+    def published_tier_bytes(self) -> Dict[str, int]:
+        """Published segment bytes split by tier: ``"shm"`` is resident
+        shared memory, ``"mmap"`` is file-backed page-cache bytes — the
+        serve-bench reports both, so moving shards to the cold tier shows
+        up as the resident number dropping."""
+        with self._cond:
+            totals = {"shm": 0, "mmap": 0}
+            for _, handle in self._published.values():
+                if handle is not None:
+                    totals[handle.kind] += handle.size
+            return totals
 
     def evict_stale(self) -> None:
         """Unlink segments of shards that stopped being queried.
@@ -427,29 +542,30 @@ class SegmentPublisher:
                 and self._published[uid][1] is not None
             ]
             for uid in stale:
-                _, segment, _ = self._published.pop(uid)
+                _, handle = self._published.pop(uid)
                 del self._last_used[uid]
-                try:
-                    segment.close()
-                    segment.unlink()
-                except Exception:
-                    pass
+                self._unlink(handle)
 
     def close(self) -> None:
-        """Unlink every published (and retired) segment and refuse new work."""
+        """Unlink every published (and retired) segment, remove an owned
+        spill directory, and refuse new work."""
         with self._cond:
             self._closed = True
-            for _, segment, _ in self._published.values():
-                if segment is None:
+            for _, handle in self._published.values():
+                if handle is None:
                     continue  # the packing thread unlinks it when it lands
-                self._unlink(segment)
+                self._unlink(handle)
             for retired in self._retired.values():
-                for segment in retired:
-                    self._unlink(segment)
+                for handle in retired:
+                    self._unlink(handle)
             self._published.clear()
             self._last_used.clear()
             self._pins.clear()
             self._retired.clear()
+            if self._owns_spill_dir and self._spill_dir is not None:
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
+                self._spill_dir = None
+                self._owns_spill_dir = False
             self._cond.notify_all()
 
 
@@ -509,8 +625,12 @@ class ProcessShardExecutor:
 
     # ------------------------------------------------------------- publication
     def published_bytes(self) -> Dict[int, int]:
-        """Shared-memory segment size per published shard uid."""
+        """Published segment size per shard uid."""
         return self._publisher.published_bytes()
+
+    def published_tier_bytes(self) -> Dict[str, int]:
+        """Published bytes split by storage tier (shm-resident vs mmap)."""
+        return self._publisher.published_tier_bytes()
 
     # ------------------------------------------------------------------ search
     def search(
@@ -542,7 +662,7 @@ class ProcessShardExecutor:
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         pending: Dict[int, int] = {}
         for position, shard in enumerate(shards):
-            name, metas = self._publisher.publish(shard)
+            kind, location = self._publisher.publish(shard)
             pinned.append(shard.uid)
             request_id = self._request_counter
             self._request_counter += 1
@@ -550,8 +670,8 @@ class ProcessShardExecutor:
                 request_id,
                 shard.uid,
                 shard.version,
-                name,
-                metas,
+                kind,
+                location,
                 len(shard.store),
                 shard.store.index.spec(),
                 queries,
@@ -718,6 +838,16 @@ class ReplicaSet:
                 return reader()
         return {}
 
+    def published_tier_bytes(self) -> Dict[str, int]:
+        """Published bytes by storage tier (zeros for in-process replicas)."""
+        if self._publisher is not None:
+            return self._publisher.published_tier_bytes()
+        for replica in self._replicas:
+            reader = getattr(replica, "published_tier_bytes", None)
+            if reader is not None:
+                return reader()
+        return {"shm": 0, "mmap": 0}
+
     # ------------------------------------------------------------------ search
     def _acquire(self) -> int:
         with self._lock:
@@ -784,6 +914,7 @@ class ShardedReferenceStore:
         index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
         executor: Optional[object] = None,
         storage_dtype: str = "float64",
+        storage_tier: str = "shm",
     ) -> None:
         if embedding_dim <= 0:
             raise ValueError("embedding_dim must be positive")
@@ -793,10 +924,15 @@ class ShardedReferenceStore:
             raise ValueError(
                 f"unknown assignment policy {assignment!r}; expected one of {ASSIGNMENT_POLICIES}"
             )
+        if storage_tier not in STORAGE_TIERS:
+            raise ValueError(
+                f"unknown storage tier {storage_tier!r}; expected one of {STORAGE_TIERS}"
+            )
         self.embedding_dim = int(embedding_dim)
         self.n_shards = int(n_shards)
         self.assignment = assignment
         self.storage_dtype = np.dtype(storage_dtype).name
+        self.storage_tier = storage_tier
         self.index_factory: Callable[[], NearestNeighbourIndex] = (
             index_factory if index_factory is not None else lambda: index_from_spec(None)
         )
@@ -809,6 +945,7 @@ class ShardedReferenceStore:
                     storage_dtype=self.storage_dtype,
                 ),
                 np.empty(0, dtype=np.int64),
+                tier=self.storage_tier,
             )
             for _ in range(self.n_shards)
         ]
@@ -832,6 +969,7 @@ class ShardedReferenceStore:
         index_factory: Optional[Callable[[], NearestNeighbourIndex]] = None,
         executor: Optional[object] = None,
         storage_dtype: Optional[str] = None,
+        storage_tier: str = "shm",
     ) -> "ShardedReferenceStore":
         """Shard an existing flat store (global ids == its current row ids).
 
@@ -849,6 +987,7 @@ class ShardedReferenceStore:
             storage_dtype=storage_dtype
             if storage_dtype is not None
             else getattr(store, "storage_dtype", "float64"),
+            storage_tier=storage_tier,
         )
         if len(store):
             sharded.add(store.embeddings, list(store.labels))
@@ -1004,6 +1143,40 @@ class ShardedReferenceStore:
     def shard_memory_bytes(self) -> List[int]:
         """Resident bytes per shard (embedding buffer + index structures)."""
         return [shard.store.memory_bytes() for shard in self._shards]
+
+    def shard_tiers(self) -> List[str]:
+        """The storage tier each shard publishes through (see
+        :data:`STORAGE_TIERS`)."""
+        return [shard.tier for shard in self._shards]
+
+    def set_storage_tier(self, tier: str, shard_ids: Optional[Iterable[int]] = None) -> None:
+        """Move shards between the hot (``shm``) and cold (``mmap``) tiers.
+
+        Applies to every shard unless ``shard_ids`` narrows it.  Changed
+        shards bump their version, so process executors republish through
+        the new medium on the next scatter; results are bit-identical
+        either way — only where the segment bytes live changes.
+        """
+        if tier not in STORAGE_TIERS:
+            raise ValueError(f"unknown storage tier {tier!r}; expected one of {STORAGE_TIERS}")
+        targets = range(self.n_shards) if shard_ids is None else shard_ids
+        changed = False
+        for shard_id in targets:
+            shard = self._shards[shard_id]
+            if shard.tier != tier:
+                shard.tier = tier
+                shard.version += 1
+                changed = True
+        if shard_ids is None:
+            self.storage_tier = tier
+        if changed:
+            self._generation += 1
+
+    def published_tier_bytes(self) -> Dict[str, int]:
+        """Published segment bytes by tier, from the executor's publisher
+        (zeros when the executor publishes nothing, e.g. in-process)."""
+        reader = getattr(self._executor, "published_tier_bytes", None)
+        return reader() if reader is not None else {"shm": 0, "mmap": 0}
 
     def _place(self, label: str, sizes: Sequence[int]) -> int:
         """Pick a shard for a class not placed yet (the single policy site)."""
@@ -1264,6 +1437,7 @@ class ShardedReferenceStore:
         clone.n_shards = self.n_shards
         clone.assignment = self.assignment
         clone.storage_dtype = self.storage_dtype
+        clone.storage_tier = self.storage_tier
         clone.index_factory = self.index_factory
         clone._executor = self._executor
         clone._obs = self._obs  # swapped clones keep reporting to the same instruments
@@ -1277,10 +1451,18 @@ class ShardedReferenceStore:
             if shard_id in materialise:
                 # Deep copy including the trained index state — no k-means
                 # retrain on an adaptation swap (the retraining-free story).
-                clone._shards.append(_Shard(shard.store.clone(), shard.global_ids.copy()))
+                clone._shards.append(
+                    _Shard(shard.store.clone(), shard.global_ids.copy(), tier=shard.tier)
+                )
             else:
                 clone._shards.append(
-                    _Shard(shard.store, shard.global_ids.copy(), uid=shard.uid, version=shard.version)
+                    _Shard(
+                        shard.store,
+                        shard.global_ids.copy(),
+                        uid=shard.uid,
+                        version=shard.version,
+                        tier=shard.tier,
+                    )
                 )
         return clone
 

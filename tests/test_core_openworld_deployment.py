@@ -121,7 +121,7 @@ class TestDeploymentPersistence:
         _, directory, _ = deployment
         assert (directory / "config.json").exists()
         assert (directory / "weights.npz").exists()
-        assert (directory / "references.npz").exists()
+        assert (directory / "references.rsg").exists()
 
     def test_roundtrip_preserves_predictions(self, deployment):
         original, directory, test = deployment

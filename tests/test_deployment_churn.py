@@ -167,7 +167,7 @@ class TestAtomicWrites:
         save_deployment(original, directory)  # second save swaps atomically
         assert sorted(p.name for p in directory.iterdir()) == [
             "config.json",
-            "references.npz",
+            "references.rsg",
             "weights.npz",
         ]
         # No staging/retired leftovers next to the deployment.

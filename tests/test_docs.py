@@ -5,7 +5,8 @@ Three contracts, enforced in tier-1 so documentation cannot rot silently:
 * every intra-repo markdown link in README.md and docs/ resolves to a
   real file;
 * docs/wire-protocol.md matches the constants, caps, error codes and the
-  example hexdump of :mod:`repro.serving.protocol` byte for byte;
+  example hexdump of :mod:`repro.serving.protocol` byte for byte, and
+  docs/segment-format.md does the same for :mod:`repro.core.segment`;
 * every public symbol of ``core/index.py`` and the ``serving`` package
   carries a docstring, and docs/index-tuning.md documents every knob the
   CLI's single source of truth (:mod:`repro.core.knobs`) lists.
@@ -28,6 +29,7 @@ DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
 DOCUMENTED_MODULES = [
     "repro.core.index",
     "repro.core.knobs",
+    "repro.core.segment",
     "repro.serving",
     "repro.serving.sharded_store",
     "repro.serving.scheduler",
@@ -120,6 +122,61 @@ class TestWireProtocolSpec:
     def test_result_and_error_fields(self, spec):
         assert '"generation"' in spec and '"predictions"' in spec
         assert '"recoverable"' in spec
+
+
+class TestSegmentFormatSpec:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return (REPO / "docs" / "segment-format.md").read_text()
+
+    def test_magic_and_struct_formats(self, spec):
+        from repro.core import segment
+
+        assert segment.MAGIC == b"RSG1" and '"RSG1"' in spec
+        assert "`<4sBBHQQI36x`" in spec and segment.HEADER.format == "<4sBBHQQI36x"
+        assert "`<64s8sQQI4x8Q`" in spec and segment.ENTRY.format == "<64s8sQQI4x8Q"
+        assert f"Header ({segment.HEADER_SIZE} bytes" in spec
+        assert f"Array-table entry ({segment.ENTRY_SIZE} bytes each" in spec
+        assert f"checksum at offset {segment.CHECKSUM_OFFSET}" in spec
+
+    def test_alignment_constants(self, spec):
+        from repro.core import segment
+
+        assert f"`PAGE_ALIGNMENT`  | {segment.PAGE_ALIGNMENT} " in spec
+        assert f"`ARRAY_ALIGNMENT` | {segment.ARRAY_ALIGNMENT} " in spec
+        assert segment.FORMAT_VERSION == 1 and "currently 1" in spec
+
+    def test_example_hexdump_is_exact(self, spec):
+        # Parse the hex columns of the example block and compare against a
+        # real encode of the documented segment (one uint8 array "codes"
+        # of shape (2, 3)).  The doc elides the zero padding between the
+        # array table and the page-aligned data region, so the dumped
+        # bytes are header+table followed by the data region.
+        from repro.core import segment
+
+        blob = segment.pack_segment({"codes": np.arange(6, dtype=np.uint8).reshape(2, 3)})
+        _, _, _, n_arrays, data_offset, total, _ = segment.HEADER.unpack_from(blob, 0)
+        table_end = segment.HEADER_SIZE + n_arrays * segment.ENTRY_SIZE
+        assert blob[table_end:data_offset] == b"\x00" * (data_offset - table_end)
+
+        block = spec.split("### Example hexdump", 1)[1].split("```")[1]
+        raw = []
+        for line in block.strip().splitlines():
+            columns = re.split(r"\s{4,}", line.strip(), maxsplit=1)
+            raw.extend(re.findall(r"\b[0-9a-f]{2}\b", columns[0]))
+        assert bytes(int(byte, 16) for byte in raw) == blob[:table_end] + blob[data_offset:total]
+
+    def test_storage_tiers_documented(self, spec):
+        from repro.serving.sharded_store import STORAGE_TIERS
+
+        for tier in STORAGE_TIERS:
+            assert f"`{tier}`" in spec, f"storage tier {tier!r} not documented"
+
+    def test_archive_schema_names_match_store_writes(self, spec):
+        source = (REPO / "src/repro/core/reference_store.py").read_text()
+        for name in ("embeddings", "label_codes", "class_names", "meta", "index_state__"):
+            assert f"`{name}" in spec, f"archive array {name!r} not documented"
+            assert name in source
 
 
 class TestKnobSync:

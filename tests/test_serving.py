@@ -297,8 +297,9 @@ class TestProcessShardExecutor:
             _, i64 = flat64.search(corpus[:20], 6)
             assert (i32 == i64).mean() > 0.99
             raw_bytes_per_shard = flat64.embeddings.nbytes / 2
+            # Allow for the fixed RSG1 header + page-aligned data region.
             for segment_bytes in executor.published_bytes().values():
-                assert segment_bytes <= raw_bytes_per_shard / 2 + 1024
+                assert segment_bytes <= raw_bytes_per_shard / 2 + 8192
         finally:
             executor.close()
 
@@ -714,11 +715,11 @@ class TestSegmentPublisherPins:
         publisher = SegmentPublisher()
         shard = sharded._shards[0]
         publisher.begin_search()
-        old_name, _ = publisher.publish(shard)  # A pins version v
+        _, old_name = publisher.publish(shard)  # A pins version v
         victim = next(label for label in sharded.class_names if sharded.shard_of(label) == 0)
         sharded.replace_class(victim, rng.standard_normal((4, 6)))  # bumps shard 0's version
         publisher.begin_search()
-        new_name, _ = publisher.publish(shard)  # B publishes v+1
+        _, new_name = publisher.publish(shard)  # B publishes v+1
         assert new_name != old_name
         attached = shared_memory.SharedMemory(name=old_name)  # A's worker attaches late
         attached.close()
