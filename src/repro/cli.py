@@ -13,6 +13,9 @@ The subcommands cover the common workflows::
     python -m repro serve --port 7010 --metrics-port 9110   # + Prometheus scrape
     python -m repro serve-bench --storage-tier tiered   # shm vs mmap -> BENCH_7.json
     python -m repro stats 127.0.0.1:7010     # stats + metrics of a running server
+    python -m repro scenario list            # built-in adversarial scenarios
+    python -m repro scenario run --scenario padding-adaptive --tenants 2
+    python -m repro scenario run --scenario all --out BENCH_8.json
     python -m repro requantize DIR --check   # drift report on a saved deployment
     python -m repro migrate DIR              # legacy npz archives -> RSG1 segments
 
@@ -192,6 +195,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--slow-query-ms", type=float, default=250.0,
         help="log any query slower than this many milliseconds (0 disables)",
+    )
+    serve.add_argument(
+        "--max-tenants", type=int, default=16,
+        help="cap on wire-provisioned tenant deployments (the `tenant create` "
+             "control op); 1 = single-tenant front-end, no provisioning",
+    )
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="replay adversarial / multi-tenant scenarios against a live "
+             "front-end -> BENCH_8.json",
+    )
+    scenario.add_argument(
+        "action", choices=("run", "list"),
+        help="run scenarios, or list the built-in catalogue",
+    )
+    scenario.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to run (repeatable; 'all' = whole catalogue; default: "
+             "the CI suite of 4)",
+    )
+    scenario.add_argument(
+        "--tenants", type=int, default=2,
+        help="isolated tenants provisioned per scenario (tenant 0 is the "
+             "victim receiving churn/drift/faults)",
+    )
+    scenario.add_argument(
+        "--target", default=None, metavar="HOST:PORT",
+        help="run against an existing `repro serve` front-end (its --dim must "
+             "match --dim here) instead of self-hosting one",
+    )
+    scenario.add_argument(
+        "--queries", type=int, default=None,
+        help="override every scenario's query count (CI pins this)",
+    )
+    scenario.add_argument("--seed", type=int, default=None, help="override every scenario's seed")
+    scenario.add_argument(
+        "--dim", type=int, default=16,
+        help="trace-embedding dimension (must match the target server's corpus)",
+    )
+    scenario.add_argument(
+        "--out", type=Path, default=None,
+        help="write the snapshot JSON here (e.g. BENCH_8.json); default: print only",
     )
 
     stats = subparsers.add_parser(
@@ -497,6 +543,7 @@ def _serve(arguments) -> int:
         FrontendServer,
         ReplicaSet,
         ShardedReferenceStore,
+        TenantRegistry,
     )
     from repro.serving.bench import _shard_index_factory
 
@@ -535,6 +582,34 @@ def _serve(arguments) -> int:
         ),
         ClassifierConfig(k=arguments.k),
     )
+    # Multi-tenant front-end: extra deployments are provisioned over the wire
+    # (`tenant create`) by a factory replicating this server's store shape.
+    tenants = None
+    if arguments.max_tenants > 1:
+
+        def provision_tenant(name: str) -> DeploymentManager:
+            return DeploymentManager(
+                ShardedReferenceStore(
+                    arguments.dim,
+                    n_shards=arguments.shards,
+                    executor=ReplicaSet.in_process(arguments.replicas, router=arguments.router),
+                    index_factory=_shard_index_factory(
+                        arguments.index,
+                        arguments.rerank,
+                        bits=arguments.bits,
+                        opq=arguments.opq,
+                        native_kernels=arguments.native_kernels,
+                        max_cell_fraction=arguments.max_cell_fraction,
+                    ),
+                    storage_dtype=arguments.storage_dtype,
+                    storage_tier=arguments.storage_tier,
+                ),
+                ClassifierConfig(k=arguments.k),
+            )
+
+        tenants = TenantRegistry(
+            manager, factory=provision_tenant, max_tenants=arguments.max_tenants
+        )
     registry = MetricsRegistry()
     tracer = Tracer(
         registry,
@@ -545,7 +620,7 @@ def _serve(arguments) -> int:
     )
     manager.attach_metrics(registry)
     scheduler = BatchScheduler(
-        manager,
+        tenants if tenants is not None else manager,
         max_batch_size=arguments.batch_size,
         max_latency_s=arguments.max_latency_ms / 1e3,
         cache_size=arguments.cache_size,
@@ -554,7 +629,11 @@ def _serve(arguments) -> int:
         tracer=tracer,
     )
     server = FrontendServer(
-        scheduler, manager=manager, host=arguments.host, port=arguments.port
+        scheduler,
+        manager=manager,
+        tenants=tenants,
+        host=arguments.host,
+        port=arguments.port,
     )
     metrics_server = (
         MetricsHTTPServer(registry, host=arguments.host, port=arguments.metrics_port)
@@ -579,6 +658,8 @@ def _serve(arguments) -> int:
         finally:
             if metrics_server is not None:
                 metrics_server.close()
+    if tenants is not None:
+        tenants.close()
     manager.close()
     return 0
 
@@ -688,6 +769,52 @@ def _serve_bench(arguments) -> List[str]:
     return format_summary(snapshot) + [f"wrote {out}"]
 
 
+def _scenario(arguments) -> int:
+    from repro.scenarios.bench import (
+        DEFAULT_SUITE,
+        available_scenarios,
+        format_scenario_summary,
+        run_scenario_bench,
+    )
+    from repro.scenarios.builtin import builtin_scenarios
+
+    if arguments.action == "list":
+        for name, description in available_scenarios():
+            print(f"{name:<18} {description}")
+        return 0
+    names = arguments.scenario if arguments.scenario else list(DEFAULT_SUITE)
+    if "all" in names:
+        names = list(builtin_scenarios())
+    unknown = [name for name in names if name not in builtin_scenarios()]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {', '.join(unknown)}; see `repro scenario list`"
+        )
+    target = None
+    if arguments.target is not None:
+        host, _, port_text = arguments.target.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise SystemExit(f"--target must be HOST:PORT, got {arguments.target!r}")
+        target = (host, int(port_text))
+    if arguments.tenants < 1:
+        raise SystemExit("--tenants must be >= 1")
+    snapshot = run_scenario_bench(
+        names,
+        tenants=arguments.tenants,
+        n_queries=arguments.queries,
+        seed=arguments.seed,
+        target=target,
+        dim=arguments.dim,
+        out=arguments.out,
+    )
+    for line in format_scenario_summary(snapshot):
+        print(line)
+    if arguments.out is not None:
+        print(f"wrote {arguments.out}")
+    acceptance = snapshot["acceptance"]
+    return 0 if acceptance["zero_failed_queries"] and acceptance["tenant_isolation"] else 1
+
+
 def _stats(arguments) -> int:
     import json
 
@@ -795,6 +922,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if arguments.command == "serve":
         return _serve(arguments)
+    if arguments.command == "scenario":
+        return _scenario(arguments)
     if arguments.command == "stats":
         return _stats(arguments)
     if arguments.command == "requantize":

@@ -1,7 +1,13 @@
 """Operational-cost modelling (the framework of Juarez et al., Table III)."""
 
 from repro.costs.model import CostModel, CostBreakdown, Complexity
-from repro.costs.catalogue import SystemProfile, TABLE_III_SYSTEMS, system_profiles, table_iii_rows
+from repro.costs.catalogue import (
+    SystemProfile,
+    TABLE_III_SYSTEMS,
+    adaptive_profile,
+    system_profiles,
+    table_iii_rows,
+)
 
 __all__ = [
     "CostModel",
@@ -9,6 +15,7 @@ __all__ = [
     "Complexity",
     "SystemProfile",
     "TABLE_III_SYSTEMS",
+    "adaptive_profile",
     "system_profiles",
     "table_iii_rows",
 ]

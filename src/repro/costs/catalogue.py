@@ -141,6 +141,17 @@ def system_profiles() -> Dict[str, SystemProfile]:
     return {profile.name: profile for profile in TABLE_III_SYSTEMS}
 
 
+def adaptive_profile() -> SystemProfile:
+    """The paper's own system ("Adaptive Fingerprinting") from Table III.
+
+    The scenario engine prices churn and drift with this profile's cost
+    model: refreshed classes pay collection + re-embedding only (no
+    retraining), which is the operational claim the scenarios exercise
+    against a live deployment.
+    """
+    return system_profiles()["Adaptive Fingerprinting"]
+
+
 def table_iii_rows() -> List[Dict[str, object]]:
     """Table III as a list of plain dictionaries (one per system row)."""
     rows = []

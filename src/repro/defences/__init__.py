@@ -14,6 +14,7 @@ from repro.defences.random_padding import RandomPaddingDefence
 from repro.defences.adaptive_padding import AdaptivePaddingDefence
 from repro.defences.anonymity_sets import AnonymitySetPadding
 from repro.defences.overhead import bandwidth_overhead, defence_report, DefenceReport
+from repro.defences.spec import DEFENCE_KINDS, DefenceConfigError, defence_from_spec
 
 __all__ = [
     "TraceDefence",
@@ -21,7 +22,10 @@ __all__ = [
     "RandomPaddingDefence",
     "AdaptivePaddingDefence",
     "AnonymitySetPadding",
+    "DEFENCE_KINDS",
+    "DefenceConfigError",
     "bandwidth_overhead",
+    "defence_from_spec",
     "defence_report",
     "DefenceReport",
 ]

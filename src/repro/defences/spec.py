@@ -1,0 +1,102 @@
+"""Build trace defences from declarative JSON-style specs.
+
+The scenario engine (and anything else that configures defences from a
+file, a CLI flag or a wire message) describes a defence as a plain dict —
+``{"kind": "adaptive", "fill_probability": 0.4}`` — and this module turns
+that into a :class:`~repro.defences.base.TraceDefence`.  A corrupt spec is
+a *structured* :class:`DefenceConfigError` naming the field that is wrong,
+never a bare ``TypeError`` from a constructor: a scenario run must reject
+a bad config up front, not crash halfway through a replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.defences.adaptive_padding import AdaptivePaddingDefence
+from repro.defences.base import TraceDefence
+from repro.defences.fixed_length import FixedLengthPadding
+from repro.defences.random_padding import RandomPaddingDefence
+
+DEFENCE_KINDS = ("none", "fixed-length", "random", "adaptive")
+
+
+class DefenceConfigError(ValueError):
+    """A defence spec that cannot be built, with the offending field.
+
+    ``field`` names the spec key that is wrong (``"kind"`` when the defence
+    kind itself is unknown), so error reports — and the scenario engine's
+    structured rejections — can point at the exact knob to fix.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+def _number(spec: Dict, field: str, default: float, *, positive: bool = True) -> float:
+    value = spec.get(field, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DefenceConfigError(field, f"{field} must be a number, got {value!r}")
+    if positive and value <= 0:
+        raise DefenceConfigError(field, f"{field} must be positive, got {value!r}")
+    return float(value)
+
+
+def defence_from_spec(spec: Optional[Dict]) -> Optional[TraceDefence]:
+    """A :class:`TraceDefence` from a declarative spec dict.
+
+    ``None`` and ``{"kind": "none"}`` mean "no defence" and return ``None``.
+    Recognised kinds and their knobs:
+
+    * ``"fixed-length"`` — ``per_sequence`` (bool, default True),
+      optional ``target_totals`` (list of per-sequence byte targets);
+    * ``"random"`` — ``max_fraction`` (default 0.3);
+    * ``"adaptive"`` — ``fill_probability`` (default 0.3), ``burst_scale``
+      (default 0.5).
+
+    Raises :class:`DefenceConfigError` for anything else.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise DefenceConfigError("kind", f"a defence spec must be a dict, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind == "none":
+        return None
+    if kind == "fixed-length":
+        per_sequence = spec.get("per_sequence", True)
+        if not isinstance(per_sequence, bool):
+            raise DefenceConfigError(
+                "per_sequence", f"per_sequence must be a bool, got {per_sequence!r}"
+            )
+        target_totals = spec.get("target_totals")
+        if target_totals is not None:
+            try:
+                target_totals = np.asarray(target_totals, dtype=np.float64)
+            except (TypeError, ValueError) as error:
+                raise DefenceConfigError(
+                    "target_totals", f"target_totals is not numeric: {error}"
+                ) from error
+            if target_totals.ndim != 1 or target_totals.size == 0 or np.any(target_totals < 0):
+                raise DefenceConfigError(
+                    "target_totals", "target_totals must be a non-empty 1-D list of byte counts"
+                )
+        return FixedLengthPadding(per_sequence=per_sequence, target_totals=target_totals)
+    if kind == "random":
+        return RandomPaddingDefence(max_fraction=_number(spec, "max_fraction", 0.3))
+    if kind == "adaptive":
+        fill_probability = _number(spec, "fill_probability", 0.3)
+        if fill_probability > 1.0:
+            raise DefenceConfigError(
+                "fill_probability", f"fill_probability must be in (0, 1], got {fill_probability!r}"
+            )
+        return AdaptivePaddingDefence(
+            fill_probability=fill_probability,
+            burst_scale=_number(spec, "burst_scale", 0.5),
+        )
+    raise DefenceConfigError(
+        "kind", f"unknown defence kind {kind!r}; expected one of {DEFENCE_KINDS}"
+    )

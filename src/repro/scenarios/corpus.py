@@ -1,0 +1,233 @@
+"""Corpus synthesis for scenario replays: pages → traces → embeddings.
+
+The serving stack classifies *embeddings*; the paper's defences and drift
+models operate on *traces* and *pages*.  This module is the bridge that
+lets a scenario genuinely perturb what the server sees: a synthetic
+website is crawled into labelled trace datasets
+(:func:`repro.traces.build.collect_dataset`), and a deterministic
+random-projection :class:`TraceEmbedder` maps traces to fixed-dimension
+embeddings.  Reference embeddings come from clean crawls; query embeddings
+come from *defended* (padded) or *drifted* (re-crawled after page updates)
+traces of the same pages — so a padding defence or a content update moves
+the query embeddings exactly the way it would move a real deployment's,
+and the measured recall drop is earned, not simulated.
+
+Every step is deterministic in the corpus seed: website generation, the
+crawls, the projection matrix and the query sampling all derive from it,
+which is what makes scenario replays reproducible across runs and
+platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.defences.base import TraceDefence
+from repro.defences.fixed_length import FixedLengthPadding
+from repro.traces.build import collect_dataset
+from repro.traces.dataset import TraceDataset
+from repro.web.generators import GithubLikeGenerator, WikipediaLikeGenerator
+from repro.web.website import Website
+
+GENERATOR_KINDS = ("wiki", "github")
+
+
+class TraceEmbedder:
+    """Deterministic statistics-plus-projection embedding of traces.
+
+    Per-position byte counts jitter between visits of the same page (burst
+    alignment moves), but per-sequence aggregates — total bytes, number of
+    active positions, burst sizes — are stable per page and shift under
+    both padding defences and content drift.  The embedder therefore
+    summarises each TLS record sequence into four log-scaled statistics
+    and applies a seeded Gaussian projection to ``dim`` dimensions.  The
+    matrix depends only on ``(input shape, dim, seed)``, so references and
+    queries embed consistently across processes, and revisits of a page
+    land near its reference cluster while padded or drifted traffic is
+    displaced in proportion to how much the traffic actually changed.
+    """
+
+    STATS_PER_SEQUENCE = 4
+
+    def __init__(self, n_sequences: int, sequence_length: int, *, dim: int = 16, seed: int = 0) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.n_sequences = int(n_sequences)
+        self.sequence_length = int(sequence_length)
+        self.dim = int(dim)
+        self.seed = int(seed)
+        rng = np.random.default_rng(seed)
+        n_features = self.n_sequences * self.STATS_PER_SEQUENCE
+        self._projection = rng.standard_normal((n_features, self.dim)) / np.sqrt(self.dim)
+
+    def _features(self, data: np.ndarray) -> np.ndarray:
+        raw = np.expm1(data)
+        totals = np.log1p(raw.sum(axis=2))
+        active = np.log1p((raw > 0).sum(axis=2))
+        peak = np.log1p(raw.max(axis=2))
+        spread = np.log1p(raw.std(axis=2))
+        return np.concatenate([totals, active, peak, spread], axis=1)
+
+    def embed(self, dataset: TraceDataset) -> np.ndarray:
+        """``(n_traces, dim)`` float64 embeddings of a trace dataset."""
+        data = np.asarray(dataset.data, dtype=np.float64)
+        if data.shape[1:] != (self.n_sequences, self.sequence_length):
+            raise ValueError(
+                f"dataset shape {data.shape[1:]} does not match the embedder's "
+                f"({self.n_sequences}, {self.sequence_length})"
+            )
+        return self._features(data) @ self._projection
+
+
+@dataclass
+class ScenarioCorpus:
+    """Everything one tenant's scenario replay draws from.
+
+    ``reference`` holds the clean crawls the deployment serves;
+    ``queries`` holds *held-out* crawls of the same pages (different
+    visits), which is what makes undefended recall meaningful.
+    ``holdout_labels`` are pages crawled but *not* provisioned, so churn
+    ``add`` operations have genuinely new classes to introduce.
+    """
+
+    website: Website
+    reference: TraceDataset
+    queries: TraceDataset
+    embedder: TraceEmbedder
+    seed: int
+    visits_per_page: int
+    holdout_labels: List[str] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        generator: str = "wiki",
+        n_pages: int = 10,
+        visits_per_page: int = 6,
+        dim: int = 16,
+        seed: int = 0,
+        holdout_pages: int = 2,
+    ) -> "ScenarioCorpus":
+        """Generate a website, crawl it, and split reference/query visits."""
+        if generator not in GENERATOR_KINDS:
+            raise ValueError(f"unknown generator {generator!r}; expected one of {GENERATOR_KINDS}")
+        if n_pages <= holdout_pages:
+            raise ValueError("n_pages must exceed holdout_pages")
+        if visits_per_page < 2:
+            raise ValueError("visits_per_page must be at least 2 (reference + query splits)")
+        if generator == "wiki":
+            website = WikipediaLikeGenerator(n_pages=n_pages, seed=seed).generate()
+        else:
+            website = GithubLikeGenerator(n_pages=n_pages, seed=seed).generate()
+        dataset = collect_dataset(website, visits_per_page=visits_per_page, seed=seed)
+        reference, queries = dataset.split_per_class(0.5, seed=seed)
+        embedder = TraceEmbedder(
+            dataset.n_sequences, dataset.sequence_length, dim=dim, seed=seed
+        )
+        page_ids = sorted(website.page_ids)
+        holdout = page_ids[len(page_ids) - holdout_pages :] if holdout_pages else []
+        return cls(
+            website=website,
+            reference=reference,
+            queries=queries,
+            embedder=embedder,
+            seed=int(seed),
+            visits_per_page=int(visits_per_page),
+            holdout_labels=holdout,
+        )
+
+    # ------------------------------------------------------------------ labels
+    @property
+    def monitored_labels(self) -> List[str]:
+        """Pages the deployment serves (everything but the holdout)."""
+        return [name for name in self.reference.class_names if name not in self.holdout_labels]
+
+    def _class_rows(self, dataset: TraceDataset, label: str) -> np.ndarray:
+        class_id = dataset.class_names.index(label)
+        return np.flatnonzero(dataset.labels == class_id)
+
+    def reference_embeddings(self, labels: Optional[Sequence[str]] = None) -> Dict[str, np.ndarray]:
+        """Per-class reference embeddings for provisioning a deployment."""
+        embedded = self.embedder.embed(self.reference)
+        wanted = list(labels) if labels is not None else self.monitored_labels
+        return {label: embedded[self._class_rows(self.reference, label)] for label in wanted}
+
+    # ----------------------------------------------------------------- queries
+    def _fixed_length_targets(self, defence: TraceDefence) -> TraceDefence:
+        """FL padding with targets learned from the *reference* corpus.
+
+        A live defence pads traffic to targets observed on a previously
+        collected corpus, not on the traffic being padded — so FL specs
+        without explicit targets learn per-sequence maxima from the
+        reference crawls.
+        """
+        if isinstance(defence, FixedLengthPadding) and defence.target_totals is None:
+            raw = np.expm1(np.asarray(self.reference.data, dtype=np.float64))
+            if defence.per_sequence:
+                return FixedLengthPadding(per_sequence=True, target_totals=raw.sum(axis=2).max(axis=0))
+            return FixedLengthPadding(per_sequence=False, target_totals=raw.sum(axis=(1, 2)).max())
+        return defence
+
+    def query_stream(
+        self,
+        n_queries: int,
+        *,
+        defence: Optional[TraceDefence] = None,
+        labels: Optional[Sequence[str]] = None,
+        source: Optional[TraceDataset] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, List[str], float]:
+        """``(embeddings, true_labels, defence_overhead)`` for a replay.
+
+        Queries are sampled (with replacement) from the held-out visits of
+        the monitored pages, the defence — if any — is applied to the
+        *sampled traces* before embedding, and the bandwidth overhead the
+        defence cost is measured on exactly the traffic that was sent.
+        """
+        if n_queries <= 0:
+            raise ValueError("n_queries must be positive")
+        if rng is None:
+            rng = np.random.default_rng(self.seed + 1)
+        dataset = source if source is not None else self.queries
+        wanted = list(labels) if labels is not None else self.monitored_labels
+        wanted = [label for label in wanted if label in dataset.class_names]
+        if not wanted:
+            raise ValueError("no monitored labels present in the query dataset")
+        rows = np.concatenate([self._class_rows(dataset, label) for label in wanted])
+        chosen = rows[rng.integers(0, rows.size, size=n_queries)]
+        sampled = dataset.subset(chosen.tolist())
+        overhead = 0.0
+        defended = sampled
+        if defence is not None:
+            defence = self._fixed_length_targets(defence)
+            defended = defence.apply(sampled, log_scaled=True, seed=int(rng.integers(2**31)))
+            original_bytes = float(np.expm1(sampled.data).sum())
+            defended_bytes = float(np.expm1(defended.data).sum())
+            overhead = (defended_bytes - original_bytes) / max(original_bytes, 1e-9)
+        true_labels = [sampled.label_name(int(label)) for label in sampled.labels]
+        return self.embedder.embed(defended), true_labels, overhead
+
+    # ------------------------------------------------------------------- drift
+    def recrawl(
+        self, page_ids: Sequence[str], *, visits_per_page: Optional[int] = None, seed_offset: int = 1
+    ) -> TraceDataset:
+        """Fresh crawls of ``page_ids`` against the *current* website state.
+
+        After a drift model mutates pages in place, this is how both the
+        adversary's adaptation (new reference embeddings for
+        ``replace_class``) and the drifted victim traffic (phase-two query
+        streams) are produced — from the same updated pages, but different
+        crawl seeds, so they are correlated without being identical.
+        """
+        if not page_ids:
+            raise ValueError("recrawl needs at least one page id")
+        return collect_dataset(
+            self.website,
+            page_ids=list(page_ids),
+            visits_per_page=visits_per_page or max(2, self.visits_per_page // 2),
+            seed=self.seed + 7919 * seed_offset,
+        )

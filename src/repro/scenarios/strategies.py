@@ -1,0 +1,157 @@
+"""Property-based scenario generation and replay invariants.
+
+Scenario schedules are a natural property-based domain: any *valid* spec —
+whatever defence, drift schedule, churn mix or fault list it draws — must
+replay against a live front-end with zero failed queries and intact tenant
+isolation.  This module provides the generators for that search in two
+forms: `hypothesis`_ strategies (:func:`scenario_specs`) when the library
+is installed, and a seeded stdlib-``random`` fallback
+(:func:`random_spec`) so the property suite still runs — with less
+adversarial shrinking — on minimal environments.
+
+The invariants themselves (:func:`check_report_invariants`) are plain
+assertions over a :class:`~repro.scenarios.engine.ScenarioReport`, shared
+by the hypothesis properties, the stdlib fallback loop and the CI
+scenarios job, so every harness enforces the same contract.
+
+.. _hypothesis: https://hypothesis.readthedocs.io/
+"""
+
+from __future__ import annotations
+
+import random as stdlib_random
+from typing import Optional
+
+from repro.scenarios.engine import FAULT_KINDS, ScenarioReport, ScenarioSpec
+
+try:  # pragma: no cover - import guard
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - minimal environments
+    st = None
+    HAVE_HYPOTHESIS = False
+
+
+_DEFENCE_SPECS = (
+    None,
+    {"kind": "none"},
+    {"kind": "adaptive", "fill_probability": 0.4},
+    {"kind": "fixed-length"},
+    {"kind": "random", "max_fraction": 0.3},
+)
+
+_DRIFT_SPECS = (
+    None,
+    {"kind": "minor", "relative_change": 0.1, "fraction": 0.5},
+    {"kind": "gradual", "steps": 4, "per_step_change": 0.1, "fraction": 0.5},
+)
+
+_CHURN_SPECS = (
+    None,
+    {"replace": 1},
+    {"replace": 2, "add": 1},
+    {"replace": 1, "add": 1, "remove": 1},
+)
+
+_OPEN_WORLD_SPECS = (None, {"fraction": 0.25})
+
+_FAULT_SPECS = ((), ("replica-flap",))
+
+
+def scenario_specs(
+    *,
+    max_queries: int = 48,
+    allow_faults: bool = True,
+):
+    """A hypothesis strategy drawing small valid :class:`ScenarioSpec`\\ s.
+
+    Sizes are deliberately tiny (a handful of pages, tens of queries) so a
+    drawn spec replays against a live server in well under a second and
+    hypothesis can afford dozens of examples.  Requires hypothesis; check
+    :data:`HAVE_HYPOTHESIS` first or call :func:`random_spec` instead.
+    """
+    if not HAVE_HYPOTHESIS:
+        raise RuntimeError("hypothesis is not installed; use random_spec() instead")
+    faults = st.sampled_from(_FAULT_SPECS) if allow_faults else st.just(())
+    return st.builds(
+        ScenarioSpec,
+        name=st.just("property-draw"),
+        n_pages=st.integers(min_value=5, max_value=8),
+        visits_per_page=st.integers(min_value=4, max_value=6),
+        holdout_pages=st.integers(min_value=1, max_value=2),
+        n_queries=st.integers(min_value=8, max_value=max_queries),
+        top_k=st.integers(min_value=1, max_value=3),
+        request_batch_size=st.sampled_from((4, 8, 16)),
+        n_clients=st.integers(min_value=1, max_value=3),
+        defence=st.sampled_from(_DEFENCE_SPECS),
+        drift=st.sampled_from(_DRIFT_SPECS),
+        churn=st.sampled_from(_CHURN_SPECS),
+        open_world=st.sampled_from(_OPEN_WORLD_SPECS),
+        faults=faults,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+
+
+def random_spec(
+    rng: stdlib_random.Random, *, max_queries: int = 48, allow_faults: bool = True
+) -> ScenarioSpec:
+    """One valid random spec from a stdlib ``random.Random`` stream.
+
+    The fallback generator for environments without hypothesis: the same
+    domain as :func:`scenario_specs`, minus shrinking.  Deterministic in
+    the generator's state, so failures reproduce from the seed alone.
+    """
+    faults = rng.choice(_FAULT_SPECS) if allow_faults else ()
+    return ScenarioSpec(
+        name="property-draw",
+        n_pages=rng.randint(5, 8),
+        visits_per_page=rng.randint(4, 6),
+        holdout_pages=rng.randint(1, 2),
+        n_queries=rng.randint(8, max_queries),
+        top_k=rng.randint(1, 3),
+        request_batch_size=rng.choice((4, 8, 16)),
+        n_clients=rng.randint(1, 3),
+        defence=rng.choice(_DEFENCE_SPECS),
+        drift=rng.choice(_DRIFT_SPECS),
+        churn=rng.choice(_CHURN_SPECS),
+        open_world=rng.choice(_OPEN_WORLD_SPECS),
+        faults=faults,
+        seed=rng.randint(0, 2**16),
+    )
+
+
+def check_report_invariants(
+    report: ScenarioReport, *, min_baseline_recall: Optional[float] = None
+) -> None:
+    """Assert the invariants every scenario replay must satisfy.
+
+    * zero failed queries — churn, drift, faults and defences may cost
+      recall, never availability;
+    * tenant isolation — no prediction carries a foreign tenant's label,
+      and no bystander deployment changed generation;
+    * internal consistency — recalls in ``[0, 1]``, recall@k >= recall@1,
+      p99 >= p50, per-tenant query counts sum to the total.
+
+    ``min_baseline_recall`` additionally bounds recall@1 from below — only
+    meaningful for undefended, drift-free scenarios.
+    """
+    assert report.failed == 0, f"{report.scenario}: {report.failed} failed queries"
+    assert report.isolation_ok, f"{report.scenario}: tenant isolation violated"
+    for tenant in report.tenants:
+        assert tenant.foreign_labels == 0, (
+            f"{report.scenario}/{tenant.tenant}: {tenant.foreign_labels} foreign labels"
+        )
+        assert 0.0 <= tenant.recall_at_1 <= 1.0
+        assert 0.0 <= tenant.recall_at_k <= 1.0
+        assert tenant.recall_at_k >= tenant.recall_at_1 - 1e-9
+        assert tenant.p99_ms >= tenant.p50_ms - 1e-9
+    assert 0.0 <= report.recall_at_1 <= 1.0
+    assert report.recall_at_k >= report.recall_at_1 - 1e-9
+    assert report.n_queries == sum(tenant.n_queries for tenant in report.tenants)
+    if min_baseline_recall is not None:
+        assert report.recall_at_1 >= min_baseline_recall, (
+            f"{report.scenario}: recall@1 {report.recall_at_1:.3f} "
+            f"< floor {min_baseline_recall:.3f}"
+        )
+    assert report.ok

@@ -56,9 +56,11 @@ from repro.serving.sharded_store import (
     ServingError,
     ShardedReferenceStore,
 )
+from repro.serving.tenancy import DEFAULT_TENANT, TenantRegistry, UnknownTenantError
 
 __all__ = [
     "BatchScheduler",
+    "DEFAULT_TENANT",
     "DeploymentManager",
     "FrontendClient",
     "FrontendServer",
@@ -79,5 +81,7 @@ __all__ = [
     "ServingError",
     "ServingSnapshot",
     "ShardedReferenceStore",
+    "TenantRegistry",
+    "UnknownTenantError",
     "open_world_mix",
 ]

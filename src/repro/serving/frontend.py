@@ -39,6 +39,7 @@ from repro.serving import protocol
 from repro.serving.protocol import ProtocolError
 from repro.serving.scheduler import BatchScheduler
 from repro.serving.sharded_store import ServingError
+from repro.serving.tenancy import DEFAULT_TENANT, TenantRegistry, UnknownTenantError
 
 _RESULT_TIMEOUT_S = 60.0
 
@@ -66,7 +67,9 @@ class FrontendStats:
             "repro_frontend_frames_total", "Well-framed client frames received."
         )
         self._queries = registry.counter(
-            "repro_frontend_queries_total", "Query embeddings received over the wire."
+            "repro_frontend_queries_total",
+            "Query embeddings received over the wire, by tenant.",
+            labels=("tenant",),
         )
         self._errors = registry.counter(
             "repro_frontend_errors_total",
@@ -91,8 +94,13 @@ class FrontendStats:
 
     @property
     def queries(self) -> int:
-        """Query embeddings received."""
-        return int(self._queries.value())
+        """Query embeddings received (all tenants)."""
+        return int(self._queries.total())
+
+    @property
+    def queries_by_tenant(self) -> Dict[str, int]:
+        """Query embeddings received, per tenant."""
+        return {labels["tenant"]: int(value) for labels, value in self._queries.samples()}
 
     @property
     def errors(self) -> int:
@@ -117,9 +125,9 @@ class FrontendStats:
         """Count one well-framed client frame."""
         self._frames.inc()
 
-    def count_queries(self, n: int) -> None:
-        """Count ``n`` query embeddings received."""
-        self._queries.inc(n)
+    def count_queries(self, n: int, *, tenant: str = DEFAULT_TENANT) -> None:
+        """Count ``n`` query embeddings received for ``tenant``."""
+        self._queries.inc(n, tenant=tenant)
 
     def count_error(self, code: str) -> None:
         """Count one error frame under its machine-readable code."""
@@ -132,6 +140,7 @@ class FrontendStats:
             "open_connections": self.open_connections,
             "frames": self.frames,
             "queries": self.queries,
+            "queries_by_tenant": self.queries_by_tenant,
             "errors": self.errors,
             "errors_by_code": self.errors_by_code,
         }
@@ -143,6 +152,10 @@ class FrontendServer:
     ``scheduler`` handles queries; ``manager`` (optional, a
     :class:`~repro.serving.manager.DeploymentManager`) additionally enables
     the ``info``/``rebalance`` control operations that need the live store.
+    ``tenants`` (optional, a :class:`~repro.serving.tenancy.TenantRegistry`)
+    turns the front-end multi-tenant: queries and control ops carrying a
+    tenant name route to that tenant's deployment, and the ``tenant``
+    / ``tenants`` control ops manage the registry over the wire.
     """
 
     def __init__(
@@ -150,6 +163,7 @@ class FrontendServer:
         scheduler: BatchScheduler,
         *,
         manager=None,
+        tenants: Optional[TenantRegistry] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         n_handler_threads: int = 8,
@@ -159,6 +173,9 @@ class FrontendServer:
         if n_handler_threads <= 0:
             raise ValueError("n_handler_threads must be positive")
         self.scheduler = scheduler
+        self.tenants = tenants
+        if manager is None and tenants is not None:
+            manager = tenants.default
         self.manager = manager
         self.host = host
         self.port = int(port)  # 0 = ephemeral; rewritten once bound
@@ -336,7 +353,12 @@ class FrontendServer:
         self.stats.count_error(error.code)
         try:
             writer.write(
-                protocol.encode_error(error.code, str(error), recoverable=error.recoverable)
+                protocol.encode_error(
+                    error.code,
+                    str(error),
+                    recoverable=error.recoverable,
+                    details=getattr(error, "details", None),
+                )
             )
             await writer.drain()
         except (ConnectionError, OSError):
@@ -359,9 +381,11 @@ class FrontendServer:
 
     async def _handle_query(self, payload: bytes) -> bytes:
         request_start = time.perf_counter()
-        batch, top_n = protocol.decode_query(payload)
+        batch, top_n, tenant = protocol.decode_query(payload)
+        if tenant == DEFAULT_TENANT:
+            tenant = None  # "default" and no-tenant-block are the same route
         self._decode_hist.observe(time.perf_counter() - request_start)
-        store = self._store()
+        store = self._store(tenant)
         if store is not None and batch.shape[1] != store.embedding_dim:
             raise ProtocolError(
                 "bad-dim",
@@ -374,9 +398,9 @@ class FrontendServer:
             )
         loop = asyncio.get_running_loop()
         generation, ranked = await loop.run_in_executor(
-            self._executor, self._classify_block, batch, top_n
+            self._executor, self._classify_block, batch, top_n, tenant
         )
-        self.stats.count_queries(batch.shape[0])
+        self.stats.count_queries(batch.shape[0], tenant=tenant or DEFAULT_TENANT)
         encode_start = time.perf_counter()
         response = protocol.encode_result(generation, ranked)
         self._encode_hist.observe(time.perf_counter() - encode_start)
@@ -384,10 +408,15 @@ class FrontendServer:
         return response
 
     def _classify_block(
-        self, batch: np.ndarray, top_n: int
+        self, batch: np.ndarray, top_n: int, tenant: Optional[str] = None
     ) -> Tuple[int, List[Tuple[List[str], List[float]]]]:
         """Blocking classification of one frame's batch (thread-pool side)."""
-        tickets = [self.scheduler.submit(embedding) for embedding in batch]
+        try:
+            tickets = [self.scheduler.submit(embedding, tenant=tenant) for embedding in batch]
+        except UnknownTenantError as error:
+            raise ProtocolError(
+                "unknown-tenant", str(error), details={"tenant": error.tenant}
+            ) from error
         if not self.scheduler.running:
             self.scheduler.flush()
         ranked: List[Tuple[List[str], List[float]]] = []
@@ -401,16 +430,99 @@ class FrontendServer:
         # can land between submit and execute).  A batch straddling a swap
         # reports the newest snapshot that served any of its queries.
         generations = [ticket.generation for ticket in tickets if ticket.generation is not None]
-        generation = max(generations) if generations else self.scheduler.source.snapshot().generation
-        return generation, ranked
+        if generations:
+            return max(generations), ranked
+        manager = self._manager_for(tenant)
+        if manager is not None:
+            return manager.generation, ranked
+        return self.scheduler.source.snapshot().generation, ranked
 
-    def _store(self):
-        if self.manager is not None:
-            return self.manager.store
+    def _manager_for(self, tenant: Optional[str]):
+        """The deployment manager serving ``tenant`` (None when unmanaged).
+
+        Raises ``unknown-tenant`` for a named tenant nobody answers to —
+        including any named tenant on a single-tenant front-end.
+        """
+        if tenant is None or (self.tenants is None and tenant == DEFAULT_TENANT):
+            return self.manager
+        if self.tenants is None:
+            raise ProtocolError(
+                "unknown-tenant",
+                f"this front-end is single-tenant; unknown tenant {tenant!r}",
+                details={"tenant": tenant},
+            )
+        try:
+            return self.tenants.get(tenant)
+        except UnknownTenantError as error:
+            raise ProtocolError(
+                "unknown-tenant", str(error), details={"tenant": error.tenant}
+            ) from error
+
+    def _store(self, tenant: Optional[str] = None):
+        manager = self._manager_for(tenant)
+        if manager is not None:
+            return manager.store
         return None
 
     def _handle_control(self, body: Dict) -> bytes:
         op = body.get("op")
+        try:
+            return self._control_op(op, body)
+        except ProtocolError as error:
+            # Echo the op into the structured error body: a client
+            # pipelining several control ops must be able to tell which
+            # one the server rejected.
+            if isinstance(op, str):
+                error.details.setdefault("op", op)
+            raise
+
+    def _control_tenant(self, body: Dict) -> Optional[str]:
+        """The validated tenant routing key of a control body (or None)."""
+        tenant = body.get("tenant")
+        if tenant is None or tenant == DEFAULT_TENANT:
+            return None
+        protocol.validate_tenant(tenant)
+        return tenant
+
+    def _require_manager(self, tenant: Optional[str], *, action: str):
+        manager = self._manager_for(tenant)
+        if manager is None:
+            raise ProtocolError("bad-control", f"no deployment manager attached; cannot {action}")
+        return manager
+
+    def _embeddings_from(self, body: Dict, store) -> np.ndarray:
+        """Validated ``(n, dim)`` float64 block from a control body."""
+        embeddings = body.get("embeddings")
+        if not isinstance(embeddings, list) or not embeddings:
+            raise ProtocolError("bad-control", "embeddings must be a non-empty list of rows")
+        try:
+            block = np.asarray(embeddings, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("bad-control", f"embeddings are not numeric: {error}") from error
+        if block.ndim != 2 or block.shape[0] == 0 or block.shape[1] == 0:
+            raise ProtocolError(
+                "bad-control", f"embeddings must be a rectangular (n, dim) block, got {block.shape}"
+            )
+        if not np.isfinite(block).all():
+            raise ProtocolError(
+                "bad-values", "reference embeddings contain NaN/inf values; refusing to store"
+            )
+        if store is not None and len(store) and block.shape[1] != store.embedding_dim:
+            raise ProtocolError(
+                "bad-dim",
+                f"embeddings have dimension {block.shape[1]}, "
+                f"the deployment serves dimension {store.embedding_dim}",
+            )
+        return block
+
+    @staticmethod
+    def _label_from(body: Dict) -> str:
+        label = body.get("label")
+        if not isinstance(label, str) or not label:
+            raise ProtocolError("bad-control", f"label must be a non-empty string, got {label!r}")
+        return label
+
+    def _control_op(self, op, body: Dict) -> bytes:
         if op == "ping":
             return protocol.encode_json(protocol.CONTROL, {"ok": True})
         if op == "stats":
@@ -446,11 +558,15 @@ class FrontendServer:
                 },
             )
         if op == "info":
-            store = self._store()
+            tenant = self._control_tenant(body)
+            manager = self._manager_for(tenant)
+            store = manager.store if manager is not None else None
             info: Dict = {"ok": True}
-            if self.manager is not None and store is not None:
+            if tenant is not None:
+                info["tenant"] = tenant
+            if manager is not None and store is not None:
                 info.update(
-                    generation=self.manager.generation,
+                    generation=manager.generation,
                     n_references=len(store),
                     n_classes=store.n_classes,
                     embedding_dim=store.embedding_dim,
@@ -466,25 +582,21 @@ class FrontendServer:
                     info["n_replicas"] = replicas
             return protocol.encode_json(protocol.CONTROL, info)
         if op == "rebalance":
-            if self.manager is None:
-                raise ProtocolError("bad-control", "no deployment manager attached; cannot rebalance")
+            manager = self._require_manager(self._control_tenant(body), action="rebalance")
             threshold = body.get("threshold", 0.25)
             if not isinstance(threshold, (int, float)) or not 0.0 <= float(threshold):
                 raise ProtocolError("bad-control", f"invalid rebalance threshold {threshold!r}")
-            moves = self.manager.rebalance(threshold=float(threshold))
+            moves = manager.rebalance(threshold=float(threshold))
             return protocol.encode_json(
                 protocol.CONTROL,
                 {
                     "moved": [[label, int(src), int(dst)] for label, src, dst in moves],
-                    "shard_sizes": self.manager.store.shard_sizes(),
-                    "generation": self.manager.generation,
+                    "shard_sizes": manager.store.shard_sizes(),
+                    "generation": manager.generation,
                 },
             )
         if op == "requantize":
-            if self.manager is None:
-                raise ProtocolError(
-                    "bad-control", "no deployment manager attached; cannot requantize"
-                )
+            manager = self._require_manager(self._control_tenant(body), action="requantize")
             sample_size = body.get("sample_size")
             if sample_size is not None and (
                 not isinstance(sample_size, int)
@@ -492,14 +604,144 @@ class FrontendServer:
                 or sample_size <= 0
             ):
                 raise ProtocolError("bad-control", f"invalid sample_size {sample_size!r}")
-            drift_before = float(self.manager.drift_ratio())
-            snapshot = self.manager.requantize(sample_size=sample_size)
+            drift_before = float(manager.drift_ratio())
+            snapshot = manager.requantize(sample_size=sample_size)
             return protocol.encode_json(
                 protocol.CONTROL,
                 {
                     "drift_ratio_before": drift_before,
                     "drift_ratio": float(snapshot.store.drift_ratio()),
                     "generation": snapshot.generation,
+                },
+            )
+        if op == "add":
+            manager = self._require_manager(self._control_tenant(body), action="add a class")
+            label = self._label_from(body)
+            block = self._embeddings_from(body, manager.store)
+            try:
+                snapshot = manager.add_class(label, block)
+            except (ServingError, ValueError) as error:
+                raise ProtocolError("bad-control", str(error)) from error
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "ok": True,
+                    "label": label,
+                    "n_classes": snapshot.store.n_classes,
+                    "generation": snapshot.generation,
+                },
+            )
+        if op == "remove":
+            manager = self._require_manager(self._control_tenant(body), action="remove a class")
+            label = self._label_from(body)
+            try:
+                snapshot = manager.remove_class(label)
+            except (ServingError, ValueError, KeyError) as error:
+                raise ProtocolError("bad-control", str(error)) from error
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "ok": True,
+                    "label": label,
+                    "n_classes": snapshot.store.n_classes,
+                    "generation": snapshot.generation,
+                },
+            )
+        if op == "replace":
+            manager = self._require_manager(self._control_tenant(body), action="replace a class")
+            label = self._label_from(body)
+            block = self._embeddings_from(body, manager.store)
+            try:
+                snapshot = manager.replace_class(label, block)
+            except (ServingError, ValueError, KeyError) as error:
+                raise ProtocolError("bad-control", str(error)) from error
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "ok": True,
+                    "label": label,
+                    "n_classes": snapshot.store.n_classes,
+                    "generation": snapshot.generation,
+                },
+            )
+        if op == "tenant":
+            if self.tenants is None:
+                raise ProtocolError(
+                    "bad-control", "this front-end is single-tenant; no tenant registry attached"
+                )
+            action = body.get("action")
+            name = body.get("name")
+            if not isinstance(name, str):
+                raise ProtocolError("bad-control", f"tenant name must be a string, got {name!r}")
+            protocol.validate_tenant(name)
+            if action == "create":
+                try:
+                    manager = self.tenants.create(name)
+                except ServingError as error:
+                    raise ProtocolError("bad-control", str(error)) from error
+                return protocol.encode_json(
+                    protocol.CONTROL,
+                    {"ok": True, "tenant": name, "generation": manager.generation},
+                )
+            if action == "drop":
+                try:
+                    self.tenants.drop(name)
+                except UnknownTenantError as error:
+                    raise ProtocolError(
+                        "unknown-tenant", str(error), details={"tenant": error.tenant}
+                    ) from error
+                except ServingError as error:
+                    raise ProtocolError("bad-control", str(error)) from error
+                return protocol.encode_json(protocol.CONTROL, {"ok": True, "tenant": name})
+            raise ProtocolError(
+                "bad-control", f"unknown tenant action {action!r}; expected create or drop"
+            )
+        if op == "tenants":
+            if self.tenants is not None:
+                return protocol.encode_json(
+                    protocol.CONTROL, {"tenants": self.tenants.describe()}
+                )
+            report: Dict = {}
+            if self.manager is not None:
+                store = self.manager.store
+                report[DEFAULT_TENANT] = {
+                    "generation": self.manager.generation,
+                    "n_references": len(store),
+                    "n_classes": store.n_classes,
+                    "drift_ratio": float(store.drift_ratio()),
+                }
+            return protocol.encode_json(protocol.CONTROL, {"tenants": report})
+        if op == "replica":
+            manager = self._require_manager(
+                self._control_tenant(body), action="manage replicas"
+            )
+            executor = manager.store.executor
+            if not hasattr(executor, "kill"):
+                raise ProtocolError(
+                    "bad-control", "this deployment has no replica router; nothing to kill"
+                )
+            action = body.get("action")
+            position = body.get("position")
+            if not isinstance(position, int) or isinstance(position, bool):
+                raise ProtocolError("bad-control", f"replica position must be an int, got {position!r}")
+            if action not in ("kill", "restore"):
+                raise ProtocolError(
+                    "bad-control", f"unknown replica action {action!r}; expected kill or restore"
+                )
+            try:
+                if action == "kill":
+                    executor.kill(position)
+                else:
+                    executor.restore(position)
+            except ServingError as error:
+                raise ProtocolError("bad-control", str(error)) from error
+            return protocol.encode_json(
+                protocol.CONTROL,
+                {
+                    "ok": True,
+                    "action": action,
+                    "position": position,
+                    "alive": executor.alive_flags(),
                 },
             )
         raise ProtocolError("bad-control", f"unknown control op {op!r}")

@@ -70,6 +70,7 @@ def open_world_mix(
     zipf_s: float = 1.2,
     reference_labels: Optional[Sequence[str]] = None,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Synthesise ``(queries, is_unmonitored)`` for an open-world replay.
 
@@ -85,6 +86,13 @@ def open_world_mix(
     ``reference_labels``, one per reference row) makes class popularity
     follow a Zipf law with exponent ``zipf_s`` — the realistic hot-class
     traffic for rebalancing and replica-routing experiments.
+
+    Every draw — rows, Zipf classes, noise, outlier directions, the final
+    shuffle — comes from one explicit :class:`numpy.random.Generator`:
+    pass ``rng`` to share a generator across calls (a scenario schedule
+    drawing several mixes from one seeded stream), or ``seed`` alone to
+    get the same stream on every platform.  Module-level NumPy random
+    state is never touched, so replays are reproducible bit-for-bit.
     """
     references = np.atleast_2d(np.asarray(reference_embeddings, dtype=np.float64))
     if references.shape[0] == 0:
@@ -104,7 +112,10 @@ def open_world_mix(
             raise ValueError(
                 f"got {len(reference_labels)} reference_labels for {references.shape[0]} references"
             )
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    elif not isinstance(rng, np.random.Generator):
+        raise TypeError(f"rng must be a numpy.random.Generator, got {type(rng).__name__}")
     n_unmonitored = int(round(n_queries * unmonitored_fraction))
     n_monitored = n_queries - n_unmonitored
 
@@ -333,6 +344,7 @@ class NetworkLoadGenerator:
         *,
         request_batch_size: int = 32,
         top_n: int = 1,
+        tenant: Optional[str] = None,
     ) -> None:
         self.queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if self.queries.shape[0] == 0:
@@ -343,6 +355,8 @@ class NetworkLoadGenerator:
             raise ValueError("top_n must be positive")
         self.request_batch_size = int(request_batch_size)
         self.top_n = int(top_n)
+        # Route the whole stream to one tenant's deployment (None = default).
+        self.tenant = tenant
 
     def replay(
         self,
@@ -378,7 +392,9 @@ class NetworkLoadGenerator:
                 for start, end in spans[client_id::n_clients]:
                     began = time.monotonic()
                     try:
-                        body = client.classify(self.queries[start:end], top_n=self.top_n)
+                        body = client.classify(
+                            self.queries[start:end], top_n=self.top_n, tenant=self.tenant
+                        )
                     except (ProtocolError, OSError):
                         with lock:
                             failures[client_id] += end - start

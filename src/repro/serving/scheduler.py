@@ -283,7 +283,10 @@ class BatchScheduler:
         self.cache_size = int(cache_size)
         self.cache_decimals = int(cache_decimals)
         self.n_executors = int(n_executors)
-        self._pending: List[Tuple[np.ndarray, Optional[Tuple[object, bytes]], QueryTicket]] = []
+        # (embedding, cache key, ticket, tenant); a batch never mixes tenants.
+        self._pending: List[
+            Tuple[np.ndarray, Optional[Tuple[object, bytes]], QueryTicket, Optional[str]]
+        ] = []
         self._wakeup = threading.Condition()
         self._cache: "OrderedDict[Tuple[object, bytes], Prediction]" = OrderedDict()
         if registry is None:
@@ -363,19 +366,43 @@ class BatchScheduler:
         generations that happen to share a counter value."""
         return getattr(snapshot, "cache_token", snapshot.generation)
 
-    def _cache_key(self, embedding: np.ndarray, token: object) -> Optional[Tuple[object, bytes]]:
+    def _source_for(self, tenant: Optional[str]):
+        """The snapshot source serving ``tenant`` (``None`` = the direct
+        source).  Multi-tenant sources (a
+        :class:`~repro.serving.tenancy.TenantRegistry`) expose ``get``; a
+        plain :class:`~repro.serving.manager.DeploymentManager` serves only
+        the default tenant, so a named tenant against it is an error."""
+        if tenant is None:
+            return self._source
+        getter = getattr(self._source, "get", None)
+        if getter is None:
+            raise ServingError(
+                f"this scheduler serves a single deployment; unknown tenant {tenant!r}"
+            )
+        return getter(tenant)
+
+    def _cache_key(
+        self, embedding: np.ndarray, token: object, tenant: Optional[str]
+    ) -> Optional[Tuple[object, bytes]]:
         if self.cache_size == 0:
             return None
         quantized = np.round(embedding, self.cache_decimals) + 0.0  # collapse -0.0
-        return (token, quantized.tobytes())
+        # The tenant rides inside the token: two tenants at the same
+        # (generation, index signature) with byte-identical embeddings must
+        # never share a cached prediction.
+        return ((tenant, token), quantized.tobytes())
 
-    def submit(self, embedding: np.ndarray) -> QueryTicket:
-        """Queue one query embedding; returns immediately with a ticket."""
+    def submit(self, embedding: np.ndarray, *, tenant: Optional[str] = None) -> QueryTicket:
+        """Queue one query embedding; returns immediately with a ticket.
+
+        ``tenant`` routes the query to that tenant's deployment (requires a
+        multi-tenant source); unknown tenants fail here, before queueing.
+        """
         embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
         ticket = QueryTicket(time.monotonic())
         ticket.trace = self.tracer.maybe_trace()
-        snapshot = self._source.snapshot()
-        key = self._cache_key(embedding, self._snapshot_token(snapshot))
+        snapshot = self._source_for(tenant).snapshot()
+        key = self._cache_key(embedding, self._snapshot_token(snapshot), tenant)
         inline_batch = None
         with self._wakeup:
             self.stats.count_submitted()
@@ -401,11 +428,10 @@ class BatchScheduler:
                     ticket.trace.add(
                         "cache_lookup", time.perf_counter() - lookup_start, hit=False
                     )
-            self._pending.append((embedding, key, ticket))
+            self._pending.append((embedding, key, ticket, tenant))
             if len(self._pending) >= self.max_batch_size:
                 if self._thread is None:
-                    inline_batch = self._pending[: self.max_batch_size]
-                    del self._pending[: len(inline_batch)]
+                    inline_batch = self._take_batch_locked()
                 else:
                     self._wakeup.notify()
         if inline_batch:
@@ -413,22 +439,47 @@ class BatchScheduler:
         return ticket
 
     def classify(
-        self, embeddings: np.ndarray, *, timeout: Optional[float] = _DEFAULT_RESULT_TIMEOUT_S
+        self,
+        embeddings: np.ndarray,
+        *,
+        timeout: Optional[float] = _DEFAULT_RESULT_TIMEOUT_S,
+        tenant: Optional[str] = None,
     ) -> List[Prediction]:
         """Submit a block of embeddings and wait for all results."""
         block = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
-        tickets = [self.submit(embedding) for embedding in block]
+        tickets = [self.submit(embedding, tenant=tenant) for embedding in block]
         if self._thread is None:
             self.flush()
         return [ticket.result(timeout) for ticket in tickets]
 
     # -------------------------------------------------------------------- flush
+    def _take_batch_locked(self) -> List[Tuple]:
+        """Pop the next batch off ``_pending`` (wakeup lock held).
+
+        A batch classifies against exactly one snapshot, so it must hold
+        exactly one tenant: take the oldest query's tenant and collect up
+        to ``max_batch_size`` queries for the *same* tenant, preserving
+        per-tenant FIFO order.  Other tenants' queries stay queued and form
+        the next batch.
+        """
+        if not self._pending:
+            return []
+        tenant = self._pending[0][3]
+        batch: List[Tuple] = []
+        kept: List[Tuple] = []
+        for entry in self._pending:
+            if entry[3] == tenant and len(batch) < self.max_batch_size:
+                batch.append(entry)
+            else:
+                kept.append(entry)
+        self._pending[:] = kept
+        return batch
+
     def flush(self) -> None:
         """Synchronously drain every pending query on the calling thread."""
         while True:
             with self._wakeup:
-                batch = self._pending[: self.max_batch_size]
-                del self._pending[: len(batch)]
+                batch = self._take_batch_locked()
             if not batch:
                 return
             self._execute(batch)
@@ -447,8 +498,7 @@ class BatchScheduler:
                     remaining = deadline - time.monotonic()
                     if remaining > 0:
                         self._wakeup.wait(timeout=remaining)
-                batch = self._pending[: self.max_batch_size]
-                del self._pending[: len(batch)]
+                batch = self._take_batch_locked()
             if batch:
                 if self._pool is not None:
                     # Replica-parallel mode: hand the ready batch to the
@@ -460,15 +510,24 @@ class BatchScheduler:
                     self._execute(batch)
 
     # ------------------------------------------------------------------ execute
-    def _execute(self, batch: Sequence[Tuple[np.ndarray, Optional[Tuple[int, bytes]], QueryTicket]]) -> None:
-        snapshot = self._source.snapshot()
+    def _execute(
+        self,
+        batch: Sequence[
+            Tuple[np.ndarray, Optional[Tuple[object, bytes]], QueryTicket, Optional[str]]
+        ],
+    ) -> None:
+        tenant = batch[0][3]  # _take_batch_locked guarantees one tenant per batch
         execute_start = time.monotonic()
-        traced = any(ticket.trace is not None for _, _, ticket in batch)
+        traced = any(ticket.trace is not None for _, _, ticket, _ in batch)
         collector = obs_tracing.push() if traced else None
         try:
             with obs_tracing.timed("batch_assemble", batch_size=len(batch)):
-                embeddings = np.stack([embedding for embedding, _, _ in batch])
+                embeddings = np.stack([embedding for embedding, _, _, _ in batch])
             try:
+                # Resolved per batch: the tenant may have been dropped
+                # between submit and execute, which must fail these tickets,
+                # not crash the flusher thread.
+                snapshot = self._source_for(tenant).snapshot()
                 predictions = snapshot.predict(embeddings)
             except Exception as error:
                 now = time.monotonic()
@@ -476,7 +535,7 @@ class BatchScheduler:
                 self.stats.count_failed(len(batch))
                 message = f"{type(error).__name__}: {error}"
                 self._observe_batch(batch, execute_start, now, collector, failed=True)
-                for _, _, ticket in batch:
+                for _, _, ticket, _ in batch:
                     ticket._fail(message, now)
                 return
         finally:
@@ -487,8 +546,8 @@ class BatchScheduler:
             self.stats.count_batch(len(batch))
             self.stats.count_completed(len(batch))
             if self.cache_size:
-                served_token = self._snapshot_token(snapshot)
-                for (_, key, _), prediction in zip(batch, predictions):
+                served_token = (tenant, self._snapshot_token(snapshot))
+                for (_, key, _, _), prediction in zip(batch, predictions):
                     if key is None:
                         continue
                     # Key under the snapshot actually served, so a swap
@@ -498,7 +557,7 @@ class BatchScheduler:
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
         self._observe_batch(batch, execute_start, now, collector, failed=False)
-        for (_, _, ticket), prediction in zip(batch, predictions):
+        for (_, _, ticket, _), prediction in zip(batch, predictions):
             ticket._fulfil(prediction, now, generation=snapshot.generation)
 
     def _observe_batch(self, batch, execute_start, resolved_at, collector, *, failed: bool) -> None:
@@ -515,7 +574,7 @@ class BatchScheduler:
         batch_seconds = time.monotonic() - execute_start
         queue_waits = []
         latencies = []
-        for _, _, ticket in batch:
+        for _, _, ticket, _ in batch:
             queue_wait = execute_start - ticket.submitted_at
             queue_waits.append(queue_wait)
             latency = resolved_at - ticket.submitted_at

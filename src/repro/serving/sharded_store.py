@@ -773,6 +773,7 @@ class ReplicaSet:
         self._publisher = publisher
         self._inflight = [0] * len(replicas)
         self._routed = [0] * len(replicas)
+        self._alive = [True] * len(replicas)
         self._next = 0
         self._lock = threading.Lock()
 
@@ -827,6 +828,40 @@ class ReplicaSet:
         with self._lock:
             return list(self._inflight)
 
+    def alive_flags(self) -> List[bool]:
+        """Which replicas the router currently routes to (see :meth:`kill`)."""
+        with self._lock:
+            return list(self._alive)
+
+    # ----------------------------------------------------------- fault injection
+    def kill(self, position: int) -> None:
+        """Drain one replica out of the router rotation.
+
+        Drain semantics, not process murder: the router stops picking the
+        replica for *new* searches while in-flight ones run to completion,
+        which is exactly the zero-failed-queries contract a rolling restart
+        (or the scenario engine's ``replica-flap`` fault) needs.  Killing
+        the last live replica is refused — the router would have nowhere to
+        send traffic and every query would fail.
+        """
+        with self._lock:
+            if not 0 <= position < len(self._replicas):
+                raise ServingError(
+                    f"replica {position} does not exist (have {len(self._replicas)})"
+                )
+            if self._alive[position] and sum(self._alive) == 1:
+                raise ServingError("cannot kill the last live replica")
+            self._alive[position] = False
+
+    def restore(self, position: int) -> None:
+        """Bring a drained replica back into the router rotation."""
+        with self._lock:
+            if not 0 <= position < len(self._replicas):
+                raise ServingError(
+                    f"replica {position} does not exist (have {len(self._replicas)})"
+                )
+            self._alive[position] = True
+
     def published_bytes(self) -> Dict[int, int]:
         """Segment bytes of the shared publication (empty for in-process
         replicas, which attach nothing)."""
@@ -851,13 +886,14 @@ class ReplicaSet:
     # ------------------------------------------------------------------ search
     def _acquire(self) -> int:
         with self._lock:
+            live = [idx for idx in range(len(self._replicas)) if self._alive[idx]]
+            if not live:
+                raise ServingError("no live replicas to route to")
             if self.router == "round_robin":
-                position = self._next % len(self._replicas)
+                position = live[self._next % len(live)]
                 self._next += 1
             else:
-                position = min(
-                    range(len(self._replicas)), key=lambda idx: (self._inflight[idx], idx)
-                )
+                position = min(live, key=lambda idx: (self._inflight[idx], idx))
             self._inflight[position] += 1
             self._routed[position] += 1
             return position

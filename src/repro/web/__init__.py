@@ -12,7 +12,14 @@ from repro.web.resource import Resource, ResourceKind
 from repro.web.page import WebPage
 from repro.web.website import Website, Server
 from repro.web.generators import WikipediaLikeGenerator, GithubLikeGenerator
-from repro.web.updates import ContentDrift, MinorUpdate, MajorUpdate, GradualDrift
+from repro.web.updates import (
+    ContentDrift,
+    DRIFT_KINDS,
+    MinorUpdate,
+    MajorUpdate,
+    GradualDrift,
+    drift_from_spec,
+)
 from repro.web.browser import Browser, PageLoadResult
 from repro.web.crawler import Crawler, LabeledCapture
 
@@ -25,9 +32,11 @@ __all__ = [
     "WikipediaLikeGenerator",
     "GithubLikeGenerator",
     "ContentDrift",
+    "DRIFT_KINDS",
     "MinorUpdate",
     "MajorUpdate",
     "GradualDrift",
+    "drift_from_spec",
     "Browser",
     "PageLoadResult",
     "Crawler",

@@ -10,7 +10,7 @@ the attack (and the baselines) behave as the target distribution moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -134,3 +134,37 @@ class GradualDrift(ContentDrift):
             else:
                 current = minor.apply(current, rng)
         return current
+
+
+DRIFT_KINDS = ("minor", "major", "gradual")
+
+
+def drift_from_spec(spec: Optional[Dict]) -> Optional[ContentDrift]:
+    """A :class:`ContentDrift` model from a declarative spec dict.
+
+    The scenario engine describes drift schedules as plain dicts —
+    ``{"kind": "gradual", "steps": 5}`` — mirroring
+    :func:`repro.defences.defence_from_spec` for defences.  ``None`` (and
+    ``{"kind": "none"}``) mean "no drift".  Recognised kinds: ``"minor"``
+    (``relative_change``), ``"major"`` (``mean_content_bytes``), and
+    ``"gradual"`` (``steps``, ``per_step_change``, ``replace_probability``).
+    Anything else raises ``ValueError`` naming the bad field.
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise ValueError(f"a drift spec must be a dict, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind == "none":
+        return None
+    if kind == "minor":
+        return MinorUpdate(relative_change=float(spec.get("relative_change", 0.05)))
+    if kind == "major":
+        return MajorUpdate(mean_content_bytes=float(spec.get("mean_content_bytes", 60_000.0)))
+    if kind == "gradual":
+        return GradualDrift(
+            steps=int(spec.get("steps", 10)),
+            per_step_change=float(spec.get("per_step_change", 0.08)),
+            replace_probability=float(spec.get("replace_probability", 0.15)),
+        )
+    raise ValueError(f"unknown drift kind {kind!r}; expected one of {DRIFT_KINDS}")

@@ -7,9 +7,11 @@ Three contracts, enforced in tier-1 so documentation cannot rot silently:
 * docs/wire-protocol.md matches the constants, caps, error codes and the
   example hexdump of :mod:`repro.serving.protocol` byte for byte, and
   docs/segment-format.md does the same for :mod:`repro.core.segment`;
-* every public symbol of ``core/index.py`` and the ``serving`` package
-  carries a docstring, and docs/index-tuning.md documents every knob the
-  CLI's single source of truth (:mod:`repro.core.knobs`) lists.
+* every public symbol of ``core/index.py``, the ``serving`` package and
+  the ``scenarios`` package carries a docstring, docs/index-tuning.md
+  documents every knob the CLI's single source of truth
+  (:mod:`repro.core.knobs`) lists, and docs/scenarios.md documents every
+  built-in scenario, trace generator and fault kind the engine exports.
 """
 
 import importlib
@@ -38,10 +40,17 @@ DOCUMENTED_MODULES = [
     "repro.serving.protocol",
     "repro.serving.loadgen",
     "repro.serving.bench",
+    "repro.serving.tenancy",
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.tracing",
     "repro.obs.export",
+    "repro.scenarios",
+    "repro.scenarios.corpus",
+    "repro.scenarios.engine",
+    "repro.scenarios.builtin",
+    "repro.scenarios.strategies",
+    "repro.scenarios.bench",
 ]
 
 
@@ -50,6 +59,7 @@ class TestMarkdownLinks:
         assert (REPO / "docs" / "architecture.md").exists()
         assert (REPO / "docs" / "index-tuning.md").exists()
         assert (REPO / "docs" / "wire-protocol.md").exists()
+        assert (REPO / "docs" / "scenarios.md").exists()
 
     @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
     def test_intra_repo_links_resolve(self, path):
@@ -92,6 +102,11 @@ class TestWireProtocolSpec:
         assert f"`MAX_PAYLOAD` | {protocol.MAX_PAYLOAD} " in spec
         assert f"`MAX_BATCH`   | {protocol.MAX_BATCH} " in spec
         assert f"`MAX_DIM`     | {protocol.MAX_DIM} " in spec
+
+    def test_tenant_block(self, spec):
+        assert "`<H`" in spec and protocol.TENANT_HEADER.format == "<H"
+        assert f"`MAX_TENANT` ({protocol.MAX_TENANT})" in spec
+        assert f"`{protocol.TENANT_PATTERN.pattern}`" in spec
 
     def test_error_codes_documented(self, spec):
         # Every code the implementation can emit appears in the spec table.
@@ -177,6 +192,29 @@ class TestSegmentFormatSpec:
         for name in ("embeddings", "label_codes", "class_names", "meta", "index_state__"):
             assert f"`{name}" in spec, f"archive array {name!r} not documented"
             assert name in source
+
+
+class TestScenarioDocs:
+    @pytest.fixture(scope="class")
+    def guide(self):
+        return (REPO / "docs" / "scenarios.md").read_text()
+
+    def test_every_builtin_scenario_documented(self, guide):
+        from repro.scenarios import builtin_scenarios
+
+        for name in builtin_scenarios():
+            assert f"`{name}`" in guide, f"built-in scenario {name!r} not documented"
+
+    def test_generators_and_faults_documented(self, guide):
+        from repro.scenarios import FAULT_KINDS, GENERATOR_KINDS
+
+        for kind in (*GENERATOR_KINDS, *FAULT_KINDS):
+            assert f"`{kind}`" in guide, f"scenario kind {kind!r} not documented"
+
+    def test_cli_entry_points_documented(self, guide):
+        assert "repro scenario run" in guide
+        assert "repro scenario list" in guide
+        assert "BENCH_8" in guide
 
 
 class TestKnobSync:

@@ -342,8 +342,9 @@ class TestProtocolModule:
     def test_query_roundtrip_preserves_float32_values(self):
         batch = np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0
         frame = protocol.encode_query(batch, top_n=5)
-        decoded, top_n = protocol.decode_query(frame[protocol.HEADER.size :])
+        decoded, top_n, tenant = protocol.decode_query(frame[protocol.HEADER.size :])
         assert top_n == 5
+        assert tenant is None
         assert decoded.dtype == np.float64
         np.testing.assert_allclose(decoded, batch, rtol=1e-6)  # float32 wire
 

@@ -1,9 +1,23 @@
 """Property-based churn harness for the serving storage layer.
 
-Schemathesis-style stateful testing, with stdlib ``random`` instead of a
-hypothesis dependency: a seeded generator drives a long randomized
-sequence of ``add`` / ``remove_class`` / ``replace_class`` / ``save``+
-``load`` / ``rebalance`` operations, applied *identically* to
+Two stateful harnesses share one core:
+
+* :class:`MultiTenantChurnCore` drives churn through a
+  :class:`~repro.serving.tenancy.TenantRegistry` with a live
+  :class:`~repro.serving.scheduler.BatchScheduler` on top — when
+  `hypothesis`_ is installed its :class:`RuleBasedStateMachine` wrapper
+  explores op interleavings with shrinking; otherwise a seeded stdlib
+  ``random`` driver walks the same rules, so the properties hold on
+  minimal environments too.  Invariants: full-ranking equivalence against
+  a per-tenant flat exact oracle, zero failed tickets, and tenant
+  isolation (mutating one tenant never moves another tenant's generation
+  or leaks its labels into another tenant's rankings).
+
+* :class:`ChurnHarness` (stdlib-random, schemathesis-style) drives a long
+  randomized sequence of ``add`` / ``remove_class`` / ``replace_class`` /
+  ``save``+``load`` / ``rebalance`` operations, applied *identically* to
+
+.. _hypothesis: https://hypothesis.readthedocs.io/
 
 * a flat :class:`ReferenceStore` with an :class:`ExactIndex` (the oracle),
 * a sharded store whose shards run :class:`ExactIndex`,
@@ -40,7 +54,17 @@ from repro.serving import (
     DeploymentManager,
     ReplicaSet,
     ShardedReferenceStore,
+    TenantRegistry,
 )
+
+try:
+    from hypothesis import settings
+    from hypothesis import strategies as st
+    from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - minimal environments
+    HAVE_HYPOTHESIS = False
 
 DIM = 6
 K = 7
@@ -281,6 +305,177 @@ def test_rebalance_never_splits_a_class():
     # would just swap the imbalance to the other shard, so nothing moves —
     # classes are the unit of placement and are never split across shards.
     assert sharded.rebalance(threshold=0.0) == []
+
+
+# --------------------------------------------------------- multi-tenant rules
+TENANTS = ("t-a", "t-b")
+
+
+class MultiTenantChurnCore:
+    """Rule implementations shared by the hypothesis machine and the
+    stdlib fallback driver: two tenants behind one registry + scheduler,
+    each mirrored by a flat exact oracle."""
+
+    def __init__(self) -> None:
+        self.registry = TenantRegistry(self._make_manager(), max_tenants=8)
+        for tenant in TENANTS:
+            self.registry.register(tenant, self._make_manager(), owned=True)
+        self.scheduler = BatchScheduler(
+            self.registry, max_batch_size=8, max_latency_s=0.001, n_executors=2
+        )
+        self.scheduler.__enter__()
+        self.oracles = {tenant: ReferenceStore(DIM) for tenant in TENANTS}
+        self.centers = {tenant: {} for tenant in TENANTS}
+        self.mutations = {tenant: 0 for tenant in TENANTS}
+        self.tickets = []
+        self.counter = itertools.count()
+
+    @staticmethod
+    def _make_manager() -> DeploymentManager:
+        return DeploymentManager(ShardedReferenceStore(DIM, 2), ClassifierConfig(k=K))
+
+    def close(self) -> None:
+        self.scheduler.__exit__(None, None, None)
+        self.registry.close()
+
+    # ---------------------------------------------------------------- rules
+    def add_class(self, tenant: str, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        label = f"{tenant}/page-{next(self.counter):04d}"
+        center = rng.normal(0.0, 8.0, size=DIM)
+        batch = center + rng.standard_normal((5, DIM))
+        self.centers[tenant][label] = center
+        self.oracles[tenant].add(batch, [label] * 5)
+        self.registry.get(tenant).add_class(label, batch)
+        self.mutations[tenant] += 1
+
+    def replace_class(self, tenant: str, seed: int) -> None:
+        labels = self.oracles[tenant].class_names
+        if not labels:
+            return self.add_class(tenant, seed)
+        rng = np.random.default_rng(seed)
+        label = labels[int(rng.integers(len(labels)))]
+        batch = self.centers[tenant][label] + rng.standard_normal((4, DIM))
+        self.oracles[tenant].replace_class(label, batch)
+        self.registry.get(tenant).replace_class(label, batch)
+        self.mutations[tenant] += 1
+
+    def remove_class(self, tenant: str, seed: int) -> None:
+        labels = self.oracles[tenant].class_names
+        if len(labels) <= 1:
+            return self.add_class(tenant, seed)
+        rng = np.random.default_rng(seed)
+        label = labels[int(rng.integers(len(labels)))]
+        self.oracles[tenant].remove_class(label)
+        self.centers[tenant].pop(label)
+        self.registry.get(tenant).remove_class(label)
+        self.mutations[tenant] += 1
+
+    def submit_queries(self, tenant: str, seed: int) -> None:
+        if not self.oracles[tenant].class_names:
+            return
+        rng = np.random.default_rng(seed)
+        centers = list(self.centers[tenant].values())
+        for _ in range(3):
+            query = centers[int(rng.integers(len(centers)))] + rng.standard_normal(DIM)
+            self.tickets.append((tenant, self.scheduler.submit(query, tenant=tenant)))
+
+    # ----------------------------------------------------------- invariants
+    def check_equivalence_and_isolation(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        for tenant in TENANTS:
+            oracle_store = self.oracles[tenant]
+            manager = self.registry.get(tenant)
+            # Generations are per-tenant: exactly this tenant's mutations.
+            assert manager.generation == self.mutations[tenant], tenant
+            if not oracle_store.class_names:
+                continue
+            centers = list(self.centers[tenant].values())
+            queries = np.stack(
+                [
+                    centers[int(rng.integers(len(centers)))] + rng.standard_normal(DIM)
+                    for _ in range(4)
+                ]
+            )
+            oracle = KNNClassifier(oracle_store, ClassifierConfig(k=K)).predict(queries)
+            served = manager.snapshot().predict(queries)
+            for got, expected in zip(served, oracle):
+                assert got.ranked_labels == expected.ranked_labels, tenant
+                assert got.scores == pytest.approx(expected.scores), tenant
+                # Tenant isolation: every ranked label carries this
+                # tenant's namespace prefix, never a neighbour's.
+                assert all(label.startswith(f"{tenant}/") for label in got.ranked_labels)
+
+    def drain_tickets(self) -> None:
+        results = [(tenant, ticket.result(timeout=30.0)) for tenant, ticket in self.tickets]
+        assert all(r is not None and r.ranked_labels for _, r in results)
+        assert self.scheduler.stats.failed == 0
+        for tenant, result in results:
+            # Zero failed tickets AND no cross-tenant label in any ranking.
+            assert all(label.startswith(f"{tenant}/") for label in result.ranked_labels)
+        self.tickets = []
+
+
+if HAVE_HYPOTHESIS:
+
+    class MultiTenantChurnMachine(RuleBasedStateMachine):
+        """Hypothesis explores op interleavings across the two tenants."""
+
+        def __init__(self) -> None:
+            super().__init__()
+            self.core = MultiTenantChurnCore()
+
+        tenants = st.sampled_from(TENANTS)
+        seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+        @rule(tenant=tenants, seed=seeds)
+        def add_class(self, tenant, seed):
+            self.core.add_class(tenant, seed)
+
+        @rule(tenant=tenants, seed=seeds)
+        def replace_class(self, tenant, seed):
+            self.core.replace_class(tenant, seed)
+
+        @rule(tenant=tenants, seed=seeds)
+        def remove_class(self, tenant, seed):
+            self.core.remove_class(tenant, seed)
+
+        @rule(tenant=tenants, seed=seeds)
+        def submit_queries(self, tenant, seed):
+            self.core.submit_queries(tenant, seed)
+
+        @invariant()
+        def equivalence_and_isolation(self):
+            self.core.check_equivalence_and_isolation(seed=0)
+
+        def teardown(self):
+            try:
+                self.core.drain_tickets()
+            finally:
+                self.core.close()
+
+    MultiTenantChurnMachine.TestCase.settings = settings(
+        max_examples=5, stateful_step_count=15, deadline=None
+    )
+    TestMultiTenantChurn = MultiTenantChurnMachine.TestCase
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_multi_tenant_churn_stdlib_fallback(seed):
+    """The same rules driven by stdlib random — the no-hypothesis path,
+    kept running everywhere so both drivers stay honest."""
+    driver = random.Random(seed)
+    core = MultiTenantChurnCore()
+    try:
+        rules = [core.add_class, core.replace_class, core.remove_class, core.submit_queries]
+        for step in range(40):
+            rule_fn = driver.choice(rules)
+            rule_fn(driver.choice(TENANTS), driver.getrandbits(32))
+            if step % 5 == 4:
+                core.check_equivalence_and_isolation(driver.getrandbits(32))
+        core.drain_tickets()
+    finally:
+        core.close()
 
 
 def test_manager_churn_with_running_scheduler_zero_failures(tmp_path):
